@@ -1,0 +1,107 @@
+// Writes the data series behind every reproduced figure to CSV files under
+// ./results/, for plotting (gnuplot scripts in ./plots/) or downstream
+// analysis. The other bench binaries print human-readable tables; this one
+// produces machine-readable artifacts.
+//
+//   ./export_figures [--outdir=results]
+
+#include <filesystem>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+
+#include "analysis/region_map.hpp"
+#include "core/runner.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace hpmm;
+
+namespace {
+
+void write_table(const std::filesystem::path& path, const Table& table) {
+  std::ofstream out(path);
+  table.print_csv(out);
+  std::cout << "wrote " << path.string() << " (" << table.rows() << " rows)\n";
+}
+
+int region_code(Region r) {
+  switch (r) {
+    case Region::kNone: return 0;
+    case Region::kGk: return 1;
+    case Region::kBerntsen: return 2;
+    case Region::kCannon: return 3;
+    case Region::kDns: return 4;
+  }
+  return 0;
+}
+
+void export_region_figure(const std::filesystem::path& dir, const char* stem,
+                          const MachineParams& mp) {
+  const RegionMap map(mp, 1.0, 1e9, 90, 1.0, 1e5, 60);
+  Table t({"p", "n", "region_code", "region"});
+  for (std::size_t row = 0; row < map.n_cells(); ++row) {
+    for (std::size_t col = 0; col < map.p_cells(); ++col) {
+      const Region r = map.at(row, col);
+      t.begin_row()
+          .add_num(map.p_at(col), 6)
+          .add_num(map.n_at(row), 6)
+          .add_int(region_code(r))
+          .add(to_string(r));
+    }
+  }
+  write_table(dir / (std::string(stem) + ".csv"), t);
+}
+
+void export_efficiency_figure(const std::filesystem::path& dir,
+                              const char* stem, std::size_t p_gk,
+                              std::size_t p_cannon, std::size_t n_max,
+                              std::size_t step) {
+  const MachineParams mp = machines::cm5_measured();
+  std::vector<std::size_t> gk_orders, cannon_orders;
+  for (std::size_t n = step; n <= n_max; n += step) gk_orders.push_back(n);
+  // Cannon needs sqrt(p) | n.
+  const std::size_t sp = static_cast<std::size_t>(std::sqrt(double(p_cannon)));
+  for (std::size_t n = sp; n <= n_max; n += sp) cannon_orders.push_back(n);
+
+  const auto gk = efficiency_sweep("gk-fc", p_gk, mp, gk_orders, /*sim*/ 0);
+  const auto cannon =
+      efficiency_sweep("cannon", p_cannon, mp, cannon_orders, /*sim*/ 0);
+
+  Table t({"algorithm", "n", "p", "efficiency_model", "t_parallel_model"});
+  for (const auto& pt : gk) {
+    t.begin_row()
+        .add("gk")
+        .add_int(static_cast<long long>(pt.n))
+        .add_int(static_cast<long long>(pt.p))
+        .add_num(pt.model_efficiency, 6)
+        .add_num(pt.model_t_parallel, 8);
+  }
+  for (const auto& pt : cannon) {
+    t.begin_row()
+        .add("cannon")
+        .add_int(static_cast<long long>(pt.n))
+        .add_int(static_cast<long long>(pt.p))
+        .add_num(pt.model_efficiency, 6)
+        .add_num(pt.model_t_parallel, 8);
+  }
+  write_table(dir / (std::string(stem) + ".csv"), t);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const std::filesystem::path dir = args.get("outdir", "results");
+  std::filesystem::create_directories(dir);
+
+  export_region_figure(dir, "fig1_regions", machines::ncube2());
+  export_region_figure(dir, "fig2_regions", machines::future_hypercube());
+  export_region_figure(dir, "fig3_regions", machines::simd_cm2());
+  export_efficiency_figure(dir, "fig4_efficiency", 64, 64, 256, 8);
+  export_efficiency_figure(dir, "fig5_efficiency", 512, 484, 616, 8);
+
+  std::cout << "\nPlot with gnuplot: gnuplot -e \"datadir='" << dir.string()
+            << "'\" plots/fig4.gp   (and fig5.gp, regions.gp)\n";
+  return 0;
+}

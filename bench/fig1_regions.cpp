@@ -1,0 +1,11 @@
+// Figure 1: comparison of the four algorithms for t_w = 3, t_s = 150
+// (an nCUBE2-like machine). Expected picture: Berntsen (b) below p = n^{3/2},
+// GK (a) everywhere above it, and no DNS region at practical scale.
+
+#include "region_common.hpp"
+#include "machine/params.hpp"
+
+int main() {
+  hpmm::bench::run_region_figure(hpmm::machines::ncube2(), "Figure 1");
+  return 0;
+}

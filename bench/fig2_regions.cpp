@@ -1,0 +1,11 @@
+// Figure 2: comparison of the four algorithms for t_w = 3, t_s = 10 (a
+// near-future hypercube). Expected picture: all four regions a, b, c, d are
+// present at practical values of p and n.
+
+#include "region_common.hpp"
+#include "machine/params.hpp"
+
+int main() {
+  hpmm::bench::run_region_figure(hpmm::machines::future_hypercube(), "Figure 2");
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Figure 3: comparison of the four algorithms for t_w = 3, t_s = 0.5 (a
+// CM-2-like SIMD machine). Expected picture: DNS (d) for n^2 <= p <= n^3,
+// Cannon (c) for n^{3/2} <= p <= n^2, Berntsen (b) below, no GK region at
+// practical scale.
+
+#include "region_common.hpp"
+#include "machine/params.hpp"
+
+int main() {
+  hpmm::bench::run_region_figure(hpmm::machines::simd_cm2(), "Figure 3");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Numeric isoefficiency curves W(p) for the four compared formulations at
+// several target efficiencies — the quantitative content behind Table 1 and
+// the Section 5 discussion (including the DNS efficiency ceiling).
+
+#include <iostream>
+#include <vector>
+
+#include "analysis/isoefficiency.hpp"
+#include "util/table.hpp"
+
+using namespace hpmm;
+
+int main() {
+  MachineParams mp = machines::future_hypercube();  // t_s = 10, t_w = 3
+  std::cout << "=== Isoefficiency curves W(p) (" << mp.label << ") ===\n";
+
+  std::vector<double> ps;
+  for (double p = 64; p <= 1e9; p *= 8.0) ps.push_back(p);
+
+  for (double e : {0.5, 0.7, 0.9}) {
+    std::cout << "\n--- target efficiency E = " << e << " ---\n\n";
+    Table t({"p", "W berntsen", "W cannon", "W gk", "W dns"});
+    for (double p : ps) {
+      t.begin_row().add(format_si(p, 3));
+      for (const auto& model : table1_models(mp)) {
+        const auto w = iso_problem_size(*model, p, e);
+        t.add(w ? format_si(*w, 3) : "unreachable");
+      }
+    }
+    t.print_aligned(std::cout);
+  }
+
+  const DnsModel dns(mp);
+  std::cout << "\nDNS efficiency ceiling on this machine: 1/(1 + 2(t_s + t_w)) = "
+            << format_number(dns.efficiency_ceiling(), 4)
+            << " — every E above it reads 'unreachable' (Section 5.3).\n";
+
+  std::cout << "\n--- Fitted exponents x in W ~ p^x over p in [1e6, 1e12] ---\n\n";
+  std::vector<double> fit_ps;
+  for (double p = 1e6; p <= 1e12 + 1; p *= 10.0) fit_ps.push_back(p);
+  Table fits({"algorithm", "E=0.02", "E=0.3 (low-overhead machine)"});
+  MachineParams fast;
+  fast.t_s = 0.5;
+  fast.t_w = 0.1;
+  for (const auto& model : table1_models(mp)) {
+    const auto fit_low = fit_isoefficiency_exponent(*model, 0.02, fit_ps);
+    const auto fast_model = table1_models(fast);
+    // Match by position: table1_models returns the same order.
+    fits.begin_row().add(model->name()).add_num(fit_low.exponent, 3);
+    for (const auto& fm : fast_model) {
+      if (fm->name() == model->name()) {
+        fits.add_num(fit_isoefficiency_exponent(*fm, 0.3, fit_ps).exponent, 3);
+      }
+    }
+  }
+  fits.print_aligned(std::cout);
+  std::cout << "\nExpected: berntsen ~2, cannon ~1.5, gk and dns ~1 + polylog.\n";
+  return 0;
+}

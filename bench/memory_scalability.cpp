@@ -1,0 +1,84 @@
+// Memory-constrained scalability (supporting analysis behind the paper's
+// memory-efficiency remarks in §4.1/§4.2/§4.4): isoefficiency forces W = n^3
+// to grow with p, so a finite per-processor memory caps how far each
+// formulation can scale at a target efficiency — and the memory-inefficient
+// Simple algorithm hits the wall orders of magnitude before Cannon.
+
+#include <iostream>
+
+#include "analysis/memory.hpp"
+#include "util/table.hpp"
+
+using namespace hpmm;
+
+int main() {
+  MachineParams mp;
+  mp.t_s = 10.0;
+  mp.t_w = 3.0;
+  mp.label = "t_s=10, t_w=3";
+  std::cout << "=== Memory-constrained scalability (" << mp.label << ") ===\n\n";
+
+  const SimpleModel simple(mp);
+  const CannonModel cannon(mp);
+  const BerntsenModel berntsen(mp);
+  const GkModel gk(mp);
+
+  {
+    std::cout << "--- Largest matrix order per formulation at M words/processor "
+                 "(p = 1024) ---\n\n";
+    Table t({"M (words/proc)", "simple", "cannon", "berntsen", "gk"});
+    for (double mem : {1e4, 1e6, 1e8}) {
+      t.begin_row().add(format_si(mem, 3));
+      for (const PerfModel* m : {static_cast<const PerfModel*>(&simple),
+                                 static_cast<const PerfModel*>(&cannon),
+                                 static_cast<const PerfModel*>(&berntsen),
+                                 static_cast<const PerfModel*>(&gk)}) {
+        const auto n = max_order_for_memory(*m, 1024.0, mem);
+        t.add(n ? format_si(*n, 3) : "-");
+      }
+    }
+    t.print_aligned(std::cout);
+    std::cout << "\nFootprints: simple 2n^2/sqrt(p)+n^2/p, cannon 3n^2/p,\n"
+                 "berntsen 2n^2/p + n^2/p^(2/3), gk 3n^2/p^(2/3).\n\n";
+  }
+
+  {
+    std::cout << "--- Best achievable efficiency under the memory ceiling ---\n\n";
+    Table t({"p", "E_max simple (M=1e6)", "E_max cannon (M=1e6)",
+             "E_max berntsen (M=1e6)", "E_max gk (M=1e6)"});
+    for (double p : {64.0, 1024.0, 16384.0, 262144.0, 4194304.0}) {
+      t.begin_row().add(format_si(p, 3));
+      for (const PerfModel* m : {static_cast<const PerfModel*>(&simple),
+                                 static_cast<const PerfModel*>(&cannon),
+                                 static_cast<const PerfModel*>(&berntsen),
+                                 static_cast<const PerfModel*>(&gk)}) {
+        const auto e = max_efficiency_for_memory(*m, p, 1e6);
+        t.add(e ? format_number(*e, 3) : "-");
+      }
+    }
+    t.print_aligned(std::cout);
+    std::cout << "\nCannon's memory-feasible efficiency is flat in p (its\n"
+                 "footprint at the isoefficiency order is constant); Simple's\n"
+                 "decays because its O(n^2/sqrt(p)) footprint eats the budget.\n\n";
+  }
+
+  {
+    std::cout << "--- How many processors can stay at E = 0.5 with M "
+                 "words/processor? ---\n\n";
+    Table t({"M (words/proc)", "simple", "cannon", "berntsen", "gk"});
+    for (double mem : {1e5, 1e6, 1e7}) {
+      t.begin_row().add(format_si(mem, 3));
+      for (const PerfModel* m : {static_cast<const PerfModel*>(&simple),
+                                 static_cast<const PerfModel*>(&cannon),
+                                 static_cast<const PerfModel*>(&berntsen),
+                                 static_cast<const PerfModel*>(&gk)}) {
+        const auto p = max_procs_at_efficiency_and_memory(*m, 0.5, mem, 1e12);
+        t.add(p ? format_si(*p, 3) : "-");
+      }
+    }
+    t.print_aligned(std::cout);
+    std::cout << "\n(1e12 means the search cap was reached — memory never binds\n"
+                 "before 10^12 processors for that formulation.)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+#pragma once
+
+// Shared driver for the Figure 1-3 reproductions: renders the (p, n) plane
+// best-algorithm map for one machine parameter set, plus the equal-overhead
+// curves n_EqualTo(p) for each algorithm pair (the plain lines of the
+// figures).
+
+#include <cmath>
+#include <iostream>
+#include <optional>
+#include <memory>
+
+#include "analysis/crossover.hpp"
+#include "analysis/region_map.hpp"
+#include "util/table.hpp"
+
+namespace hpmm::bench {
+
+inline void run_region_figure(const MachineParams& mp, const char* figure) {
+  std::cout << "=== " << figure << ": regions of superiority, " << mp.label
+            << " ===\n\n";
+  const RegionMap map(mp, 1.0, 1e9, 72, 1.0, 1e5, 36);
+  map.print_ascii(std::cout);
+
+  std::cout << "\nRegion shares: a(GK)=" << format_number(map.fraction(Region::kGk), 3)
+            << " b(Berntsen)=" << format_number(map.fraction(Region::kBerntsen), 3)
+            << " c(Cannon)=" << format_number(map.fraction(Region::kCannon), 3)
+            << " d(DNS)=" << format_number(map.fraction(Region::kDns), 3)
+            << " x(none)=" << format_number(map.fraction(Region::kNone), 3) << "\n";
+
+  std::cout << "\n--- Equal-overhead curves n_EqualTo(p) (plain lines of the "
+               "figure) ---\n\n";
+  const BerntsenModel berntsen(mp);
+  const CannonModel cannon(mp);
+  const GkModel gk(mp);
+  const DnsModel dns(mp);
+  Table t({"p", "GK vs Cannon", "GK vs Berntsen", "Cannon vs Berntsen",
+           "DNS vs GK", "p^(2/3) [p=n^1.5]", "sqrt(p) [p=n^2]",
+           "p^(1/3) [p=n^3]"});
+  for (double p = 4.0; p <= 1e9; p *= 8.0) {
+    const auto fmt = [](std::optional<double> v) {
+      return v ? format_number(*v, 4) : std::string("-");
+    };
+    t.begin_row()
+        .add(format_si(p, 3))
+        .add(fmt(n_equal_overhead(gk, cannon, p)))
+        .add(fmt(n_equal_overhead(gk, berntsen, p)))
+        .add(fmt(n_equal_overhead(cannon, berntsen, p)))
+        .add(fmt(n_equal_overhead(dns, gk, p)))
+        .add_num(std::pow(p, 2.0 / 3.0), 4)
+        .add_num(std::sqrt(p), 4)
+        .add_num(std::cbrt(p), 4);
+  }
+  t.print_aligned(std::cout);
+  std::cout << "\nFor a curve \"X vs Y\", X has the smaller overhead below the\n"
+               "curve (smaller n), Y above it. The last three columns are the\n"
+               "applicability boundaries p = n^{3/2}, n^2, n^3.\n";
+}
+
+}  // namespace hpmm::bench

@@ -1,0 +1,107 @@
+// Section 8: isoefficiency as a function of technology-dependent factors.
+//  * t_w enters the dominant isoefficiency terms cubed: k-fold faster CPUs
+//    (k-fold larger relative t_s, t_w) force a ~k^3 larger problem.
+//  * k-fold more processors only cost the isoefficiency power (k^{1.5} for
+//    Cannon: 10x processors -> 31.6x problem).
+//  * Hence, contrary to conventional wisdom, k-fold as many processors can
+//    beat processors that are each k-fold as fast.
+
+#include <cmath>
+#include <iostream>
+
+#include "analysis/technology.hpp"
+#include "util/table.hpp"
+
+using namespace hpmm;
+
+namespace {
+
+MachineParams make(double ts, double tw, const char* label) {
+  MachineParams m;
+  m.t_s = ts;
+  m.t_w = tw;
+  m.label = label;
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Section 8: technology-dependent factors ===\n\n";
+
+  {
+    std::cout << "--- Problem growth to hold E = 0.7 (Cannon, t_s = 0, t_w = 3) "
+                 "---\n\n";
+    const MachineParams mp = make(0.0, 3.0, "SIMD-like");
+    const CannonModel cannon(mp);
+    Table t({"k", "W growth for k x processors", "paper (k^1.5)",
+             "W growth for k x faster CPUs", "paper (k^3)"});
+    for (double k : {2.0, 4.0, 10.0}) {
+      const auto more = problem_growth_more_procs(cannon, 1e6, k, 0.7);
+      const auto faster =
+          problem_growth_faster_procs<CannonModel>(mp, 1e6, k, 0.7);
+      t.begin_row()
+          .add_num(k, 3)
+          .add(more ? format_number(*more, 4) : "-")
+          .add_num(std::pow(k, 1.5), 4)
+          .add(faster ? format_number(*faster, 4) : "-")
+          .add_num(k * k * k, 4);
+    }
+    t.print_aligned(std::cout);
+    std::cout << "\n[paper: 10x processors -> 31.6x problem; 10x faster CPUs -> "
+                 "1000x problem]\n\n";
+  }
+
+  {
+    std::cout << "--- Fixed problem: k x more processors vs k x faster "
+                 "processors (Cannon) ---\n\n";
+    Table t({"machine", "n", "p", "k", "T (k x procs)", "T (k x speed)",
+             "winner"});
+    struct Case {
+      MachineParams mp;
+      double n, p, k;
+    };
+    const Case cases[] = {
+        {make(0.5, 3.0, "low-startup"), 4096, 256, 4},
+        {make(0.5, 3.0, "low-startup"), 1024, 256, 4},
+        {make(5000, 3.0, "high-startup"), 64, 16, 4},
+        {make(150, 3.0, "nCUBE2-like"), 512, 64, 10},
+        {make(150, 3.0, "nCUBE2-like"), 64, 64, 10},
+    };
+    for (const auto& c : cases) {
+      const auto r = more_vs_faster<CannonModel>(c.mp, c.n, c.p, c.k);
+      t.begin_row()
+          .add(c.mp.label)
+          .add_num(c.n, 4)
+          .add_num(c.p, 4)
+          .add_num(c.k, 2)
+          .add(format_si(r.t_more_procs, 4))
+          .add(format_si(r.t_faster_procs, 4))
+          .add(r.more_procs_wins() ? "more procs" : "faster procs");
+    }
+    t.print_aligned(std::cout);
+    std::cout
+        << "\nLarge, compute-bound problems favour more processors; small,\n"
+           "startup-bound problems favour faster processors — 'under certain\n"
+           "conditions, it may be better to have a parallel computer with\n"
+           "k-fold as many processors rather than one with the same number of\n"
+           "processors, each k-fold as fast.'\n\n";
+  }
+
+  {
+    std::cout << "--- The t_w^3 multiplier across algorithms (k = 10 faster "
+                 "CPUs, E = 0.7) ---\n\n";
+    const MachineParams mp = make(0.0, 3.0, "t_s=0");
+    Table t({"algorithm", "W growth", "expected"});
+    const auto g_c = problem_growth_faster_procs<CannonModel>(mp, 1e6, 10, 0.7);
+    // Berntsen at a p where its t_w term (not the p^2 concurrency bound)
+    // sets the isoefficiency.
+    const auto g_b = problem_growth_faster_procs<BerntsenModel>(mp, 1024, 10, 0.7);
+    const auto g_g = problem_growth_faster_procs<GkModel>(mp, 1e6, 10, 0.7);
+    t.begin_row().add("cannon").add(g_c ? format_number(*g_c, 4) : "-").add("1000 (t_w^3)");
+    t.begin_row().add("berntsen").add(g_b ? format_number(*g_b, 4) : "-").add("1000 (t_w^3)");
+    t.begin_row().add("gk").add(g_g ? format_number(*g_g, 4) : "-").add("1000 (t_w^3)");
+    t.print_aligned(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Section 3's motivating observations, quantified: for a fixed problem the
+// speedup saturates/peaks as p grows; growing W along the isoefficiency
+// curve keeps speedup linear in p. (Supporting analysis — the paper states
+// this qualitatively in Section 3; no figure number.)
+
+#include <iostream>
+#include <vector>
+
+#include "analysis/isoefficiency.hpp"
+#include "analysis/speedup.hpp"
+#include "util/table.hpp"
+
+using namespace hpmm;
+
+int main() {
+  const MachineParams mp = machines::ncube2();
+  std::cout << "=== Speedup saturation vs isoefficient scaling (" << mp.label
+            << ") ===\n\n";
+
+  std::vector<double> ps;
+  for (double p = 1; p <= 1 << 20; p *= 4) ps.push_back(p);
+
+  {
+    std::cout << "--- Fixed-size speedup S(p), Cannon ---\n\n";
+    Table t({"p", "S (n=128)", "E (n=128)", "S (n=512)", "E (n=512)",
+             "S (n=2048)", "E (n=2048)"});
+    const CannonModel cannon(mp);
+    for (double p : ps) {
+      t.begin_row().add(format_si(p, 3));
+      for (double n : {128.0, 512.0, 2048.0}) {
+        if (cannon.applicable(n, p)) {
+          t.add_num(cannon.speedup(n, p), 4).add_num(cannon.efficiency(n, p), 2);
+        } else {
+          t.add("-").add("-");
+        }
+      }
+    }
+    t.print_aligned(std::cout);
+
+    std::cout << "\nSaturation points (max S over p):\n";
+    for (double n : {128.0, 512.0, 2048.0}) {
+      const auto best = max_fixed_size_speedup(cannon, n);
+      if (best) {
+        std::cout << "  n = " << n << ": S_max = " << format_number(best->speedup, 4)
+                  << " at p = " << format_si(best->p, 3) << " (E = "
+                  << format_number(best->efficiency, 2) << ")\n";
+      }
+    }
+  }
+
+  {
+    std::cout << "\n--- Isoefficient speedup (W grown to hold E = 0.75), GK vs "
+                 "Cannon ---\n\n";
+    Table t({"p", "S gk", "n gk needs", "S cannon", "n cannon needs"});
+    const GkModel gk(mp);
+    const CannonModel cannon(mp);
+    for (double p = 64; p <= 1 << 18; p *= 8) {
+      t.begin_row().add(format_si(p, 3));
+      for (const PerfModel* model :
+           {static_cast<const PerfModel*>(&gk),
+            static_cast<const PerfModel*>(&cannon)}) {
+        const auto n = iso_matrix_order(*model, p, 0.75);
+        if (n) {
+          t.add_num(model->speedup(*n, p), 4).add(format_si(*n, 3));
+        } else {
+          t.add("-").add("-");
+        }
+      }
+    }
+    t.print_aligned(std::cout);
+    std::cout << "\nAlong each algorithm's isoefficiency curve, S = 0.75 p —\n"
+                 "linear, as a scalable parallel system must deliver; the\n"
+                 "difference is how fast W (and memory) must grow to stay on\n"
+                 "the curve (see isoefficiency_curves).\n";
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Section 9's methodology as a workflow: measure the *host's* multiply-add
+// time with the serial kernel (the paper measured 1.53 us on a CM-5 node),
+// combine it with your network's startup and per-word times, normalise into
+// the paper's units, and see what the analysis predicts for a machine built
+// from processors like this one.
+//
+//   ./calibrate_machine --startup_us=50 --per_word_us=0.02 --p=1024
+
+#include <chrono>
+#include <iostream>
+
+#include "analysis/crossover.hpp"
+#include "analysis/isoefficiency.hpp"
+#include "core/selector.hpp"
+#include "matrix/generate.hpp"
+#include "matrix/kernels.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace hpmm;
+
+namespace {
+
+/// Measured time per multiply-add (microseconds) of the conventional kernel
+/// on this host, at a cache-resident size.
+double measure_flop_time_us() {
+  const std::size_t n = 192;
+  Rng rng(1);
+  const Matrix a = random_matrix(n, n, rng);
+  const Matrix b = random_matrix(n, n, rng);
+  Matrix c(n, n);
+  // Warm-up.
+  multiply_add(a, b, c);
+  const int reps = 5;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < reps; ++i) multiply_add(a, b, c);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double us =
+      std::chrono::duration<double, std::micro>(t1 - t0).count();
+  return us / (static_cast<double>(reps) *
+               static_cast<double>(matmul_flops(n, n, n)));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  // Network characteristics of the hypothetical machine (defaults: a fast
+  // 1990s-beating interconnect).
+  const double startup_us = args.get_double("startup_us", 50.0);
+  const double per_word_us = args.get_double("per_word_us", 0.02);
+  const double p = args.get_double("p", 1024);
+
+  const double flop_us = measure_flop_time_us();
+  const MachineParams mp = MachineParams::from_physical(
+      flop_us, startup_us, per_word_us, "calibrated from this host");
+
+  std::cout << "Calibration (Section 9 methodology):\n"
+            << "  measured multiply-add time : " << format_number(flop_us, 4)
+            << " us   [paper's CM-5 node: 1.53 us]\n"
+            << "  network startup            : " << startup_us << " us\n"
+            << "  network per word           : " << per_word_us << " us\n"
+            << "  normalised t_s             : " << format_number(mp.t_s, 5)
+            << "\n"
+            << "  normalised t_w             : " << format_number(mp.t_w, 5)
+            << "\n\n";
+
+  std::cout << "--- What the analysis predicts for p = " << p
+            << " processors like this one ---\n\n";
+  const GkModel gk(mp);
+  const CannonModel cannon(mp);
+  const auto n_eq = n_equal_overhead(gk, cannon, p, 1.0, 1e9);
+  std::cout << "GK-vs-Cannon crossover: "
+            << (n_eq ? "n = " + format_number(*n_eq, 4)
+                     : std::string("none (one dominates)"))
+            << "\n";
+  for (double e : {0.5, 0.8}) {
+    const auto n_c = iso_matrix_order(cannon, p, e);
+    const auto n_g = iso_matrix_order(gk, p, e);
+    std::cout << "order for E = " << e << ": cannon "
+              << (n_c ? format_number(*n_c, 4) : "-") << ", gk "
+              << (n_g ? format_number(*n_g, 4) : "-") << "\n";
+  }
+
+  std::cout << "\n--- Best algorithm by matrix size (model ranking) ---\n\n";
+  Table t({"n", "best algorithm", "predicted E"});
+  for (std::size_t n : {32u, 64u, 128u, 256u, 512u, 1024u, 4096u}) {
+    const auto sel = select_among_table1(
+        n, static_cast<std::size_t>(p), mp, /*require_simulatable=*/false);
+    t.begin_row().add_int(static_cast<long long>(n));
+    if (sel.best.empty()) {
+      t.add("-").add("-");
+    } else {
+      t.add(sel.best).add_num(sel.efficiency, 3);
+    }
+  }
+  t.print_aligned(std::cout);
+  std::cout << "\nNote how a faster CPU (smaller measured multiply-add time)\n"
+               "*raises* the relative t_s, t_w — Section 8's point that CPU\n"
+               "speedups make communication relatively more expensive.\n";
+  return 0;
+}

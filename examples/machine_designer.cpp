@@ -1,0 +1,75 @@
+// Machine designer — the Section 8 question as a tool: for your workload
+// (matrix order n, algorithm), is the upgrade budget better spent on k-fold
+// more processors or k-fold faster processors? And how much bigger must the
+// problem get to keep the machine efficient after the upgrade?
+//
+//   ./machine_designer --n=1024 --p=256 --k=4 --ts=150 --tw=3
+
+#include <iostream>
+
+#include "analysis/technology.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace hpmm;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const double n = args.get_double("n", 1024);
+  const double p = args.get_double("p", 256);
+  const double k = args.get_double("k", 4);
+  MachineParams mp;
+  mp.t_s = args.get_double("ts", 150.0);
+  mp.t_w = args.get_double("tw", 3.0);
+
+  std::cout << "Machine designer: n = " << n << ", p = " << p << ", upgrade k = "
+            << k << ", t_s = " << mp.t_s << ", t_w = " << mp.t_w << "\n\n";
+
+  std::cout << "--- Option A: " << k << "x more processors.  Option B: " << k
+            << "x faster processors ---\n\n";
+  Table t({"algorithm", "T now", "T option A", "T option B", "verdict"});
+  const auto row = [&](const char* name, const MoreVsFaster& r, double t_now) {
+    t.begin_row()
+        .add(name)
+        .add(format_si(t_now, 4))
+        .add(format_si(r.t_more_procs, 4))
+        .add(format_si(r.t_faster_procs, 4))
+        .add(r.more_procs_wins() ? "more procs" : "faster procs");
+  };
+  {
+    const CannonModel now(mp);
+    row("cannon", more_vs_faster<CannonModel>(mp, n, p, k), now.t_parallel(n, p));
+  }
+  {
+    const GkModel now(mp);
+    row("gk", more_vs_faster<GkModel>(mp, n, p, k), now.t_parallel(n, p));
+  }
+  {
+    const BerntsenModel now(mp);
+    if (now.applicable(n, k * p)) {
+      row("berntsen", more_vs_faster<BerntsenModel>(mp, n, p, k),
+          now.t_parallel(n, p));
+    }
+  }
+  t.print_aligned(std::cout);
+
+  std::cout << "\n--- Problem growth needed to keep today's efficiency after "
+               "the upgrade ---\n\n";
+  const CannonModel cannon(mp);
+  const double e_now = cannon.efficiency(n, p);
+  std::cout << "Current Cannon efficiency: " << format_number(e_now, 3) << "\n";
+  if (e_now > 0.01 && e_now < 0.99) {
+    const auto grow_more = problem_growth_more_procs(cannon, p, k, e_now);
+    const auto grow_fast =
+        problem_growth_faster_procs<CannonModel>(mp, p, k, e_now);
+    std::cout << "  W must grow " << (grow_more ? format_number(*grow_more, 3) : "-")
+              << "x for " << k << "x more processors (isoefficiency power)\n"
+              << "  W must grow " << (grow_fast ? format_number(*grow_fast, 3) : "-")
+              << "x for " << k << "x faster processors (the t_w^3 factor)\n";
+  }
+  std::cout << "\nSection 8's moral: faster CPUs raise the *relative* cost of\n"
+               "communication (t_s, t_w are measured in multiply-add units), so\n"
+               "keeping them busy needs a k^3-fold larger problem — often more\n"
+               "than the k^1.5-fold that more processors would need.\n";
+  return 0;
+}

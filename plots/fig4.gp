@@ -1,0 +1,19 @@
+# Figure 4 reproduction: efficiency vs matrix size, Cannon vs GK, p = 64,
+# CM-5 parameters. Usage:
+#   ./build/bench/export_figures --outdir=results
+#   gnuplot -e "datadir='results'" plots/fig4.gp
+# Produces fig4.png next to the data.
+
+if (!exists("datadir")) datadir = 'results'
+set terminal pngcairo size 800,560
+set output datadir.'/fig4.png'
+set datafile separator comma
+set title 'Figure 4: E vs n, Cannon vs GK, p = 64 (CM-5 parameters)'
+set xlabel 'matrix order n'
+set ylabel 'efficiency E'
+set yrange [0:1]
+set key bottom right
+set grid
+plot datadir.'/fig4_efficiency.csv' \
+       using 2:(strcol(1) eq 'gk' ? $4 : NaN)     with linespoints title 'GK (Eq. 18)', \
+     '' using 2:(strcol(1) eq 'cannon' ? $4 : NaN) with linespoints title "Cannon (Eq. 3)"

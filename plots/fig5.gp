@@ -1,0 +1,18 @@
+# Figure 5 reproduction: efficiency vs matrix size, Cannon (p = 484) vs
+# GK (p = 512), CM-5 parameters. Usage:
+#   ./build/bench/export_figures --outdir=results
+#   gnuplot -e "datadir='results'" plots/fig5.gp
+
+if (!exists("datadir")) datadir = 'results'
+set terminal pngcairo size 800,560
+set output datadir.'/fig5.png'
+set datafile separator comma
+set title 'Figure 5: E vs n, Cannon (p=484) vs GK (p=512), CM-5'
+set xlabel 'matrix order n'
+set ylabel 'efficiency E'
+set yrange [0:1]
+set key bottom right
+set grid
+plot datadir.'/fig5_efficiency.csv' \
+       using 2:(strcol(1) eq 'gk' ? $4 : NaN)     with linespoints title 'GK, p = 512', \
+     '' using 2:(strcol(1) eq 'cannon' ? $4 : NaN) with linespoints title 'Cannon, p = 484'

@@ -1,0 +1,20 @@
+# Figures 1-3 reproduction: best-algorithm regions in the (p, n) plane.
+# Usage:
+#   ./build/bench/export_figures --outdir=results
+#   gnuplot -e "datadir='results'; fig='fig1_regions'" plots/regions.gp
+# region_code: 0 = none, 1 = GK (a), 2 = Berntsen (b), 3 = Cannon (c),
+# 4 = DNS (d).
+
+if (!exists("datadir")) datadir = 'results'
+if (!exists("fig")) fig = 'fig1_regions'
+set terminal pngcairo size 860,600
+set output datadir.'/'.fig.'.png'
+set datafile separator comma
+set title fig.' — regions of superiority (1=GK 2=Berntsen 3=Cannon 4=DNS)'
+set xlabel 'processors p'
+set ylabel 'matrix order n'
+set logscale xy
+set palette defined (0 'grey90', 1 'web-blue', 2 'forest-green', 3 'orange', 4 'red')
+set cbrange [0:4]
+unset colorbox
+plot datadir.'/'.fig.'.csv' using 1:2:3 with points pt 5 ps 0.6 palette notitle

@@ -1,0 +1,106 @@
+#include "analysis/crossover.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace hpmm {
+
+std::optional<double> n_equal_overhead(const PerfModel& a, const PerfModel& b,
+                                       double p, double n_lo, double n_hi) {
+  require(p >= 1.0, "n_equal_overhead: p must be >= 1");
+  require(n_lo > 0.0 && n_hi > n_lo, "n_equal_overhead: bad n interval");
+  const auto diff = [&](double n) {
+    return a.t_overhead(n, p) - b.t_overhead(n, p);
+  };
+  double f_lo = diff(n_lo);
+  double f_hi = diff(n_hi);
+  if (f_lo == 0.0) return n_lo;
+  if (f_hi == 0.0) return n_hi;
+  if ((f_lo > 0.0) == (f_hi > 0.0)) return std::nullopt;
+  double lo = n_lo, hi = n_hi;
+  for (int iter = 0; iter < 200 && hi - lo > 1e-9 * hi; ++iter) {
+    const double mid = std::sqrt(lo * hi);  // geometric bisection
+    const double f_mid = diff(mid);
+    if (f_mid == 0.0) return mid;
+    if ((f_mid > 0.0) == (f_lo > 0.0)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return std::sqrt(lo * hi);
+}
+
+std::optional<double> n_equal_overhead_gk_cannon(const MachineParams& params,
+                                                 double p) {
+  require(p >= 1.0, "n_equal_overhead_gk_cannon: p must be >= 1");
+  const double lp = p > 1.0 ? std::log2(p) : 0.0;
+  const double numer = ((5.0 / 3.0) * p * lp - 2.0 * std::pow(p, 1.5)) * params.t_s;
+  const double denom =
+      (2.0 * std::sqrt(p) - (5.0 / 3.0) * std::cbrt(p) * lp) * params.t_w;
+  if (denom == 0.0) return std::nullopt;
+  const double n2 = numer / denom;
+  if (n2 <= 0.0 || !std::isfinite(n2)) return std::nullopt;
+  return std::sqrt(n2);
+}
+
+bool dominates_at_p(const PerfModel& a, const PerfModel& b, double p) {
+  // Sample n over the overlap of the two ranges of applicability on a
+  // dense log grid; a dominates when its overhead never exceeds b's.
+  double n_min = 1.0;
+  double n_max = 1e30;
+  // Intersect applicability: grow n until both apply; shrink from above
+  // until both apply.
+  const auto both = [&](double n) { return a.applicable(n, p) && b.applicable(n, p); };
+  // Lower end: concurrency bounds force n up; find smallest applicable n.
+  double lo = 1.0;
+  while (lo < 1e30 && !both(lo)) lo *= 2.0;
+  if (lo >= 1e30) return true;  // empty overlap: vacuously dominant
+  n_min = lo;
+  n_max = std::max(n_min * 2.0, 1e12);
+  bool dominant = true;
+  const int kSamples = 200;
+  for (int i = 0; i <= kSamples; ++i) {
+    const double t = static_cast<double>(i) / kSamples;
+    const double n = n_min * std::pow(n_max / n_min, t);
+    if (!both(n)) continue;
+    if (a.t_overhead(n, p) > b.t_overhead(n, p) * (1.0 + 1e-12)) {
+      dominant = false;
+      break;
+    }
+  }
+  return dominant;
+}
+
+std::optional<double> dominance_cutoff_p(const PerfModel& a, const PerfModel& b,
+                                         double p_max) {
+  // The threshold beyond which `a` dominates *permanently*: scan a log grid,
+  // remember the last non-dominant point, and bisect the final transition.
+  // (A naive first-transition search would stop at spurious small-p wins —
+  // e.g. GK's log p factor is tiny at p = 2.)
+  double last_bad = 0.0;
+  bool dominant_at_end = false;
+  for (double p = 2.0; p <= p_max; p *= 2.0) {
+    if (dominates_at_p(a, b, p)) {
+      dominant_at_end = true;
+    } else {
+      last_bad = p;
+      dominant_at_end = false;
+    }
+  }
+  if (!dominant_at_end) return std::nullopt;
+  if (last_bad == 0.0) return 2.0;  // dominant everywhere sampled
+  double lo = last_bad, hi = last_bad * 2.0;
+  for (int iter = 0; iter < 100 && hi / lo > 1.0 + 1e-6; ++iter) {
+    const double mid = std::sqrt(lo * hi);
+    if (dominates_at_p(a, b, mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace hpmm

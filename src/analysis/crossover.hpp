@@ -1,0 +1,39 @@
+#pragma once
+
+#include <optional>
+
+#include "analysis/perf_model.hpp"
+
+namespace hpmm {
+
+/// Equal-overhead analysis (Section 6): for two formulations and a given p,
+/// the matrix order n_EqualTo(p) at which their total overheads coincide.
+/// Below it the formulation with the cheaper startup side wins, above it the
+/// one with the cheaper bandwidth side wins.
+
+/// The n in [n_lo, n_hi] with T_o^A(n, p) = T_o^B(n, p), found by bisection
+/// on the sign of the difference. Returns nullopt when the difference does
+/// not change sign over the interval (one algorithm dominates throughout).
+std::optional<double> n_equal_overhead(const PerfModel& a, const PerfModel& b,
+                                       double p, double n_lo = 1.0,
+                                       double n_hi = 1e9);
+
+/// Closed form of Eq. 15 for GK vs Cannon:
+///   n = sqrt( ((5/3) p log p - 2 p^{3/2}) t_s /
+///             ((2 sqrt(p) - (5/3) p^{1/3} log p) t_w) ).
+/// Returns nullopt when the expression is not a positive real (no crossover
+/// at this p).
+std::optional<double> n_equal_overhead_gk_cannon(const MachineParams& params,
+                                                 double p);
+
+/// The smallest p (searched over a log grid) beyond which model `a` has
+/// smaller overhead than model `b` for *every* n in both ranges of
+/// applicability — e.g. GK dominates Cannon for p > ~1.3e8 even at t_s = 0
+/// (Section 6). Returns nullopt if no such p <= p_max exists.
+std::optional<double> dominance_cutoff_p(const PerfModel& a, const PerfModel& b,
+                                         double p_max = 1e20);
+
+/// True when a's overhead is <= b's for every applicable n at this p.
+bool dominates_at_p(const PerfModel& a, const PerfModel& b, double p);
+
+}  // namespace hpmm

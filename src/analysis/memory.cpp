@@ -1,0 +1,90 @@
+#include "analysis/memory.hpp"
+
+#include <cmath>
+
+#include "analysis/isoefficiency.hpp"
+#include "util/error.hpp"
+
+namespace hpmm {
+
+std::optional<double> max_order_for_memory(const PerfModel& model, double p,
+                                           double memory_words) {
+  require(p >= 1.0, "max_order_for_memory: p must be >= 1");
+  require(memory_words > 0.0, "max_order_for_memory: memory must be positive");
+  if (model.memory_per_proc(1.0, p) > memory_words) return std::nullopt;
+  // Footprints grow like n^2 (per fixed p); bracket then bisect.
+  double lo = 1.0, hi = 2.0;
+  const double kHuge = 1e15;
+  while (hi < kHuge && model.memory_per_proc(hi, p) <= memory_words) {
+    lo = hi;
+    hi *= 2.0;
+  }
+  if (hi >= kHuge) return kHuge;  // effectively unconstrained
+  for (int iter = 0; iter < 200 && hi - lo > 1e-9 * hi; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (model.memory_per_proc(mid, p) <= memory_words) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::optional<double> max_efficiency_for_memory(const PerfModel& model,
+                                                double p, double memory_words) {
+  const auto n_mem = max_order_for_memory(model, p, memory_words);
+  if (!n_mem) return std::nullopt;
+  // Efficiency is monotone in n, so the best memory-feasible efficiency sits
+  // at the largest applicable n not exceeding the memory cap. The
+  // applicability range in n is [n_min, n_max] with p <= max_procs(n)
+  // forcing n up and p >= min_procs(n) capping it (DNS).
+  double n = *n_mem;
+  // Respect min_procs (DNS: n <= sqrt(p)).
+  if (model.min_procs(2.0) > model.min_procs(1.0)) {
+    double cap_lo = 1.0, cap_hi = 1.0;
+    while (cap_hi < 1e15 && model.min_procs(cap_hi) <= p) cap_hi *= 2.0;
+    for (int iter = 0; iter < 200 && cap_hi - cap_lo > 1e-9 * cap_hi; ++iter) {
+      const double mid = 0.5 * (cap_lo + cap_hi);
+      if (model.min_procs(mid) <= p) {
+        cap_lo = mid;
+      } else {
+        cap_hi = mid;
+      }
+    }
+    n = std::min(n, cap_lo);
+  }
+  if (!model.applicable(n, p)) return std::nullopt;
+  return model.efficiency(n, p);
+}
+
+std::optional<double> max_procs_at_efficiency_and_memory(
+    const PerfModel& model, double efficiency, double memory_words,
+    double limit) {
+  require(efficiency > 0.0 && efficiency < 1.0,
+          "max_procs_at_efficiency_and_memory: efficiency must be in (0,1)");
+  // Feasible(p): the isoefficiency order at p fits in memory.
+  const auto feasible = [&](double p) {
+    const auto n_iso = iso_matrix_order(model, p, efficiency);
+    if (!n_iso) return false;
+    return model.memory_per_proc(*n_iso, p) <= memory_words;
+  };
+  if (!feasible(1.0)) return std::nullopt;
+  double lo = 1.0, hi = 2.0;
+  while (hi <= limit && feasible(hi)) {
+    lo = hi;
+    hi *= 2.0;
+  }
+  if (hi > limit) return limit;
+  for (int iter = 0; iter < 100 && hi / lo > 1.0 + 1e-6; ++iter) {
+    const double mid = std::sqrt(lo * hi);
+    if (feasible(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace hpmm

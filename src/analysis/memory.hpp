@@ -1,0 +1,37 @@
+#pragma once
+
+#include <optional>
+
+#include "analysis/perf_model.hpp"
+
+namespace hpmm {
+
+/// Memory-constrained scalability.
+///
+/// The paper contrasts memory-efficient formulations (Cannon: 3 n²/p words
+/// per processor) with memory-inefficient ones (Simple: O(n²/√p); Berntsen:
+/// n²/p^{2/3}; Section 4). Since isoefficiency forces W = n³ to grow with p,
+/// a machine with M words of memory per processor caps the achievable n —
+/// and therefore caps efficiency. These helpers quantify that cap.
+
+/// The largest matrix order a processor with `memory_words` can support
+/// under this formulation's per-processor footprint (monotone in n at fixed
+/// p; solved by bisection). Returns nullopt when even n = 1 does not fit.
+std::optional<double> max_order_for_memory(const PerfModel& model, double p,
+                                           double memory_words);
+
+/// The best efficiency achievable on p processors given `memory_words` per
+/// processor: efficiency at the largest memory-feasible, applicable n.
+/// Returns nullopt when no applicable n fits.
+std::optional<double> max_efficiency_for_memory(const PerfModel& model,
+                                                double p, double memory_words);
+
+/// The largest processor count that can still reach `efficiency` with
+/// `memory_words` per processor — where the isoefficiency curve crosses the
+/// memory ceiling. Returns nullopt if even p = 1... is infeasible, and
+/// `limit` when the search cap is reached without hitting the ceiling.
+std::optional<double> max_procs_at_efficiency_and_memory(
+    const PerfModel& model, double efficiency, double memory_words,
+    double limit = 1e12);
+
+}  // namespace hpmm

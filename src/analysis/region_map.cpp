@@ -1,0 +1,184 @@
+#include "analysis/region_map.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace hpmm {
+
+char to_char(Region r) noexcept { return static_cast<char>(r); }
+
+std::string to_string(Region r) {
+  switch (r) {
+    case Region::kNone: return "none";
+    case Region::kGk: return "gk";
+    case Region::kBerntsen: return "berntsen";
+    case Region::kCannon: return "cannon";
+    case Region::kDns: return "dns";
+  }
+  return "?";
+}
+
+Region RegionMap::best_at(const MachineParams& params, double n, double p) {
+  const BerntsenModel berntsen(params);
+  const CannonModel cannon(params);
+  const GkModel gk(params);
+  const DnsModel dns(params);
+  struct Candidate {
+    const PerfModel* model;
+    Region region;
+  };
+  const Candidate candidates[] = {
+      {&berntsen, Region::kBerntsen},
+      {&cannon, Region::kCannon},
+      {&gk, Region::kGk},
+      {&dns, Region::kDns},
+  };
+  Region best = Region::kNone;
+  double best_to = 0.0;
+  for (const auto& c : candidates) {
+    if (!c.model->applicable(n, p)) continue;
+    const double to = c.model->t_overhead(n, p);
+    if (best == Region::kNone || to < best_to) {
+      best = c.region;
+      best_to = to;
+    }
+  }
+  return best;
+}
+
+RegionMap::RegionMap(const MachineParams& params, double p_min, double p_max,
+                     std::size_t p_cells, double n_min, double n_max,
+                     std::size_t n_cells)
+    : params_(params),
+      p_min_(p_min),
+      p_max_(p_max),
+      n_min_(n_min),
+      n_max_(n_max),
+      p_cells_(p_cells),
+      n_cells_(n_cells) {
+  require(p_min >= 1.0 && p_max > p_min, "RegionMap: bad p range");
+  require(n_min >= 1.0 && n_max > n_min, "RegionMap: bad n range");
+  require(p_cells >= 2 && n_cells >= 2, "RegionMap: need at least a 2x2 grid");
+  cells_.resize(p_cells_ * n_cells_);
+  for (std::size_t row = 0; row < n_cells_; ++row) {
+    for (std::size_t col = 0; col < p_cells_; ++col) {
+      cells_[row * p_cells_ + col] = best_at(params_, n_at(row), p_at(col));
+    }
+  }
+}
+
+double RegionMap::p_at(std::size_t col) const {
+  require(col < p_cells_, "RegionMap::p_at: out of range");
+  const double t = static_cast<double>(col) / static_cast<double>(p_cells_ - 1);
+  return p_min_ * std::pow(p_max_ / p_min_, t);
+}
+
+double RegionMap::n_at(std::size_t row) const {
+  require(row < n_cells_, "RegionMap::n_at: out of range");
+  const double t = static_cast<double>(row) / static_cast<double>(n_cells_ - 1);
+  return n_min_ * std::pow(n_max_ / n_min_, t);
+}
+
+Region RegionMap::at(std::size_t row, std::size_t col) const {
+  require(row < n_cells_ && col < p_cells_, "RegionMap::at: out of range");
+  return cells_[row * p_cells_ + col];
+}
+
+double RegionMap::fraction(Region r) const {
+  std::size_t count = 0;
+  for (Region c : cells_) {
+    if (c == r) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(cells_.size());
+}
+
+MachineSpaceMap::MachineSpaceMap(double n, double p, double ts_min,
+                                 double ts_max, std::size_t ts_cells,
+                                 double tw_min, double tw_max,
+                                 std::size_t tw_cells)
+    : n_(n),
+      p_(p),
+      ts_min_(ts_min),
+      ts_max_(ts_max),
+      tw_min_(tw_min),
+      tw_max_(tw_max),
+      ts_cells_(ts_cells),
+      tw_cells_(tw_cells) {
+  require(n >= 1.0 && p >= 1.0, "MachineSpaceMap: bad workload");
+  require(ts_min > 0.0 && ts_max > ts_min, "MachineSpaceMap: bad t_s range");
+  require(tw_min > 0.0 && tw_max > tw_min, "MachineSpaceMap: bad t_w range");
+  require(ts_cells >= 2 && tw_cells >= 2, "MachineSpaceMap: need a 2x2 grid");
+  cells_.resize(ts_cells_ * tw_cells_);
+  for (std::size_t row = 0; row < tw_cells_; ++row) {
+    for (std::size_t col = 0; col < ts_cells_; ++col) {
+      cells_[row * ts_cells_ + col] = best_at(n_, p_, ts_at(col), tw_at(row));
+    }
+  }
+}
+
+Region MachineSpaceMap::best_at(double n, double p, double t_s, double t_w) {
+  MachineParams mp;
+  mp.t_s = t_s;
+  mp.t_w = t_w;
+  return RegionMap::best_at(mp, n, p);
+}
+
+double MachineSpaceMap::ts_at(std::size_t col) const {
+  require(col < ts_cells_, "MachineSpaceMap::ts_at: out of range");
+  const double t = static_cast<double>(col) / static_cast<double>(ts_cells_ - 1);
+  return ts_min_ * std::pow(ts_max_ / ts_min_, t);
+}
+
+double MachineSpaceMap::tw_at(std::size_t row) const {
+  require(row < tw_cells_, "MachineSpaceMap::tw_at: out of range");
+  const double t = static_cast<double>(row) / static_cast<double>(tw_cells_ - 1);
+  return tw_min_ * std::pow(tw_max_ / tw_min_, t);
+}
+
+Region MachineSpaceMap::at(std::size_t row, std::size_t col) const {
+  require(row < tw_cells_ && col < ts_cells_, "MachineSpaceMap::at: range");
+  return cells_[row * ts_cells_ + col];
+}
+
+double MachineSpaceMap::fraction(Region r) const {
+  std::size_t count = 0;
+  for (Region c : cells_) {
+    if (c == r) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(cells_.size());
+}
+
+void MachineSpaceMap::print_ascii(std::ostream& os) const {
+  os << "t_w up, t_s right; a=GK b=Berntsen c=Cannon d=DNS x=none  [n="
+     << format_number(n_, 4) << ", p=" << format_number(p_, 4) << "]\n";
+  for (std::size_t row = tw_cells_; row-- > 0;) {
+    os << format_number(tw_at(row), 3) << " | ";
+    for (std::size_t col = 0; col < ts_cells_; ++col) {
+      os << to_char(at(row, col));
+    }
+    os << '\n';
+  }
+  os << "     +" << std::string(ts_cells_, '-') << '\n';
+  os << "      t_s: " << format_number(ts_min_, 3) << " .. "
+     << format_number(ts_max_, 3) << " (log scale)\n";
+}
+
+void RegionMap::print_ascii(std::ostream& os) const {
+  os << "n up, p right; a=GK b=Berntsen c=Cannon d=DNS x=none  [" << params_.label
+     << "]\n";
+  for (std::size_t row = n_cells_; row-- > 0;) {
+    os << format_number(n_at(row), 3);
+    os << std::string(row % 1 == 0 ? 1 : 1, ' ') << "| ";
+    for (std::size_t col = 0; col < p_cells_; ++col) {
+      os << to_char(at(row, col));
+    }
+    os << '\n';
+  }
+  os << "      +" << std::string(p_cells_, '-') << '\n';
+  os << "       p: " << format_number(p_min_, 3) << " .. "
+     << format_number(p_max_, 3) << " (log scale)\n";
+}
+
+}  // namespace hpmm

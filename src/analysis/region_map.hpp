@@ -1,0 +1,87 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "analysis/perf_model.hpp"
+
+namespace hpmm {
+
+/// Which formulation is the best choice at a point of the (p, n) plane —
+/// the regions of Figures 1-3. Letters follow the paper's legend.
+enum class Region : char {
+  kNone = 'x',      ///< p > n^3: no formulation applicable
+  kGk = 'a',        ///< GK algorithm best
+  kBerntsen = 'b',  ///< Berntsen's algorithm best
+  kCannon = 'c',    ///< Cannon's algorithm best
+  kDns = 'd'        ///< DNS algorithm best
+};
+
+char to_char(Region r) noexcept;
+std::string to_string(Region r);
+
+/// Rasterized best-algorithm map over a log-log grid of (p, n), comparing
+/// the four Table 1 formulations by total overhead T_o within their ranges
+/// of applicability (Section 6).
+class RegionMap {
+ public:
+  /// Grid: p in [p_min, p_max], n in [n_min, n_max], log-spaced.
+  RegionMap(const MachineParams& params, double p_min, double p_max,
+            std::size_t p_cells, double n_min, double n_max,
+            std::size_t n_cells);
+
+  /// The winner at one point (usable without building a grid).
+  static Region best_at(const MachineParams& params, double n, double p);
+
+  std::size_t p_cells() const noexcept { return p_cells_; }
+  std::size_t n_cells() const noexcept { return n_cells_; }
+  double p_at(std::size_t col) const;
+  double n_at(std::size_t row) const;
+  Region at(std::size_t row, std::size_t col) const;
+
+  /// Fraction of grid cells labelled with `r`.
+  double fraction(Region r) const;
+
+  /// ASCII rendering: n increases upward, p rightward, one letter per cell —
+  /// directly comparable with Figures 1-3.
+  void print_ascii(std::ostream& os) const;
+
+ private:
+  MachineParams params_;
+  double p_min_, p_max_, n_min_, n_max_;
+  std::size_t p_cells_, n_cells_;
+  std::vector<Region> cells_;  // row-major, row 0 = smallest n
+};
+
+/// The dual view of Section 6: for a *fixed* workload (n, p), which
+/// formulation wins as the machine's technology parameters vary — a
+/// rasterized map over the (t_s, t_w) plane (log-log). The paper's three
+/// parameter sets (Figures 1-3) are three vertical lines of this map.
+class MachineSpaceMap {
+ public:
+  MachineSpaceMap(double n, double p, double ts_min, double ts_max,
+                  std::size_t ts_cells, double tw_min, double tw_max,
+                  std::size_t tw_cells);
+
+  /// The winner for one machine (same T_o comparison as RegionMap).
+  static Region best_at(double n, double p, double t_s, double t_w);
+
+  std::size_t ts_cells() const noexcept { return ts_cells_; }
+  std::size_t tw_cells() const noexcept { return tw_cells_; }
+  double ts_at(std::size_t col) const;
+  double tw_at(std::size_t row) const;
+  Region at(std::size_t row, std::size_t col) const;
+  double fraction(Region r) const;
+
+  /// ASCII rendering: t_w increases upward, t_s rightward.
+  void print_ascii(std::ostream& os) const;
+
+ private:
+  double n_, p_;
+  double ts_min_, ts_max_, tw_min_, tw_max_;
+  std::size_t ts_cells_, tw_cells_;
+  std::vector<Region> cells_;
+};
+
+}  // namespace hpmm

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <optional>
+
+#include "analysis/perf_model.hpp"
+
+namespace hpmm {
+
+/// Parameter-sensitivity analysis behind Section 6's reasoning: which part
+/// of the machine (startup t_s or bandwidth t_w) dominates a formulation's
+/// overhead at a given (n, p), and how strongly T_p reacts to each.
+
+/// Decomposition of the overhead at one point.
+struct OverheadSplit {
+  double ts_part = 0.0;     ///< overhead attributable to t_s (startup)
+  double tw_part = 0.0;     ///< overhead attributable to t_w (bandwidth)
+  double other_part = 0.0;  ///< mixed terms (e.g. the JH pipeline sqrt)
+
+  double total() const noexcept { return ts_part + tw_part + other_part; }
+  bool startup_dominated() const noexcept { return ts_part > tw_part; }
+};
+
+/// Split comm_time(n, p) into its t_s / t_w contributions by evaluating the
+/// model with each parameter zeroed (exact for models whose overhead is a
+/// sum of a pure-t_s and a pure-t_w term — all of Eqs. 2-7 and 18; the JH
+/// and all-port variants have a mixed sqrt(t_s t_w) remainder, reported in
+/// other_part). Requires a model factory bound to the parameter set.
+template <typename Model>
+OverheadSplit overhead_split(const MachineParams& params, double n, double p);
+
+/// Elasticity of T_p with respect to t_s: (dT_p/T_p) / (dt_s/t_s) — the
+/// fraction of parallel time that scales with startup cost. Computed from
+/// the same decomposition; elasticities w.r.t. t_s, t_w and the residual
+/// compute share sum to ~1.
+template <typename Model>
+double ts_elasticity(const MachineParams& params, double n, double p);
+template <typename Model>
+double tw_elasticity(const MachineParams& params, double n, double p);
+
+/// The matrix order at which a formulation switches from startup-dominated
+/// to bandwidth-dominated overhead at fixed p (ts_part = tw_part); nullopt
+/// when one side dominates for all applicable n. This is the "balance
+/// point" that §6's crossovers move around.
+template <typename Model>
+std::optional<double> balance_order(const MachineParams& params, double p,
+                                    double n_lo = 1.0, double n_hi = 1e9);
+
+}  // namespace hpmm
+
+#include "analysis/sensitivity_impl.hpp"

@@ -1,0 +1,71 @@
+#pragma once
+
+// Template implementations for sensitivity.hpp (included at its end).
+
+#include <cmath>
+
+namespace hpmm {
+
+template <typename Model>
+OverheadSplit overhead_split(const MachineParams& params, double n, double p) {
+  MachineParams ts_only = params;
+  ts_only.t_w = 0.0;
+  MachineParams tw_only = params;
+  tw_only.t_s = 0.0;
+  const Model full(params);
+  const Model m_ts(ts_only);
+  const Model m_tw(tw_only);
+  OverheadSplit split;
+  split.ts_part = m_ts.comm_time(n, p);
+  split.tw_part = m_tw.comm_time(n, p);
+  split.other_part =
+      full.comm_time(n, p) - split.ts_part - split.tw_part;
+  if (std::fabs(split.other_part) < 1e-9 * full.comm_time(n, p)) {
+    split.other_part = 0.0;  // clean up rounding for the separable models
+  }
+  return split;
+}
+
+template <typename Model>
+double ts_elasticity(const MachineParams& params, double n, double p) {
+  const Model full(params);
+  const double t_p = full.t_parallel(n, p);
+  if (t_p <= 0.0) return 0.0;
+  return overhead_split<Model>(params, n, p).ts_part / t_p;
+}
+
+template <typename Model>
+double tw_elasticity(const MachineParams& params, double n, double p) {
+  const Model full(params);
+  const double t_p = full.t_parallel(n, p);
+  if (t_p <= 0.0) return 0.0;
+  return overhead_split<Model>(params, n, p).tw_part / t_p;
+}
+
+template <typename Model>
+std::optional<double> balance_order(const MachineParams& params, double p,
+                                    double n_lo, double n_hi) {
+  const auto diff = [&](double n) {
+    const auto split = overhead_split<Model>(params, n, p);
+    return split.ts_part - split.tw_part;
+  };
+  double f_lo = diff(n_lo);
+  double f_hi = diff(n_hi);
+  if (f_lo == 0.0) return n_lo;
+  if (f_hi == 0.0) return n_hi;
+  if ((f_lo > 0.0) == (f_hi > 0.0)) return std::nullopt;
+  double lo = n_lo, hi = n_hi;
+  for (int iter = 0; iter < 200 && hi - lo > 1e-9 * hi; ++iter) {
+    const double mid = std::sqrt(lo * hi);
+    const double f_mid = diff(mid);
+    if (f_mid == 0.0) return mid;
+    if ((f_mid > 0.0) == (f_lo > 0.0)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return std::sqrt(lo * hi);
+}
+
+}  // namespace hpmm

@@ -1,0 +1,76 @@
+#include "analysis/speedup.hpp"
+
+#include <cmath>
+
+#include "analysis/isoefficiency.hpp"
+#include "util/error.hpp"
+
+namespace hpmm {
+
+std::vector<SpeedupPoint> fixed_size_speedup(const PerfModel& model, double n,
+                                             std::span<const double> procs) {
+  require(n >= 1.0, "fixed_size_speedup: n must be >= 1");
+  std::vector<SpeedupPoint> out;
+  for (double p : procs) {
+    if (!model.applicable(n, p)) continue;
+    out.push_back(SpeedupPoint{p, model.speedup(n, p), model.efficiency(n, p)});
+  }
+  return out;
+}
+
+std::optional<SpeedupPoint> max_fixed_size_speedup(const PerfModel& model,
+                                                   double n) {
+  require(n >= 1.0, "max_fixed_size_speedup: n must be >= 1");
+  // Scan a dense log grid of applicable p for the best point.
+  double best_p = 0.0, best_s = -1.0;
+  const double p_hi = std::min(model.max_procs(n), 1e30);
+  if (p_hi < 1.0) return std::nullopt;
+  const int kSamples = 400;
+  for (int i = 0; i <= kSamples; ++i) {
+    const double p =
+        std::pow(p_hi, static_cast<double>(i) / static_cast<double>(kSamples));
+    if (!model.applicable(n, p)) continue;
+    const double s = model.speedup(n, p);
+    if (s > best_s) {
+      best_s = s;
+      best_p = p;
+    }
+  }
+  if (best_s < 0.0) return std::nullopt;
+  // Golden-section refinement around the best sample.
+  double lo = best_p / 2.0, hi = std::min(best_p * 2.0, p_hi);
+  lo = std::max(lo, 1.0);
+  constexpr double kPhi = 0.6180339887498949;
+  for (int iter = 0; iter < 120 && hi - lo > 1e-9 * hi; ++iter) {
+    const double x1 = hi - kPhi * (hi - lo);
+    const double x2 = lo + kPhi * (hi - lo);
+    const double s1 = model.applicable(n, x1) ? model.speedup(n, x1) : -1.0;
+    const double s2 = model.applicable(n, x2) ? model.speedup(n, x2) : -1.0;
+    if (s1 >= s2) {
+      hi = x2;
+    } else {
+      lo = x1;
+    }
+  }
+  const double p_star = 0.5 * (lo + hi);
+  if (!model.applicable(n, p_star)) {
+    return SpeedupPoint{best_p, best_s, best_s / best_p};
+  }
+  const double s_star = model.speedup(n, p_star);
+  if (s_star < best_s) return SpeedupPoint{best_p, best_s, best_s / best_p};
+  return SpeedupPoint{p_star, s_star, s_star / p_star};
+}
+
+std::vector<SpeedupPoint> isoefficient_speedup(const PerfModel& model,
+                                               double efficiency,
+                                               std::span<const double> procs) {
+  std::vector<SpeedupPoint> out;
+  for (double p : procs) {
+    const auto n = iso_matrix_order(model, p, efficiency);
+    if (!n) continue;
+    out.push_back(SpeedupPoint{p, model.speedup(*n, p), model.efficiency(*n, p)});
+  }
+  return out;
+}
+
+}  // namespace hpmm

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "analysis/perf_model.hpp"
+
+namespace hpmm {
+
+/// Section 3's motivating observations made quantitative: for a fixed
+/// problem the speedup saturates (or peaks) as p grows, while growing the
+/// problem along the isoefficiency curve keeps S = E p linear.
+
+struct SpeedupPoint {
+  double p = 0.0;
+  double speedup = 0.0;
+  double efficiency = 0.0;
+};
+
+/// Fixed-size speedup curve S(p) at matrix order n, over the given
+/// processor counts; inapplicable points are skipped.
+std::vector<SpeedupPoint> fixed_size_speedup(const PerfModel& model, double n,
+                                             std::span<const double> procs);
+
+/// The saturation point of the fixed-size speedup: the processor count (and
+/// speedup) that maximises S(p) for this n, found by log-grid scan plus
+/// golden-section refinement inside the model's range of applicability.
+/// Returns nullopt when the model is applicable nowhere for this n.
+std::optional<SpeedupPoint> max_fixed_size_speedup(const PerfModel& model,
+                                                   double n);
+
+/// Speedup along the isoefficiency curve: for each p, the problem is grown
+/// to hold `efficiency`, giving S = efficiency * p — the "scalable system"
+/// behaviour. Points where the efficiency is unreachable are skipped.
+std::vector<SpeedupPoint> isoefficient_speedup(const PerfModel& model,
+                                               double efficiency,
+                                               std::span<const double> procs);
+
+}  // namespace hpmm

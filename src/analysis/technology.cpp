@@ -1,0 +1,15 @@
+#include "analysis/technology.hpp"
+
+#include "analysis/isoefficiency.hpp"
+
+namespace hpmm {
+
+std::optional<double> problem_growth_more_procs(const PerfModel& model, double p,
+                                                double k, double efficiency) {
+  const auto w0 = iso_problem_size(model, p, efficiency);
+  const auto w1 = iso_problem_size(model, k * p, efficiency);
+  if (!w0 || !w1) return std::nullopt;
+  return *w1 / *w0;
+}
+
+}  // namespace hpmm

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <optional>
+
+#include "analysis/perf_model.hpp"
+
+namespace hpmm {
+
+/// Section 8: dependence of scalability on technology factors.
+///
+/// Because t_w enters most isoefficiency functions as t_w^3, replacing the
+/// CPUs with k-times faster ones (which scales the *relative* communication
+/// costs t_s, t_w by k) forces the problem size up by ~k^3 to hold the same
+/// efficiency — whereas k times more processors only costs the isoefficiency
+/// power (k^{1.5} for Cannon). Hence "more processors" can beat "faster
+/// processors".
+
+/// Factor by which W must grow when moving from p to k*p processors at fixed
+/// efficiency: W(k p)/W(p). (Cannon, k = 10 -> ~31.6.)
+std::optional<double> problem_growth_more_procs(const PerfModel& model, double p,
+                                                double k, double efficiency);
+
+/// Factor by which W must grow when the processors become k times faster
+/// (same p, t_s and t_w scaled by k) at fixed efficiency. Requires a factory
+/// for the model with scaled parameters, so it is expressed per model type.
+template <typename Model>
+std::optional<double> problem_growth_faster_procs(const MachineParams& params,
+                                                  double p, double k,
+                                                  double efficiency);
+
+/// Wall-clock comparison for a *fixed* problem: time (in original-CPU
+/// multiply-add units) to multiply n x n matrices on
+///   (a) k*p processors of the original speed, vs
+///   (b) p processors that are k times faster.
+/// Returns the pair {T_more_procs, T_faster_procs}.
+struct MoreVsFaster {
+  double t_more_procs = 0.0;
+  double t_faster_procs = 0.0;
+  bool more_procs_wins() const noexcept { return t_more_procs < t_faster_procs; }
+};
+template <typename Model>
+MoreVsFaster more_vs_faster(const MachineParams& params, double n, double p,
+                            double k);
+
+}  // namespace hpmm
+
+#include "analysis/technology_impl.hpp"

@@ -1,0 +1,34 @@
+#pragma once
+
+// Template implementations for technology.hpp (included at its end).
+
+#include "analysis/isoefficiency.hpp"
+
+namespace hpmm {
+
+template <typename Model>
+std::optional<double> problem_growth_faster_procs(const MachineParams& params,
+                                                  double p, double k,
+                                                  double efficiency) {
+  const Model baseline(params);
+  const Model faster(params.with_cpu_speedup(k));
+  const auto w0 = iso_problem_size(baseline, p, efficiency);
+  const auto w1 = iso_problem_size(faster, p, efficiency);
+  if (!w0 || !w1) return std::nullopt;
+  return *w1 / *w0;
+}
+
+template <typename Model>
+MoreVsFaster more_vs_faster(const MachineParams& params, double n, double p,
+                            double k) {
+  MoreVsFaster out;
+  const Model more(params);
+  out.t_more_procs = more.t_parallel(n, k * p);
+  // k-times faster processors: the time unit shrinks k-fold, so in original
+  // units T = T_p(model with t_s, t_w scaled by k) / k.
+  const Model faster(params.with_cpu_speedup(k));
+  out.t_faster_procs = faster.t_parallel(n, p) / k;
+  return out;
+}
+
+}  // namespace hpmm

@@ -1,0 +1,315 @@
+#include "core/experiments.hpp"
+
+#include <cmath>
+#include <functional>
+
+#include "analysis/crossover.hpp"
+#include "analysis/isoefficiency.hpp"
+#include "analysis/region_map.hpp"
+#include "analysis/technology.hpp"
+#include "core/registry.hpp"
+#include "core/runner.hpp"
+#include "core/validate.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace hpmm {
+namespace {
+
+ClaimCheck check(std::string claim, double paper, double measured, double lo,
+                 double hi, std::string note = "") {
+  ClaimCheck c;
+  c.claim = std::move(claim);
+  c.paper = paper;
+  c.measured = measured;
+  c.lo = lo;
+  c.hi = hi;
+  c.passed = measured >= lo && measured <= hi;
+  c.note = std::move(note);
+  return c;
+}
+
+ClaimCheck check_flag(std::string claim, bool expected, bool measured,
+                      std::string note = "") {
+  ClaimCheck c;
+  c.claim = std::move(claim);
+  c.paper = expected ? 1.0 : 0.0;
+  c.measured = measured ? 1.0 : 0.0;
+  c.lo = c.paper;
+  c.hi = c.paper;
+  c.passed = expected == measured;
+  c.note = std::move(note);
+  return c;
+}
+
+std::vector<double> log_grid(double lo, double hi, int count) {
+  std::vector<double> out;
+  for (int i = 0; i < count; ++i) {
+    out.push_back(lo * std::pow(hi / lo, double(i) / (count - 1)));
+  }
+  return out;
+}
+
+ExperimentResult run_table1() {
+  ExperimentResult r{"table1",
+                     "Table 1: asymptotic isoefficiency exponents",
+                     {}};
+  MachineParams mp;
+  mp.t_s = 0.5;
+  mp.t_w = 0.1;
+  const auto ps = log_grid(1e6, 1e12, 7);
+  const double e = 0.3;
+  const auto fit = [&](const PerfModel& m) {
+    return fit_isoefficiency_exponent(m, e, ps).exponent;
+  };
+  r.checks.push_back(check("Berntsen W ~ p^2 (concurrency bound)", 2.0,
+                           fit(BerntsenModel(mp)), 1.9, 2.1));
+  r.checks.push_back(
+      check("Cannon W ~ p^1.5", 1.5, fit(CannonModel(mp)), 1.45, 1.55));
+  r.checks.push_back(check("GK W ~ p^(1+o(1)), below Cannon", 1.0,
+                           fit(GkModel(mp)), 1.0, 1.3));
+  r.checks.push_back(check("DNS W ~ p^(1+o(1)), best of all", 1.0,
+                           fit(DnsModel(mp)), 0.95, 1.2));
+  return r;
+}
+
+ExperimentResult run_fig(const std::string& id) {
+  if (id == "fig1") {
+    ExperimentResult r{"fig1", "Figure 1 regions (t_s=150, t_w=3)", {}};
+    const RegionMap map(machines::ncube2(), 1.0, 1e8, 48, 1.0, 1e5, 36);
+    r.checks.push_back(check_flag("Berntsen region exists below p=n^1.5", true,
+                                  map.fraction(Region::kBerntsen) > 0.1));
+    r.checks.push_back(check_flag("GK region exists above p=n^1.5", true,
+                                  map.fraction(Region::kGk) > 0.1));
+    r.checks.push_back(check(
+        "DNS region essentially absent (paper: none)", 0.0,
+        map.fraction(Region::kDns), 0.0, 0.01,
+        "exact Eq. 6 (log r) leaves a sliver at p>6e6; Table 1's bound has none"));
+    return r;
+  }
+  if (id == "fig2") {
+    ExperimentResult r{"fig2", "Figure 2 regions (t_s=10, t_w=3)", {}};
+    const RegionMap map(machines::future_hypercube(), 1.0, 1e8, 48, 1.0, 1e5, 36);
+    r.checks.push_back(check_flag("all four regions present at practical scale",
+                                  true,
+                                  map.fraction(Region::kGk) > 0.0 &&
+                                      map.fraction(Region::kBerntsen) > 0.0 &&
+                                      map.fraction(Region::kCannon) > 0.0 &&
+                                      map.fraction(Region::kDns) > 0.0));
+    return r;
+  }
+  if (id == "fig3") {
+    ExperimentResult r{"fig3", "Figure 3 regions (t_s=0.5, t_w=3)", {}};
+    const auto mp = machines::simd_cm2();
+    const RegionMap map(mp, 1.0, 1e8, 48, 1.0, 1e5, 36);
+    r.checks.push_back(check_flag("DNS best in n^2<=p<=n^3", true,
+                                  RegionMap::best_at(mp, 100, 5e4) == Region::kDns));
+    r.checks.push_back(check_flag(
+        "Cannon best in n^1.5<=p<=n^2", true,
+        RegionMap::best_at(mp, 100, 5e3) == Region::kCannon));
+    r.checks.push_back(check_flag(
+        "GK only at impractical p (footnote 4: p > 1.3e8)", true,
+        map.fraction(Region::kGk) < 0.1));
+    return r;
+  }
+  if (id == "fig4") {
+    ExperimentResult r{"fig4", "Figure 4: Cannon vs GK, p=64, CM-5", {}};
+    const auto mp = machines::cm5_measured();
+    const GkCm5Model gk(mp);
+    const CannonModel cannon(mp);
+    const auto n_eq = n_equal_overhead(gk, cannon, 64.0, 1.0, 1e5);
+    r.checks.push_back(check("predicted crossover order (paper: 83)", 83.0,
+                             n_eq.value_or(0.0), 78.0, 88.0));
+    // End-to-end simulated crossover over real matrices.
+    std::vector<std::size_t> orders;
+    for (std::size_t n = 16; n <= 160; n += 8) orders.push_back(n);
+    const auto gk_sweep = efficiency_sweep("gk-fc", 64, mp, orders, 160);
+    const auto cn_sweep = efficiency_sweep("cannon", 64, mp, orders, 160);
+    const auto cross = crossover_order(gk_sweep, cn_sweep, true);
+    r.checks.push_back(check(
+        "simulated crossover order (paper measured: 96)", 96.0,
+        cross ? double(*cross) : 0.0, 80.0, 104.0,
+        "paper's CM-5 beat its own measured constants; shape reproduces"));
+    r.checks.push_back(check_flag(
+        "GK more efficient below the crossover", true,
+        gk_sweep.front().model_efficiency > cn_sweep.front().model_efficiency));
+    return r;
+  }
+  if (id == "fig5") {
+    ExperimentResult r{"fig5", "Figure 5: Cannon p=484 vs GK p=512, CM-5", {}};
+    const auto mp = machines::cm5_measured();
+    const GkCm5Model gk(mp);
+    const CannonModel cannon(mp);
+    const auto n_eq = n_equal_overhead(gk, cannon, 512.0, 22.0, 1e5);
+    r.checks.push_back(check("predicted crossover order (paper: 295)", 295.0,
+                             n_eq.value_or(0.0), 285.0, 305.0));
+    const double ratio = gk.efficiency(112, 512) / cannon.efficiency(110, 484);
+    r.checks.push_back(check(
+        "efficiency gap in GK region (paper: 0.50/0.28 = 1.79x)", 1.79, ratio,
+        1.5, 2.2, "absolute E levels sit below the measured curves"));
+    return r;
+  }
+  throw PreconditionError("unknown figure id " + id);
+}
+
+ExperimentResult run_sec6() {
+  ExperimentResult r{"sec6", "Section 6: cut-off conditions", {}};
+  {
+    MachineParams mp;
+    mp.t_s = 0.0;
+    mp.t_w = 3.0;
+    const GkModel gk(mp);
+    const CannonModel cannon(mp);
+    const auto cutoff = dominance_cutoff_p(gk, cannon, 1e12);
+    r.checks.push_back(check("GK dominates Cannon beyond p (paper: 1.3e8)",
+                             1.3e8, cutoff.value_or(0.0), 0.5e8, 3e8));
+  }
+  {
+    const auto mp = machines::ncube2();
+    const double lp_star = 6.0 * (mp.t_s + mp.t_w) / (5.0 * mp.t_w);
+    r.checks.push_back(check("DNS-vs-GK curve crosses p=n^3 at (paper: 2.6e18)",
+                             2.6e18, std::pow(2.0, lp_star), 2e18, 3.5e18));
+  }
+  {
+    MachineParams mp;
+    mp.t_s = 10.0;
+    mp.t_w = 1.0;
+    const GkModel gk(mp);
+    const auto dns_to_table1 = [&](double n, double p) {
+      return (mp.t_s + mp.t_w) *
+             ((5.0 / 3.0) * p * std::log2(p) + 2.0 * n * n * n);
+    };
+    bool gk_always_wins = true;
+    for (double p = 64; p <= 9216; p *= 2) {
+      for (double n = std::cbrt(p); n * n <= p * 1.0001; n *= 1.1) {
+        if (gk.t_overhead(n, p) >= dns_to_table1(n, p)) gk_always_wins = false;
+      }
+    }
+    r.checks.push_back(check_flag(
+        "t_s=10 t_w: GK beats DNS (Table 1 bound) up to ~10^4 procs", true,
+        gk_always_wins));
+  }
+  return r;
+}
+
+ExperimentResult run_sec7() {
+  ExperimentResult r{"sec7", "Section 7: all-port communication", {}};
+  MachineParams mp;
+  mp.t_s = 10.0;
+  mp.t_w = 3.0;
+  const SimpleModel one_port(mp);
+  const SimpleAllPortModel all_port(mp);
+  r.checks.push_back(check_flag(
+      "all-port communication itself is cheaper (Eq. 16 < Eq. 2)", true,
+      all_port.comm_time(1024, 4096) < one_port.comm_time(1024, 4096)));
+  // Granularity bound outgrows the one-port isoefficiency.
+  const auto ratio_at = [&](double p) {
+    const auto w_iso = iso_problem_size(one_port, p, 0.7);
+    const double n_min = all_port.min_n_for_channels(p);
+    return std::pow(n_min, 3.0) / w_iso.value_or(1.0);
+  };
+  r.checks.push_back(check_flag(
+      "channel-granularity W grows faster than one-port isoefficiency", true,
+      ratio_at(1e8) > ratio_at(1e4)));
+  return r;
+}
+
+ExperimentResult run_sec8() {
+  ExperimentResult r{"sec8", "Section 8: technology factors", {}};
+  MachineParams mp;
+  mp.t_s = 0.0;
+  mp.t_w = 3.0;
+  const CannonModel cannon(mp);
+  const auto more = problem_growth_more_procs(cannon, 1e6, 10.0, 0.7);
+  r.checks.push_back(check("Cannon 10x processors => W x (paper: 31.6)", 31.6,
+                           more.value_or(0.0), 31.0, 32.3));
+  const auto faster =
+      problem_growth_faster_procs<CannonModel>(mp, 1e6, 10.0, 0.7);
+  r.checks.push_back(check("Cannon 10x faster CPUs => W x (paper: 1000)",
+                           1000.0, faster.value_or(0.0), 990.0, 1010.0));
+  MachineParams low = mp;
+  low.t_s = 0.5;
+  const auto duel = more_vs_faster<CannonModel>(low, 4096.0, 256.0, 4.0);
+  r.checks.push_back(check_flag(
+      "k-fold more processors can beat k-fold faster processors", true,
+      duel.more_procs_wins()));
+  return r;
+}
+
+ExperimentResult run_validation() {
+  ExperimentResult r{"validation",
+                     "simulation realises the paper's equations", {}};
+  MachineParams mp;
+  mp.t_s = 60.0;
+  mp.t_w = 2.0;
+  const auto& reg = default_registry();
+  const auto ratio = [&](const char* name, std::size_t n, std::size_t p) {
+    const auto model = reg.model(name, mp);
+    return validate_algorithm(reg.implementation(name), *model, n, p).ratio();
+  };
+  r.checks.push_back(check("Cannon sim/Eq.3 ratio", 1.0,
+                           ratio("cannon", 32, 64), 0.999, 1.001));
+  r.checks.push_back(
+      check("GK sim/Eq.7 ratio", 1.0, ratio("gk", 16, 64), 0.999, 1.001));
+  r.checks.push_back(check("GK-fc sim/Eq.18 ratio", 1.0,
+                           ratio("gk-fc", 16, 64), 0.999, 1.001));
+  r.checks.push_back(
+      check("DNS sim/Eq.6 ratio", 1.0, ratio("dns", 8, 128), 0.999, 1.001));
+  r.checks.push_back(check("Berntsen sim/Eq.5 ratio (reduce-scatter form)",
+                           1.0, ratio("berntsen", 32, 64), 0.9, 1.0));
+  return r;
+}
+
+}  // namespace
+
+std::vector<std::string> ExperimentSuite::ids() {
+  return {"table1", "fig1", "fig2", "fig3", "fig4",
+          "fig5",   "sec6", "sec7", "sec8", "validation"};
+}
+
+bool ExperimentSuite::contains(const std::string& id) {
+  for (const auto& known : ids()) {
+    if (known == id) return true;
+  }
+  return false;
+}
+
+ExperimentResult ExperimentSuite::run(const std::string& id) {
+  if (id == "table1") return run_table1();
+  if (id == "fig1" || id == "fig2" || id == "fig3" || id == "fig4" ||
+      id == "fig5") {
+    return run_fig(id);
+  }
+  if (id == "sec6") return run_sec6();
+  if (id == "sec7") return run_sec7();
+  if (id == "sec8") return run_sec8();
+  if (id == "validation") return run_validation();
+  throw PreconditionError("ExperimentSuite: unknown experiment '" + id + "'");
+}
+
+std::vector<ExperimentResult> ExperimentSuite::run_all() {
+  std::vector<ExperimentResult> out;
+  for (const auto& id : ids()) out.push_back(run(id));
+  return out;
+}
+
+void ExperimentSuite::print_report(const std::vector<ExperimentResult>& results,
+                                   std::ostream& os) {
+  std::size_t passed = 0, total = 0;
+  for (const auto& r : results) {
+    os << "== " << r.id << ": " << r.title << "\n";
+    for (const auto& c : r.checks) {
+      ++total;
+      if (c.passed) ++passed;
+      os << "  [" << (c.passed ? "PASS" : "FAIL") << "] " << c.claim
+         << ": paper " << format_number(c.paper, 4) << ", measured "
+         << format_number(c.measured, 4) << " (band ["
+         << format_number(c.lo, 4) << ", " << format_number(c.hi, 4) << "])";
+      if (!c.note.empty()) os << "  -- " << c.note;
+      os << "\n";
+    }
+  }
+  os << "\n" << passed << "/" << total << " claims reproduced\n";
+}
+
+}  // namespace hpmm

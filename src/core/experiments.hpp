@@ -1,0 +1,63 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "machine/params.hpp"
+
+namespace hpmm {
+
+/// One quantitative claim from the paper, checked against this
+/// reproduction: the recorded paper value, what we measure, and whether the
+/// measurement lands inside the acceptance band.
+struct ClaimCheck {
+  std::string claim;      ///< e.g. "Fig4 predicted crossover order"
+  double paper = 0.0;     ///< the paper's number
+  double measured = 0.0;  ///< ours
+  double lo = 0.0;        ///< acceptance band (absolute)
+  double hi = 0.0;
+  bool passed = false;
+  std::string note;  ///< deviation commentary where applicable
+};
+
+/// Outcome of one experiment reproduction.
+struct ExperimentResult {
+  std::string id;
+  std::string title;
+  std::vector<ClaimCheck> checks;
+
+  bool all_passed() const noexcept {
+    for (const auto& c : checks) {
+      if (!c.passed) return false;
+    }
+    return true;
+  }
+};
+
+/// The executable counterpart of EXPERIMENTS.md: every table/figure/claim of
+/// the paper as a runnable reproduction with recorded paper values and
+/// acceptance bands. `bench/` prints the full series; this registry distils
+/// each experiment to its checkable numbers (and is what `hpmm reproduce`
+/// runs).
+class ExperimentSuite {
+ public:
+  /// Experiment ids in paper order: table1, fig1, fig2, fig3, fig4, fig5,
+  /// sec6, sec7, sec8, validation.
+  static std::vector<std::string> ids();
+
+  /// True when `id` names a known experiment.
+  static bool contains(const std::string& id);
+
+  /// Run one experiment; throws PreconditionError for unknown ids.
+  static ExperimentResult run(const std::string& id);
+
+  /// Run every experiment in order.
+  static std::vector<ExperimentResult> run_all();
+
+  /// Human-readable report: one line per check, PASS/FAIL, plus a summary.
+  static void print_report(const std::vector<ExperimentResult>& results,
+                           std::ostream& os);
+};
+
+}  // namespace hpmm

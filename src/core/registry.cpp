@@ -1,0 +1,115 @@
+#include "core/registry.hpp"
+
+#include <functional>
+
+#include "algorithms/berntsen.hpp"
+#include "algorithms/cannon.hpp"
+#include "algorithms/dns.hpp"
+#include "algorithms/fox.hpp"
+#include "algorithms/gk.hpp"
+#include "algorithms/simple_2d.hpp"
+#include "util/error.hpp"
+
+namespace hpmm {
+
+struct AlgorithmRegistry::Entry {
+  std::string name;
+  std::unique_ptr<ParallelMatmul> impl;
+  std::function<std::unique_ptr<PerfModel>(const MachineParams&)> make_model;
+};
+
+AlgorithmRegistry::AlgorithmRegistry() {
+  const auto add = [this](std::unique_ptr<ParallelMatmul> impl,
+                          auto model_factory) {
+    Entry e;
+    e.name = impl->name();
+    e.impl = std::move(impl);
+    e.make_model = std::move(model_factory);
+    entries_.push_back(std::move(e));
+  };
+  add(std::make_unique<SimpleAlgorithm>(), [](const MachineParams& mp) {
+    return std::make_unique<SimpleModel>(mp);
+  });
+  // The ring-all-to-all variant of the simple algorithm on a plain mesh;
+  // its model is exact for the simulation.
+  add(std::make_unique<SimpleAlgorithm>(SimpleAlgorithm::Variant::kOnePortRing),
+      [](const MachineParams& mp) {
+        return std::make_unique<SimpleRingModel>(mp);
+      });
+  add(std::make_unique<CannonAlgorithm>(), [](const MachineParams& mp) {
+    return std::make_unique<CannonModel>(mp);
+  });
+  // Gray-code hypercube embedding of Cannon's mesh: identical cost (Eq. 3),
+  // demonstrating Section 4.4's mesh == hypercube observation.
+  add(std::make_unique<CannonAlgorithm>(CannonAlgorithm::Mapping::kHypercubeGray),
+      [](const MachineParams& mp) { return std::make_unique<CannonModel>(mp); });
+  add(std::make_unique<FoxAlgorithm>(), [](const MachineParams& mp) {
+    return std::make_unique<FoxModel>(mp);
+  });
+  // Eq. 4's packet-pipelined row broadcast.
+  add(std::make_unique<FoxAlgorithm>(FoxAlgorithm::Variant::kPipelinedRing),
+      [](const MachineParams& mp) { return std::make_unique<FoxModel>(mp); });
+  add(std::make_unique<BerntsenAlgorithm>(), [](const MachineParams& mp) {
+    return std::make_unique<BerntsenModel>(mp);
+  });
+  add(std::make_unique<DnsAlgorithm>(), [](const MachineParams& mp) {
+    return std::make_unique<DnsModel>(mp);
+  });
+  add(std::make_unique<GkAlgorithm>(), [](const MachineParams& mp) {
+    return std::make_unique<GkModel>(mp);
+  });
+  add(std::make_unique<GkAlgorithm>(GkAlgorithm::Broadcast::kJohnssonHo),
+      [](const MachineParams& mp) {
+        return std::make_unique<GkJohnssonHoModel>(mp);
+      });
+  add(std::make_unique<GkAlgorithm>(GkAlgorithm::Broadcast::kBinomial,
+                                    GkAlgorithm::Interconnect::kFullyConnected),
+      [](const MachineParams& mp) { return std::make_unique<GkCm5Model>(mp); });
+  add(std::make_unique<SimpleAlgorithm>(SimpleAlgorithm::Variant::kAllPort),
+      [](const MachineParams& mp) {
+        return std::make_unique<SimpleAllPortModel>(mp);
+      });
+  add(std::make_unique<GkAlgorithm>(GkAlgorithm::Broadcast::kAllPort),
+      [](const MachineParams& mp) {
+        return std::make_unique<GkAllPortModel>(mp);
+      });
+}
+
+std::vector<std::string> AlgorithmRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.push_back(e.name);
+  return out;
+}
+
+bool AlgorithmRegistry::contains(const std::string& name) const {
+  for (const auto& e : entries_) {
+    if (e.name == name) return true;
+  }
+  return false;
+}
+
+const AlgorithmRegistry::Entry& AlgorithmRegistry::find(
+    const std::string& name) const {
+  for (const auto& e : entries_) {
+    if (e.name == name) return e;
+  }
+  throw PreconditionError("AlgorithmRegistry: unknown algorithm '" + name + "'");
+}
+
+const ParallelMatmul& AlgorithmRegistry::implementation(
+    const std::string& name) const {
+  return *find(name).impl;
+}
+
+std::unique_ptr<PerfModel> AlgorithmRegistry::model(
+    const std::string& name, const MachineParams& params) const {
+  return find(name).make_model(params);
+}
+
+const AlgorithmRegistry& default_registry() {
+  static const AlgorithmRegistry registry;
+  return registry;
+}
+
+}  // namespace hpmm

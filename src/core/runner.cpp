@@ -1,0 +1,93 @@
+#include "core/runner.hpp"
+
+#include "core/validate.hpp"
+#include "matrix/generate.hpp"
+#include "util/error.hpp"
+
+namespace hpmm {
+
+std::vector<EfficiencyPoint> efficiency_sweep(
+    const std::string& algorithm, std::size_t p, const MachineParams& params,
+    const std::vector<std::size_t>& orders, std::size_t sim_n_limit,
+    const AlgorithmRegistry& registry) {
+  const auto model = registry.model(algorithm, params);
+  const ParallelMatmul& impl = registry.implementation(algorithm);
+  std::vector<EfficiencyPoint> out;
+  out.reserve(orders.size());
+  for (std::size_t n : orders) {
+    EfficiencyPoint pt;
+    pt.n = n;
+    pt.p = p;
+    const auto nd = static_cast<double>(n);
+    const auto pd = static_cast<double>(p);
+    if (!model->applicable(nd, pd)) continue;
+    pt.model_efficiency = model->efficiency(nd, pd);
+    pt.model_t_parallel = model->t_parallel(nd, pd);
+    if (n <= sim_n_limit && impl.applicable(n, p)) {
+      Rng rng(0x5EED0000ULL + n);
+      const Matrix a = random_matrix(n, n, rng);
+      const Matrix b = random_matrix(n, n, rng);
+      MatmulResult run = impl.run(a, b, p, params);
+      pt.sim_t_parallel = run.report.t_parallel;
+      pt.sim_efficiency = run.report.efficiency();
+    }
+    out.push_back(pt);
+  }
+  return out;
+}
+
+Table efficiency_table(const std::vector<EfficiencyPoint>& points,
+                       const std::string& label) {
+  Table t({"n", "p", "E(model) " + label, "E(sim)", "T_p(model)", "T_p(sim)"});
+  for (const auto& pt : points) {
+    t.begin_row()
+        .add_int(static_cast<long long>(pt.n))
+        .add_int(static_cast<long long>(pt.p))
+        .add_num(pt.model_efficiency);
+    if (pt.sim_efficiency) {
+      t.add_num(*pt.sim_efficiency);
+    } else {
+      t.add("-");
+    }
+    t.add_num(pt.model_t_parallel);
+    if (pt.sim_t_parallel) {
+      t.add_num(*pt.sim_t_parallel);
+    } else {
+      t.add("-");
+    }
+  }
+  return t;
+}
+
+std::optional<std::size_t> crossover_order(
+    const std::vector<EfficiencyPoint>& a, const std::vector<EfficiencyPoint>& b,
+    bool use_simulated) {
+  const auto eff = [use_simulated](const EfficiencyPoint& pt) {
+    if (use_simulated && pt.sim_efficiency) return *pt.sim_efficiency;
+    return pt.model_efficiency;
+  };
+  // Walk matching orders; report the first order at which the sign of
+  // (E_a - E_b) differs from the initial sign.
+  std::optional<bool> a_ahead_initially;
+  for (std::size_t i = 0, j = 0; i < a.size() && j < b.size();) {
+    if (a[i].n < b[j].n) {
+      ++i;
+      continue;
+    }
+    if (b[j].n < a[i].n) {
+      ++j;
+      continue;
+    }
+    const bool a_ahead = eff(a[i]) >= eff(b[j]);
+    if (!a_ahead_initially) {
+      a_ahead_initially = a_ahead;
+    } else if (a_ahead != *a_ahead_initially) {
+      return a[i].n;
+    }
+    ++i;
+    ++j;
+  }
+  return std::nullopt;
+}
+
+}  // namespace hpmm

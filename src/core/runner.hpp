@@ -1,0 +1,42 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "util/table.hpp"
+
+namespace hpmm {
+
+/// One row of an efficiency-vs-n sweep (the series of Figures 4 and 5).
+struct EfficiencyPoint {
+  std::size_t n = 0;
+  std::size_t p = 0;
+  double model_efficiency = 0.0;
+  std::optional<double> sim_efficiency;  ///< present when simulated
+  std::optional<double> sim_t_parallel;
+  double model_t_parallel = 0.0;
+};
+
+/// Sweep efficiency over matrix orders for one algorithm at fixed p.
+/// Orders that fail the implementation's divisibility constraints are
+/// evaluated with the model only; orders up to `sim_n_limit` that satisfy
+/// them are additionally simulated end-to-end over real data.
+std::vector<EfficiencyPoint> efficiency_sweep(
+    const std::string& algorithm, std::size_t p, const MachineParams& params,
+    const std::vector<std::size_t>& orders, std::size_t sim_n_limit = 0,
+    const AlgorithmRegistry& registry = default_registry());
+
+/// Render a sweep as a table with columns n, E_model, E_sim, T_model, T_sim.
+Table efficiency_table(const std::vector<EfficiencyPoint>& points,
+                       const std::string& label);
+
+/// Find the crossover order between two efficiency sweeps taken over the
+/// same orders: the first n where `a` stops being the more efficient one.
+/// Returns nullopt when one algorithm dominates throughout.
+std::optional<std::size_t> crossover_order(
+    const std::vector<EfficiencyPoint>& a, const std::vector<EfficiencyPoint>& b,
+    bool use_simulated = false);
+
+}  // namespace hpmm

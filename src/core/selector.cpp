@@ -1,0 +1,62 @@
+#include "core/selector.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace hpmm {
+namespace {
+
+Selection select_from(const std::vector<std::string>& names, std::size_t n,
+                      std::size_t p, const MachineParams& params,
+                      bool require_simulatable,
+                      const AlgorithmRegistry& registry) {
+  require(n >= 1 && p >= 1, "select_algorithm: n and p must be positive");
+  Selection sel;
+  const auto nd = static_cast<double>(n);
+  const auto pd = static_cast<double>(p);
+  for (const auto& name : names) {
+    SelectorCandidate cand;
+    cand.name = name;
+    const auto model = registry.model(name, params);
+    const bool model_ok = model->applicable(nd, pd);
+    const bool impl_ok =
+        !require_simulatable || registry.implementation(name).applicable(n, p);
+    cand.applicable = model_ok && impl_ok;
+    if (cand.applicable) {
+      cand.t_parallel = model->t_parallel(nd, pd);
+      cand.efficiency = model->efficiency(nd, pd);
+      if (sel.best.empty() || cand.t_parallel < sel.t_parallel) {
+        sel.best = name;
+        sel.t_parallel = cand.t_parallel;
+        sel.efficiency = cand.efficiency;
+      }
+    }
+    sel.candidates.push_back(std::move(cand));
+  }
+  return sel;
+}
+
+}  // namespace
+
+Selection select_algorithm(std::size_t n, std::size_t p,
+                           const MachineParams& params,
+                           bool require_simulatable,
+                           const AlgorithmRegistry& registry) {
+  // One-port hypercube formulations only — the all-port and fully-connected
+  // variants assume different hardware and are selected explicitly.
+  static const std::vector<std::string> kNames = {
+      "simple", "cannon", "fox", "berntsen", "dns", "gk", "gk-jh"};
+  return select_from(kNames, n, p, params, require_simulatable, registry);
+}
+
+Selection select_among_table1(std::size_t n, std::size_t p,
+                              const MachineParams& params,
+                              bool require_simulatable) {
+  static const std::vector<std::string> kNames = {"berntsen", "cannon", "gk",
+                                                  "dns"};
+  return select_from(kNames, n, p, params, require_simulatable,
+                     default_registry());
+}
+
+}  // namespace hpmm

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/registry.hpp"
+
+namespace hpmm {
+
+/// One candidate considered by the selector.
+struct SelectorCandidate {
+  std::string name;
+  bool applicable = false;
+  double t_parallel = 0.0;  ///< predicted, multiply-add units (if applicable)
+  double efficiency = 0.0;  ///< predicted (if applicable)
+};
+
+/// The selector's decision for a problem instance.
+struct Selection {
+  std::string best;                           ///< chosen algorithm name
+  double t_parallel = 0.0;                    ///< its predicted T_p
+  double efficiency = 0.0;                    ///< its predicted efficiency
+  std::vector<SelectorCandidate> candidates;  ///< everything considered
+};
+
+/// The "smart preprocessor" of Section 10: given the matrix order, processor
+/// count and machine parameters, predict T_p for every formulation in the
+/// registry (within its range of applicability) and pick the fastest.
+///
+/// When `require_simulatable` is set, only formulations whose implementation
+/// accepts the exact (n, p) — divisibility constraints included — are
+/// considered; otherwise the continuous analytical applicability is used.
+Selection select_algorithm(std::size_t n, std::size_t p,
+                           const MachineParams& params,
+                           bool require_simulatable = true,
+                           const AlgorithmRegistry& registry = default_registry());
+
+/// Restrict selection to the paper's four compared formulations
+/// (berntsen, cannon, gk, dns).
+Selection select_among_table1(std::size_t n, std::size_t p,
+                              const MachineParams& params,
+                              bool require_simulatable = true);
+
+}  // namespace hpmm

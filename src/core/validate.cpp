@@ -1,0 +1,34 @@
+#include "core/validate.hpp"
+
+#include "matrix/generate.hpp"
+#include "matrix/kernels.hpp"
+
+namespace hpmm {
+
+double product_tolerance(std::size_t n) noexcept {
+  return 1e-12 * static_cast<double>(n);
+}
+
+ValidationPoint validate_algorithm(const ParallelMatmul& impl,
+                                   const PerfModel& model, std::size_t n,
+                                   std::size_t p, std::uint64_t seed) {
+  Rng rng(seed);
+  const Matrix a = random_matrix(n, n, rng);
+  const Matrix b = random_matrix(n, n, rng);
+  const Matrix reference = multiply(a, b);
+
+  MatmulResult run = impl.run(a, b, p, model.params());
+
+  ValidationPoint point;
+  point.algorithm = impl.name();
+  point.n = n;
+  point.p = p;
+  point.sim_t_parallel = run.report.t_parallel;
+  point.model_t_parallel =
+      model.t_parallel(static_cast<double>(n), static_cast<double>(p));
+  point.max_numeric_error = max_abs_diff(run.c, reference);
+  point.product_correct = point.max_numeric_error <= product_tolerance(n);
+  return point;
+}
+
+}  // namespace hpmm

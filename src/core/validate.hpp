@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+
+#include "algorithms/parallel_matmul.hpp"
+#include "analysis/perf_model.hpp"
+
+namespace hpmm {
+
+/// One model-vs-simulation comparison point.
+struct ValidationPoint {
+  std::string algorithm;
+  std::size_t n = 0;
+  std::size_t p = 0;
+  double sim_t_parallel = 0.0;
+  double model_t_parallel = 0.0;
+  double max_numeric_error = 0.0;  ///< |C_sim - C_serial|_max
+  bool product_correct = false;    ///< within floating-point tolerance
+
+  double ratio() const noexcept {
+    return model_t_parallel > 0.0 ? sim_t_parallel / model_t_parallel : 0.0;
+  }
+};
+
+/// Run `impl` on random n x n matrices over p simulated processors, check
+/// the product against the serial kernel, and compare simulated T_p with the
+/// analytical model. `seed` makes the matrices reproducible.
+ValidationPoint validate_algorithm(const ParallelMatmul& impl,
+                                   const PerfModel& model, std::size_t n,
+                                   std::size_t p, std::uint64_t seed = 42);
+
+/// Floating-point tolerance used for product checks: scaled by n because the
+/// dot products accumulate n rounding errors.
+double product_tolerance(std::size_t n) noexcept;
+
+}  // namespace hpmm

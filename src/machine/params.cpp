@@ -1,0 +1,71 @@
+#include "machine/params.hpp"
+
+#include "util/error.hpp"
+
+namespace hpmm {
+
+MachineParams MachineParams::with_cpu_speedup(double k) const {
+  require(k > 0.0, "with_cpu_speedup: factor must be positive");
+  MachineParams out = *this;
+  out.t_s = t_s * k;
+  out.t_w = t_w * k;
+  out.t_h = t_h * k;
+  out.label = label + " (cpu x" + std::to_string(k) + ")";
+  return out;
+}
+
+MachineParams MachineParams::from_physical(double flop_time, double startup_time,
+                                           double per_word_time,
+                                           std::string label) {
+  require(flop_time > 0.0, "from_physical: flop_time must be positive");
+  MachineParams out;
+  out.t_s = startup_time / flop_time;
+  out.t_w = per_word_time / flop_time;
+  out.label = std::move(label);
+  return out;
+}
+
+namespace machines {
+
+MachineParams ncube2() {
+  MachineParams m;
+  m.t_s = 150.0;
+  m.t_w = 3.0;
+  m.label = "nCUBE2-like (t_s=150, t_w=3)";
+  return m;
+}
+
+MachineParams future_hypercube() {
+  MachineParams m;
+  m.t_s = 10.0;
+  m.t_w = 3.0;
+  m.label = "future hypercube (t_s=10, t_w=3)";
+  return m;
+}
+
+MachineParams simd_cm2() {
+  MachineParams m;
+  m.t_s = 0.5;
+  m.t_w = 3.0;
+  m.label = "CM-2-like SIMD (t_s=0.5, t_w=3)";
+  return m;
+}
+
+MachineParams cm5_measured() {
+  // Section 9: 1.53 us per multiply-add, 380 us message startup, 1.8 us per
+  // 4-byte word, as observed by the paper's implementation.
+  MachineParams m = MachineParams::from_physical(1.53, 380.0, 1.8,
+                                                 "CM-5 (measured, Section 9)");
+  return m;
+}
+
+MachineParams ideal() {
+  MachineParams m;
+  m.t_s = 0.0;
+  m.t_w = 0.0;
+  m.label = "ideal (free communication)";
+  return m;
+}
+
+}  // namespace machines
+}  // namespace hpmm

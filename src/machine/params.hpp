@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hpmm {
+
+/// How many ports of a processor may communicate at once (Section 7).
+enum class PortModel : std::uint8_t {
+  kOnePort,  ///< one send + one matching receive at a time (default model)
+  kAllPort   ///< simultaneous communication on all log p channels
+};
+
+/// Message switching discipline. The paper assumes cut-through routing, where
+/// a message between non-adjacent processors costs (to first order) the same
+/// as between neighbours; store-and-forward multiplies the per-word term by
+/// the hop count.
+enum class Routing : std::uint8_t { kCutThrough, kStoreAndForward };
+
+/// Link-contention treatment. The paper ignores contention (e.g. Cannon's
+/// alignment is "one-to-one communication along non-conflicting paths");
+/// kLinkLoad scales each message's per-word time by the largest number of
+/// simultaneous messages sharing a link on its route — an ablation knob for
+/// quantifying what that assumption hides.
+enum class Contention : std::uint8_t { kIgnore, kLinkLoad };
+
+/// Technology parameters of a machine, normalized so that one floating-point
+/// multiply-add takes one time unit (Section 2). A message of m words between
+/// adjacent processors costs t_s + t_w * m; cut-through adds t_h per hop.
+struct MachineParams {
+  double t_s = 0.0;  ///< message startup time, in multiply-add units
+  double t_w = 1.0;  ///< per-word transfer time, in multiply-add units
+  double t_h = 0.0;  ///< per-hop latency under cut-through routing (paper: ~0)
+  PortModel ports = PortModel::kOnePort;
+  Routing routing = Routing::kCutThrough;
+  Contention contention = Contention::kIgnore;
+  /// Record per-processor event timelines during simulated runs (returned
+  /// via MatmulResult::trace; see sim/trace.hpp).
+  bool trace = false;
+  std::string label = "custom";
+
+  /// Time for an m-word message traversing `hops` links.
+  double message_time(double words, unsigned hops = 1) const noexcept {
+    if (hops == 0) return 0.0;
+    if (routing == Routing::kStoreAndForward) {
+      return (t_s + t_w * words) * static_cast<double>(hops);
+    }
+    return t_s + t_h * static_cast<double>(hops) + t_w * words;
+  }
+
+  /// Copy of these parameters with processors k times faster: communication
+  /// costs grow k-fold relative to the (new, smaller) unit of computation
+  /// (Section 8).
+  MachineParams with_cpu_speedup(double k) const;
+
+  /// Normalize physical per-operation timings (any consistent unit) into
+  /// multiply-add units: t_s = startup / flop, t_w = per_word / flop.
+  static MachineParams from_physical(double flop_time, double startup_time,
+                                     double per_word_time,
+                                     std::string label = "custom");
+};
+
+/// Named machine models used throughout the paper.
+namespace machines {
+
+/// nCUBE2-like hypercube: t_w = 3, t_s = 150 (Figure 1).
+MachineParams ncube2();
+
+/// Hypothetical near-future hypercube: t_w = 3, t_s = 10 (Figure 2).
+MachineParams future_hypercube();
+
+/// CM-2-like SIMD machine: t_w = 3, t_s = 0.5 (Figure 3).
+MachineParams simd_cm2();
+
+/// CM-5 as measured in Section 9: flop 1.53 us, startup 380 us, 1.8 us per
+/// 4-byte word -> t_s = 248.37, t_w = 1.176.
+MachineParams cm5_measured();
+
+/// Idealized machine with free communication; useful in tests.
+MachineParams ideal();
+
+}  // namespace machines
+
+}  // namespace hpmm

@@ -1,0 +1,61 @@
+#include "matrix/block.hpp"
+
+#include "util/error.hpp"
+
+namespace hpmm {
+
+BlockGrid::BlockGrid(std::size_t rows, std::size_t cols, std::size_t grid_rows,
+                     std::size_t grid_cols)
+    : rows_(rows), cols_(cols), grid_rows_(grid_rows), grid_cols_(grid_cols) {
+  require(grid_rows > 0 && grid_cols > 0, "BlockGrid: grid must be non-empty");
+  require(rows % grid_rows == 0,
+          "BlockGrid: grid_rows must divide matrix rows exactly");
+  require(cols % grid_cols == 0,
+          "BlockGrid: grid_cols must divide matrix cols exactly");
+}
+
+Matrix BlockGrid::extract(const Matrix& global, std::size_t bi,
+                          std::size_t bj) const {
+  require(global.rows() == rows_ && global.cols() == cols_,
+          "BlockGrid::extract: matrix shape does not match grid");
+  require(bi < grid_rows_ && bj < grid_cols_,
+          "BlockGrid::extract: block index out of range");
+  return global.slice(bi * block_rows(), bj * block_cols(), block_rows(),
+                      block_cols());
+}
+
+void BlockGrid::insert(Matrix& global, const Matrix& block, std::size_t bi,
+                       std::size_t bj) const {
+  require(global.rows() == rows_ && global.cols() == cols_,
+          "BlockGrid::insert: matrix shape does not match grid");
+  require(bi < grid_rows_ && bj < grid_cols_,
+          "BlockGrid::insert: block index out of range");
+  require(block.rows() == block_rows() && block.cols() == block_cols(),
+          "BlockGrid::insert: block has wrong shape");
+  global.paste(block, bi * block_rows(), bj * block_cols());
+}
+
+std::vector<Matrix> scatter_blocks(const Matrix& global, const BlockGrid& grid) {
+  std::vector<Matrix> blocks;
+  blocks.reserve(grid.block_count());
+  for (std::size_t bi = 0; bi < grid.grid_rows(); ++bi) {
+    for (std::size_t bj = 0; bj < grid.grid_cols(); ++bj) {
+      blocks.push_back(grid.extract(global, bi, bj));
+    }
+  }
+  return blocks;
+}
+
+Matrix gather_blocks(const std::vector<Matrix>& blocks, const BlockGrid& grid) {
+  require(blocks.size() == grid.block_count(),
+          "gather_blocks: wrong number of blocks");
+  Matrix global(grid.rows(), grid.cols());
+  for (std::size_t bi = 0; bi < grid.grid_rows(); ++bi) {
+    for (std::size_t bj = 0; bj < grid.grid_cols(); ++bj) {
+      grid.insert(global, blocks[bi * grid.grid_cols() + bj], bi, bj);
+    }
+  }
+  return global;
+}
+
+}  // namespace hpmm

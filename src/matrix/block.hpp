@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+
+#include "matrix/matrix.hpp"
+
+namespace hpmm {
+
+/// Uniform partition of an (rows x cols) matrix into a (grid_rows x grid_cols)
+/// array of equally sized blocks. This is how every parallel formulation in
+/// the paper distributes its operands; block (i, j) lives on logical
+/// processor (i, j) of the corresponding mesh.
+class BlockGrid {
+ public:
+  /// Requires grid dimensions to divide the matrix dimensions exactly, as in
+  /// the paper (matrices of size n x n on sqrt(p) x sqrt(p) processors with
+  /// sqrt(p) | n).
+  BlockGrid(std::size_t rows, std::size_t cols, std::size_t grid_rows,
+            std::size_t grid_cols);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t grid_rows() const noexcept { return grid_rows_; }
+  std::size_t grid_cols() const noexcept { return grid_cols_; }
+  std::size_t block_rows() const noexcept { return rows_ / grid_rows_; }
+  std::size_t block_cols() const noexcept { return cols_ / grid_cols_; }
+  std::size_t block_count() const noexcept { return grid_rows_ * grid_cols_; }
+
+  /// Words in one block (the message size m of the paper's t_s + t_w * m).
+  std::size_t block_words() const noexcept {
+    return block_rows() * block_cols();
+  }
+
+  /// Copy block (bi, bj) out of the global matrix.
+  Matrix extract(const Matrix& global, std::size_t bi, std::size_t bj) const;
+
+  /// Paste `block` back at position (bi, bj) of the global matrix.
+  void insert(Matrix& global, const Matrix& block, std::size_t bi,
+              std::size_t bj) const;
+
+ private:
+  std::size_t rows_, cols_, grid_rows_, grid_cols_;
+};
+
+/// Scatter a global matrix into its grid of blocks, row-major over blocks.
+/// Result index: bi * grid_cols + bj.
+std::vector<Matrix> scatter_blocks(const Matrix& global, const BlockGrid& grid);
+
+/// Gather blocks (ordered as produced by scatter_blocks) into a global matrix.
+Matrix gather_blocks(const std::vector<Matrix>& blocks, const BlockGrid& grid);
+
+}  // namespace hpmm

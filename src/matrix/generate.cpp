@@ -1,0 +1,42 @@
+#include "matrix/generate.hpp"
+
+namespace hpmm {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng, double lo,
+                     double hi) {
+  Matrix m(rows, cols);
+  for (double& v : m.data()) v = rng.uniform(lo, hi);
+  return m;
+}
+
+Matrix identity_matrix(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix index_matrix(std::size_t rows, std::size_t cols) {
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      m(i, j) = static_cast<double>(i * cols + j);
+    }
+  }
+  return m;
+}
+
+Matrix constant_matrix(std::size_t rows, std::size_t cols, double value) {
+  return Matrix(rows, cols, value);
+}
+
+Matrix hilbert_matrix(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      m(i, j) = 1.0 / static_cast<double>(1 + i + j);
+    }
+  }
+  return m;
+}
+
+}  // namespace hpmm

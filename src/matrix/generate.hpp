@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+
+#include "matrix/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace hpmm {
+
+/// Uniform random matrix with entries in [lo, hi), deterministic in `rng`.
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng,
+                     double lo = -1.0, double hi = 1.0);
+
+/// Identity matrix of order n.
+Matrix identity_matrix(std::size_t n);
+
+/// Matrix whose (i, j) entry is i * cols + j — handy for tracing exactly
+/// which elements moved where in the simulated algorithms.
+Matrix index_matrix(std::size_t rows, std::size_t cols);
+
+/// Matrix with every entry equal to `value`.
+Matrix constant_matrix(std::size_t rows, std::size_t cols, double value);
+
+/// Symmetric positive-ish test matrix: (i, j) -> 1 / (1 + i + j), a Hilbert
+/// matrix. Small, well-conditioned values for accumulation-error tests.
+Matrix hilbert_matrix(std::size_t n);
+
+}  // namespace hpmm

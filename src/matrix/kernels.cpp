@@ -1,0 +1,104 @@
+#include "matrix/kernels.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace hpmm {
+namespace {
+
+void mul_naive_ijk(const Matrix& a, const Matrix& b, Matrix& c) {
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t l = 0; l < k; ++l) acc += a(i, l) * b(l, j);
+      c(i, j) += acc;
+    }
+  }
+}
+
+void mul_cache_ikj(const Matrix& a, const Matrix& b, Matrix& c) {
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  for (std::size_t i = 0; i < m; ++i) {
+    double* crow = c.row_ptr(i);
+    for (std::size_t l = 0; l < k; ++l) {
+      const double aval = a(i, l);
+      const double* brow = b.row_ptr(l);
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+    }
+  }
+}
+
+void mul_blocked(const Matrix& a, const Matrix& b, Matrix& c) {
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  constexpr std::size_t t = kBlockedTile;
+  for (std::size_t i0 = 0; i0 < m; i0 += t) {
+    const std::size_t i1 = std::min(i0 + t, m);
+    for (std::size_t l0 = 0; l0 < k; l0 += t) {
+      const std::size_t l1 = std::min(l0 + t, k);
+      for (std::size_t j0 = 0; j0 < n; j0 += t) {
+        const std::size_t j1 = std::min(j0 + t, n);
+        for (std::size_t i = i0; i < i1; ++i) {
+          double* crow = c.row_ptr(i);
+          for (std::size_t l = l0; l < l1; ++l) {
+            const double aval = a(i, l);
+            const double* brow = b.row_ptr(l);
+            for (std::size_t j = j0; j < j1; ++j) crow[j] += aval * brow[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+void mul_transposed_b(const Matrix& a, const Matrix& b, Matrix& c) {
+  const Matrix bt = b.transposed();
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* arow = a.row_ptr(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double* btrow = bt.row_ptr(j);
+      double acc = 0.0;
+      for (std::size_t l = 0; l < k; ++l) acc += arow[l] * btrow[l];
+      c(i, j) += acc;
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_string(Kernel k) {
+  switch (k) {
+    case Kernel::kNaiveIjk: return "naive-ijk";
+    case Kernel::kCacheIkj: return "cache-ikj";
+    case Kernel::kBlocked: return "blocked";
+    case Kernel::kTransposedB: return "transposed-b";
+  }
+  return "unknown";
+}
+
+void multiply_add(const Matrix& a, const Matrix& b, Matrix& c, Kernel kernel) {
+  require(a.cols() == b.rows(), "multiply_add: inner dimensions differ");
+  require(c.rows() == a.rows() && c.cols() == b.cols(),
+          "multiply_add: C has wrong shape");
+  switch (kernel) {
+    case Kernel::kNaiveIjk: mul_naive_ijk(a, b, c); return;
+    case Kernel::kCacheIkj: mul_cache_ikj(a, b, c); return;
+    case Kernel::kBlocked: mul_blocked(a, b, c); return;
+    case Kernel::kTransposedB: mul_transposed_b(a, b, c); return;
+  }
+  throw PreconditionError("multiply_add: unknown kernel");
+}
+
+Matrix multiply(const Matrix& a, const Matrix& b, Kernel kernel) {
+  Matrix c(a.rows(), b.cols());
+  multiply_add(a, b, c, kernel);
+  return c;
+}
+
+std::uint64_t matmul_flops(std::size_t m, std::size_t k, std::size_t n) noexcept {
+  return static_cast<std::uint64_t>(m) * k * n;
+}
+
+}  // namespace hpmm

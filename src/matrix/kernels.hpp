@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "matrix/matrix.hpp"
+
+namespace hpmm {
+
+/// Serial matrix-multiply kernel variants. All compute C (+)= A * B with the
+/// conventional O(n^3) algorithm — the paper considers only this algorithm
+/// (Section 2, footnote 1).
+enum class Kernel : std::uint8_t {
+  kNaiveIjk,    ///< textbook triple loop, i-j-k order
+  kCacheIkj,    ///< i-k-j order: unit-stride inner loop over B and C rows
+  kBlocked,     ///< square tiling for cache reuse, ikj inside tiles
+  kTransposedB  ///< multiplies against an explicit transpose of B
+};
+
+/// Human-readable kernel name ("naive-ijk", ...).
+std::string to_string(Kernel k);
+
+/// C += A * B using the requested kernel.
+/// Shapes: A is m x k, B is k x n, C is m x n (validated).
+void multiply_add(const Matrix& a, const Matrix& b, Matrix& c,
+                  Kernel kernel = Kernel::kCacheIkj);
+
+/// Returns A * B (freshly allocated) using the requested kernel.
+Matrix multiply(const Matrix& a, const Matrix& b,
+                Kernel kernel = Kernel::kCacheIkj);
+
+/// Number of useful multiply-add operations for an (m x k) * (k x n) product;
+/// this is the paper's unit of "problem size" W (one mult + one add = 1).
+std::uint64_t matmul_flops(std::size_t m, std::size_t k, std::size_t n) noexcept;
+
+/// Tile edge used by Kernel::kBlocked.
+inline constexpr std::size_t kBlockedTile = 32;
+
+}  // namespace hpmm

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hpmm {
+
+/// Dense row-major matrix of doubles. Value type with deep-copy semantics;
+/// the unit of data exchanged between simulated processors.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() noexcept = default;
+
+  /// rows x cols matrix, zero-initialised.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  /// rows x cols matrix with every element set to `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+  bool square() const noexcept { return rows_ == cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  /// Bounds-checked access; throws PreconditionError when out of range.
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  std::span<double> data() noexcept { return data_; }
+  std::span<const double> data() const noexcept { return data_; }
+
+  /// Pointer to the first element of row r.
+  double* row_ptr(std::size_t r) noexcept { return data_.data() + r * cols_; }
+  const double* row_ptr(std::size_t r) const noexcept {
+    return data_.data() + r * cols_;
+  }
+
+  /// Set every element to `value`.
+  void fill(double value) noexcept;
+
+  /// Element-wise sum: *this += other. Shapes must match.
+  Matrix& operator+=(const Matrix& other);
+
+  /// Element-wise difference: *this -= other. Shapes must match.
+  Matrix& operator-=(const Matrix& other);
+
+  /// Copy the rectangle [r0, r0+h) x [c0, c0+w) out of this matrix.
+  Matrix slice(std::size_t r0, std::size_t c0, std::size_t h, std::size_t w) const;
+
+  /// Paste `block` into this matrix with its top-left corner at (r0, c0).
+  void paste(const Matrix& block, std::size_t r0, std::size_t c0);
+
+  /// Transposed copy.
+  Matrix transposed() const;
+
+  friend bool operator==(const Matrix& a, const Matrix& b) noexcept = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Frobenius norm sqrt(sum a_ij^2).
+double frobenius_norm(const Matrix& m) noexcept;
+
+/// Largest absolute element-wise difference. Shapes must match.
+double max_abs_diff(const Matrix& a, const Matrix& b);
+
+/// True when every |a_ij - b_ij| <= tol. Shapes must match.
+bool approx_equal(const Matrix& a, const Matrix& b, double tol);
+
+}  // namespace hpmm

@@ -1,0 +1,87 @@
+#include "matrix/strassen.hpp"
+
+#include "matrix/kernels.hpp"
+#include "util/bits.hpp"
+#include "util/error.hpp"
+
+namespace hpmm {
+namespace {
+
+Matrix add(const Matrix& a, const Matrix& b) {
+  Matrix out = a;
+  out += b;
+  return out;
+}
+
+Matrix sub(const Matrix& a, const Matrix& b) {
+  Matrix out = a;
+  out -= b;
+  return out;
+}
+
+Matrix strassen_rec(const Matrix& a, const Matrix& b, std::size_t cutoff) {
+  const std::size_t n = a.rows();
+  if (n <= cutoff || n % 2 != 0) {
+    return multiply(a, b, Kernel::kCacheIkj);
+  }
+  const std::size_t h = n / 2;
+  const Matrix a11 = a.slice(0, 0, h, h), a12 = a.slice(0, h, h, h);
+  const Matrix a21 = a.slice(h, 0, h, h), a22 = a.slice(h, h, h, h);
+  const Matrix b11 = b.slice(0, 0, h, h), b12 = b.slice(0, h, h, h);
+  const Matrix b21 = b.slice(h, 0, h, h), b22 = b.slice(h, h, h, h);
+
+  const Matrix m1 = strassen_rec(add(a11, a22), add(b11, b22), cutoff);
+  const Matrix m2 = strassen_rec(add(a21, a22), b11, cutoff);
+  const Matrix m3 = strassen_rec(a11, sub(b12, b22), cutoff);
+  const Matrix m4 = strassen_rec(a22, sub(b21, b11), cutoff);
+  const Matrix m5 = strassen_rec(add(a11, a12), b22, cutoff);
+  const Matrix m6 = strassen_rec(sub(a21, a11), add(b11, b12), cutoff);
+  const Matrix m7 = strassen_rec(sub(a12, a22), add(b21, b22), cutoff);
+
+  Matrix c(n, n);
+  c.paste(add(sub(add(m1, m4), m5), m7), 0, 0);   // c11
+  c.paste(add(m3, m5), 0, h);                     // c12
+  c.paste(add(m2, m4), h, 0);                     // c21
+  c.paste(add(sub(add(m1, m3), m2), m6), h, h);   // c22
+  return c;
+}
+
+}  // namespace
+
+Matrix multiply_strassen(const Matrix& a, const Matrix& b, std::size_t cutoff) {
+  require(a.square() && b.square() && a.rows() == b.rows(),
+          "multiply_strassen: operands must be square and equal order");
+  require(cutoff >= 1, "multiply_strassen: cutoff must be positive");
+  const std::size_t n = a.rows();
+  if (n == 0) return Matrix();
+  if (n <= cutoff) return multiply(a, b, Kernel::kCacheIkj);
+
+  // Pad to the next power of two so every recursion level halves evenly.
+  std::size_t padded = 1;
+  while (padded < n) padded <<= 1;
+  if (padded == n) return strassen_rec(a, b, cutoff);
+  Matrix ap(padded, padded), bp(padded, padded);
+  ap.paste(a, 0, 0);
+  bp.paste(b, 0, 0);
+  const Matrix cp = strassen_rec(ap, bp, cutoff);
+  return cp.slice(0, 0, n, n);
+}
+
+std::uint64_t strassen_multiplications(std::size_t n, std::size_t cutoff) {
+  require(cutoff >= 1, "strassen_multiplications: cutoff must be positive");
+  std::size_t padded = 1;
+  while (padded < n) padded <<= 1;
+  if (n <= cutoff) {
+    return static_cast<std::uint64_t>(n) * n * n;
+  }
+  // Recurse on the padded order (as the implementation does).
+  std::uint64_t mults = 1;
+  std::size_t order = padded;
+  while (order > cutoff && order % 2 == 0) {
+    mults *= 7;
+    order /= 2;
+  }
+  return mults * static_cast<std::uint64_t>(order) * order * order;
+}
+
+}  // namespace hpmm

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+
+#include "matrix/matrix.hpp"
+
+namespace hpmm {
+
+/// Strassen's O(n^{log2 7}) serial multiplication — the "serial matrix
+/// multiplication algorithm with better complexity" that the paper's
+/// footnote 1 sets aside because of its higher constants. Provided as an
+/// extension so the constant-factor trade-off can be measured; the parallel
+/// formulations and the W = n^3 accounting deliberately stick to the
+/// conventional algorithm, exactly as the paper does.
+///
+/// Works for any square order (operands are padded to the next power of two
+/// internally); recursion switches to the cache-friendly conventional kernel
+/// below `cutoff`.
+Matrix multiply_strassen(const Matrix& a, const Matrix& b,
+                         std::size_t cutoff = 64);
+
+/// Number of scalar multiplications Strassen performs for order n with the
+/// given cutoff (counting the conventional kernel's n^3 below the cutoff) —
+/// for quantifying footnote 1's constant-factor argument.
+std::uint64_t strassen_multiplications(std::size_t n, std::size_t cutoff = 64);
+
+}  // namespace hpmm

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "matrix/matrix.hpp"
+#include "topology/topology.hpp"
+
+namespace hpmm {
+
+/// A point-to-point message: one or more matrix blocks moving from src to
+/// dst in a single transfer. Its cost is t_s + t_w * words() (times hop
+/// factors per the routing model).
+struct Message {
+  ProcId src = 0;
+  ProcId dst = 0;
+  int tag = 0;
+  std::vector<Matrix> blocks;
+
+  Message() = default;
+  Message(ProcId s, ProcId d, int t, Matrix block) : src(s), dst(d), tag(t) {
+    blocks.push_back(std::move(block));
+  }
+  Message(ProcId s, ProcId d, int t, std::vector<Matrix> bs)
+      : src(s), dst(d), tag(t), blocks(std::move(bs)) {}
+
+  /// Total words carried (the m of t_s + t_w * m).
+  std::size_t words() const noexcept {
+    std::size_t w = 0;
+    for (const auto& b : blocks) w += b.size();
+    return w;
+  }
+};
+
+}  // namespace hpmm

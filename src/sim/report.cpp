@@ -1,0 +1,17 @@
+#include "sim/report.hpp"
+
+#include "util/table.hpp"
+
+namespace hpmm {
+
+std::string RunReport::summary() const {
+  std::string s = algorithm + ": n=" + std::to_string(n) +
+                  " p=" + std::to_string(p) +
+                  " T_p=" + format_number(t_parallel) +
+                  " S=" + format_number(speedup()) +
+                  " E=" + format_number(efficiency()) +
+                  " T_o=" + format_number(total_overhead());
+  return s;
+}
+
+}  // namespace hpmm

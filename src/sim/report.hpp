@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "machine/params.hpp"
+
+namespace hpmm {
+
+/// Per-processor accounting accumulated by the simulator.
+struct ProcStats {
+  double clock = 0.0;         ///< local virtual time
+  double compute_time = 0.0;  ///< time spent in charged computation
+  double comm_time = 0.0;     ///< time spent busy sending/receiving
+  double idle_time = 0.0;     ///< time spent waiting for messages/barriers
+  std::uint64_t flops = 0;    ///< charged multiply-add operations
+  std::uint64_t messages_sent = 0;
+  std::uint64_t words_sent = 0;
+  std::uint64_t peak_words_stored = 0;  ///< high-water mark of registered storage
+  std::uint64_t words_stored = 0;       ///< currently registered storage
+};
+
+/// Outcome of one simulated parallel run: the quantities of Section 2.
+struct RunReport {
+  std::string algorithm;
+  std::size_t n = 0;  ///< matrix order
+  std::size_t p = 0;  ///< processors
+  MachineParams params;
+  double t_parallel = 0.0;  ///< T_p = max over processor clocks
+  double w_useful = 0.0;    ///< problem size W = n^3 (multiply-add units)
+
+  double max_compute_time = 0.0;
+  double max_comm_time = 0.0;
+  double max_idle_time = 0.0;
+  std::uint64_t total_flops = 0;
+  std::uint64_t total_messages = 0;
+  std::uint64_t total_words = 0;
+  std::uint64_t max_peak_words = 0;
+
+  std::vector<ProcStats> procs;  ///< per-processor detail (optional to keep)
+
+  /// T_o(W, p) = p * T_p - W (Section 2).
+  double total_overhead() const noexcept {
+    return static_cast<double>(p) * t_parallel - w_useful;
+  }
+  /// S = W / T_p.
+  double speedup() const noexcept {
+    return t_parallel > 0.0 ? w_useful / t_parallel : 0.0;
+  }
+  /// E = S / p.
+  double efficiency() const noexcept {
+    return p > 0 ? speedup() / static_cast<double>(p) : 0.0;
+  }
+
+  /// One-line human-readable summary.
+  std::string summary() const;
+};
+
+}  // namespace hpmm

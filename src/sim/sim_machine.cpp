@@ -1,0 +1,243 @@
+#include "sim/sim_machine.hpp"
+
+#include <algorithm>
+
+#include "topology/routing.hpp"
+#include "util/error.hpp"
+
+namespace hpmm {
+
+SimMachine::SimMachine(std::shared_ptr<const Topology> topology,
+                       MachineParams params)
+    : topology_(std::move(topology)), params_(std::move(params)) {
+  require(topology_ != nullptr, "SimMachine: topology must not be null");
+  stats_.resize(topology_->size());
+  inbox_.resize(topology_->size());
+  tracing_ = params_.trace;
+}
+
+void SimMachine::record(ProcId pid, TraceEvent::Kind kind, double start,
+                        double end, std::uint64_t words) {
+  if (!tracing_ || end <= start) return;
+  trace_events_.push_back(TraceEvent{pid, kind, start, end, words});
+}
+
+void SimMachine::compute(ProcId pid, double flops) {
+  require(pid < procs(), "SimMachine::compute: pid out of range");
+  require(flops >= 0.0, "SimMachine::compute: negative flops");
+  auto& st = stats_[pid];
+  record(pid, TraceEvent::Kind::kCompute, st.clock, st.clock + flops);
+  st.clock += flops;  // t_c = 1 multiply-add unit
+  st.compute_time += flops;
+  st.flops += static_cast<std::uint64_t>(flops);
+}
+
+void SimMachine::compute_multiply_add(ProcId pid, const Matrix& a,
+                                      const Matrix& b, Matrix& c,
+                                      Kernel kernel) {
+  multiply_add(a, b, c, kernel);
+  compute(pid, static_cast<double>(matmul_flops(a.rows(), a.cols(), b.cols())));
+}
+
+double SimMachine::message_cost(const Message& m,
+                                unsigned contention_load) const {
+  const unsigned hops = topology_->hops(m.src, m.dst);
+  const double base = params_.message_time(static_cast<double>(m.words()), hops);
+  if (contention_load <= 1) return base;
+  // Under link contention the per-word part serialises with the other
+  // messages sharing the bottleneck link; startup/hop latency is unaffected.
+  const double tw_part = params_.t_w * static_cast<double>(m.words()) *
+                         (params_.routing == Routing::kStoreAndForward
+                              ? static_cast<double>(hops)
+                              : 1.0);
+  return base + tw_part * static_cast<double>(contention_load - 1);
+}
+
+void SimMachine::exchange(std::vector<Message> messages) {
+  // Validate port-model constraints.
+  std::vector<unsigned> sends(procs(), 0), recvs(procs(), 0);
+  for (const auto& m : messages) {
+    require(m.src < procs() && m.dst < procs(),
+            "SimMachine::exchange: endpoint out of range");
+    require(m.src != m.dst, "SimMachine::exchange: self-message");
+    ++sends[m.src];
+    ++recvs[m.dst];
+  }
+  const bool one_port = params_.ports == PortModel::kOnePort;
+  for (ProcId pid = 0; pid < procs(); ++pid) {
+    const unsigned limit =
+        one_port ? 1u : std::max(1u, topology_->ports_per_proc());
+    require(sends[pid] <= limit,
+            "SimMachine::exchange: too many sends from one processor for the "
+            "port model (split the pattern into multiple rounds)");
+    require(recvs[pid] <= limit,
+            "SimMachine::exchange: too many receives at one processor for the "
+            "port model (split the pattern into multiple rounds)");
+  }
+
+  // Optional contention model: each message's per-word time scales with the
+  // worst link load along its route within this round.
+  std::vector<unsigned> load_factor(messages.size(), 1);
+  if (params_.contention == Contention::kLinkLoad && !messages.empty()) {
+    std::vector<std::pair<ProcId, ProcId>> transfers;
+    transfers.reserve(messages.size());
+    for (const auto& m : messages) transfers.emplace_back(m.src, m.dst);
+    const auto loads = link_loads(*topology_, transfers);
+    for (std::size_t i = 0; i < messages.size(); ++i) {
+      unsigned worst = 1;
+      for (const Link& link :
+           route_on(*topology_, messages[i].src, messages[i].dst)) {
+        worst = std::max(worst, loads.at(link));
+      }
+      load_factor[i] = worst;
+    }
+  }
+
+  // Senders are busy for the full duration of their transfers. Under the
+  // all-port model multiple transfers from one processor run concurrently,
+  // so the busy time is the max (not the sum) of their costs.
+  std::vector<double> send_busy(procs(), 0.0);
+  std::vector<double> arrival_max(procs(), 0.0);
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    const auto& m = messages[i];
+    const double cost = message_cost(m, load_factor[i]);
+    const double arrival = stats_[m.src].clock + cost;
+    send_busy[m.src] = std::max(send_busy[m.src], cost);
+    arrival_max[m.dst] = std::max(arrival_max[m.dst], arrival);
+    stats_[m.src].messages_sent += 1;
+    stats_[m.src].words_sent += m.words();
+  }
+  for (ProcId pid = 0; pid < procs(); ++pid) {
+    auto& st = stats_[pid];
+    const double busy_until = st.clock + send_busy[pid];
+    record(pid, TraceEvent::Kind::kSend, st.clock, busy_until);
+    st.comm_time += send_busy[pid];
+    double next = busy_until;
+    if (arrival_max[pid] > next) {
+      record(pid, TraceEvent::Kind::kWait, next, arrival_max[pid]);
+      st.idle_time += arrival_max[pid] - next;
+      next = arrival_max[pid];
+    }
+    st.clock = next;
+  }
+  // Deliver payloads.
+  for (auto& m : messages) {
+    const ProcId dst = m.dst;
+    inbox_[dst].push_back(std::move(m));
+  }
+}
+
+Message SimMachine::receive(ProcId pid, int tag) {
+  require(pid < procs(), "SimMachine::receive: pid out of range");
+  auto& box = inbox_[pid];
+  const auto it = std::find_if(box.begin(), box.end(),
+                               [tag](const Message& m) { return m.tag == tag; });
+  require(it != box.end(),
+          "SimMachine::receive: no pending message with requested tag");
+  Message out = std::move(*it);
+  box.erase(it);
+  return out;
+}
+
+bool SimMachine::has_message(ProcId pid, int tag) const {
+  require(pid < procs(), "SimMachine::has_message: pid out of range");
+  const auto& box = inbox_[pid];
+  return std::any_of(box.begin(), box.end(),
+                     [tag](const Message& m) { return m.tag == tag; });
+}
+
+std::size_t SimMachine::pending_messages() const noexcept {
+  std::size_t n = 0;
+  for (const auto& box : inbox_) n += box.size();
+  return n;
+}
+
+double SimMachine::synchronize() {
+  const double t = time();
+  for (ProcId pid = 0; pid < procs(); ++pid) {
+    auto& st = stats_[pid];
+    record(pid, TraceEvent::Kind::kWait, st.clock, t);
+    st.idle_time += t - st.clock;
+    st.clock = t;
+  }
+  return t;
+}
+
+void SimMachine::charge_group_comm(std::span<const ProcId> group, double time_cost) {
+  require(time_cost >= 0.0, "charge_group_comm: negative time");
+  double start = 0.0;
+  for (ProcId pid : group) {
+    require(pid < procs(), "charge_group_comm: pid out of range");
+    start = std::max(start, stats_[pid].clock);
+  }
+  for (ProcId pid : group) {
+    auto& st = stats_[pid];
+    if (start > st.clock) {
+      record(pid, TraceEvent::Kind::kWait, st.clock, start);
+      st.idle_time += start - st.clock;
+    }
+    record(pid, TraceEvent::Kind::kModeledComm, start, start + time_cost);
+    st.comm_time += time_cost;
+    st.clock = start + time_cost;
+  }
+}
+
+void SimMachine::note_alloc(ProcId pid, std::uint64_t words) {
+  require(pid < procs(), "note_alloc: pid out of range");
+  auto& st = stats_[pid];
+  st.words_stored += words;
+  st.peak_words_stored = std::max(st.peak_words_stored, st.words_stored);
+}
+
+void SimMachine::note_free(ProcId pid, std::uint64_t words) {
+  require(pid < procs(), "note_free: pid out of range");
+  auto& st = stats_[pid];
+  require(st.words_stored >= words, "note_free: freeing more than stored");
+  st.words_stored -= words;
+}
+
+double SimMachine::clock(ProcId pid) const {
+  require(pid < procs(), "SimMachine::clock: pid out of range");
+  return stats_[pid].clock;
+}
+
+const ProcStats& SimMachine::stats(ProcId pid) const {
+  require(pid < procs(), "SimMachine::stats: pid out of range");
+  return stats_[pid];
+}
+
+double SimMachine::time() const noexcept {
+  double t = 0.0;
+  for (const auto& st : stats_) t = std::max(t, st.clock);
+  return t;
+}
+
+RunReport SimMachine::report(std::string algorithm, std::size_t n,
+                             double w_useful, bool keep_proc_stats) const {
+  RunReport r;
+  r.algorithm = std::move(algorithm);
+  r.n = n;
+  r.p = procs();
+  r.params = params_;
+  r.t_parallel = time();
+  r.w_useful = w_useful;
+  for (const auto& st : stats_) {
+    r.max_compute_time = std::max(r.max_compute_time, st.compute_time);
+    r.max_comm_time = std::max(r.max_comm_time, st.comm_time);
+    r.max_idle_time = std::max(r.max_idle_time, st.idle_time);
+    r.total_flops += st.flops;
+    r.total_messages += st.messages_sent;
+    r.total_words += st.words_sent;
+    r.max_peak_words = std::max(r.max_peak_words, st.peak_words_stored);
+  }
+  if (keep_proc_stats) r.procs = stats_;
+  return r;
+}
+
+void SimMachine::reset() {
+  for (auto& st : stats_) st = ProcStats{};
+  for (auto& box : inbox_) box.clear();
+  trace_events_.clear();
+}
+
+}  // namespace hpmm

@@ -1,0 +1,120 @@
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "machine/params.hpp"
+#include "matrix/kernels.hpp"
+#include "sim/message.hpp"
+#include "sim/report.hpp"
+#include "sim/trace.hpp"
+#include "topology/topology.hpp"
+
+namespace hpmm {
+
+/// Virtual-time multicomputer simulator.
+///
+/// Each of the p processors has a local clock, an inbox of delivered
+/// messages, and accounting counters. Algorithms advance the machine through
+/// two primitives:
+///
+///  * compute(pid, flops)   — charges `flops` multiply-add units to pid
+///  * exchange(messages)    — one synchronous communication round; every
+///                            message of m words costs t_s + t_w * m
+///                            (Section 2's model; multi-hop and
+///                            store-and-forward per MachineParams)
+///
+/// Timing rule for a round (see DESIGN.md): a sender is busy for the full
+/// duration of each message it sends; a receiver's clock advances to
+/// max(own availability, arrival), with the gap recorded as idle time.
+/// Under PortModel::kOnePort a processor may send at most one message and
+/// receive at most one message per round (a simultaneous send + receive is
+/// allowed — the cost a wrap-around shift is charged in the paper). Under
+/// kAllPort up to ports_per_proc() sends/receives proceed concurrently.
+///
+/// Real data (matrix blocks) moves with every message, so the numerical
+/// result of a simulated algorithm can be checked exactly; time is the
+/// paper's analytical model, applied message by message.
+class SimMachine {
+ public:
+  SimMachine(std::shared_ptr<const Topology> topology, MachineParams params);
+
+  std::size_t procs() const noexcept { return topology_->size(); }
+  const Topology& topology() const noexcept { return *topology_; }
+  const MachineParams& params() const noexcept { return params_; }
+
+  /// Charge `flops` multiply-add units of useful computation to pid.
+  void compute(ProcId pid, double flops);
+
+  /// Convenience: run C += A * B on pid's data and charge its exact
+  /// multiply-add count.
+  void compute_multiply_add(ProcId pid, const Matrix& a, const Matrix& b,
+                            Matrix& c, Kernel kernel = Kernel::kCacheIkj);
+
+  /// One synchronous communication round. Port-model constraints are
+  /// validated; payloads are delivered to the destinations' inboxes.
+  void exchange(std::vector<Message> messages);
+
+  /// Pop the (unique) pending message with `tag` from pid's inbox.
+  /// Throws PreconditionError if absent.
+  Message receive(ProcId pid, int tag);
+
+  /// True when pid has a pending message with `tag`.
+  bool has_message(ProcId pid, int tag) const;
+
+  /// Number of undelivered messages across all inboxes (0 after a clean run).
+  std::size_t pending_messages() const noexcept;
+
+  /// Advance every processor to the maximum clock (a barrier); the gaps are
+  /// recorded as idle time. Returns the barrier time.
+  double synchronize();
+
+  /// Advance every member of `group` to the group's max clock plus `time`,
+  /// recorded as communication time. This is the charging primitive for
+  /// *modeled* collectives (e.g. Johnsson-Ho broadcast) whose closed-form
+  /// cost we take from the literature instead of simulating hop by hop.
+  void charge_group_comm(std::span<const ProcId> group, double time);
+
+  /// Storage accounting hooks: algorithms register the blocks a processor
+  /// holds so memory-efficiency claims (Sections 4.1/4.4) can be checked.
+  void note_alloc(ProcId pid, std::uint64_t words);
+  void note_free(ProcId pid, std::uint64_t words);
+
+  double clock(ProcId pid) const;
+  const ProcStats& stats(ProcId pid) const;
+
+  /// T_p: the maximum clock over all processors.
+  double time() const noexcept;
+
+  /// Assemble a RunReport for a problem of useful work `w_useful` ( = n^3).
+  RunReport report(std::string algorithm, std::size_t n, double w_useful,
+                   bool keep_proc_stats = false) const;
+
+  /// Record per-processor timelines (compute/send/wait spans) for Gantt
+  /// rendering and utilization analysis. Off by default (zero overhead).
+  void enable_tracing(bool on = true) { tracing_ = on; }
+  bool tracing() const noexcept { return tracing_; }
+
+  /// The recorded timeline (empty unless enable_tracing() was called before
+  /// the run).
+  Trace trace() const { return Trace(procs(), trace_events_); }
+
+  /// Reset clocks, counters, inboxes and the trace.
+  void reset();
+
+ private:
+  double message_cost(const Message& m, unsigned contention_load) const;
+  void record(ProcId pid, TraceEvent::Kind kind, double start, double end,
+              std::uint64_t words = 0);
+
+  std::shared_ptr<const Topology> topology_;
+  MachineParams params_;
+  std::vector<ProcStats> stats_;
+  std::vector<std::deque<Message>> inbox_;
+  bool tracing_ = false;
+  std::vector<TraceEvent> trace_events_;
+};
+
+}  // namespace hpmm

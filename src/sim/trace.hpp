@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace hpmm {
+
+/// One timed activity on one simulated processor, recorded when tracing is
+/// enabled on a SimMachine.
+struct TraceEvent {
+  enum class Kind : std::uint8_t {
+    kCompute,      ///< charged multiply-add work
+    kSend,         ///< busy transmitting
+    kWait,         ///< idle waiting for an arrival or barrier
+    kModeledComm,  ///< a modeled collective's charged span
+  };
+  ProcId pid = 0;
+  Kind kind = Kind::kCompute;
+  double start = 0.0;
+  double end = 0.0;
+  std::uint64_t words = 0;  ///< payload words for kSend/kModeledComm
+
+  double duration() const noexcept { return end - start; }
+};
+
+const char* to_string(TraceEvent::Kind kind) noexcept;
+
+/// A recorded execution: per-processor timelines plus summary queries and an
+/// ASCII Gantt rendering — the visual counterpart of the RunReport numbers.
+class Trace {
+ public:
+  Trace() = default;
+  Trace(std::size_t procs, std::vector<TraceEvent> events);
+
+  std::size_t procs() const noexcept { return procs_; }
+  const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  bool empty() const noexcept { return events_.empty(); }
+
+  /// Events of one processor, in time order.
+  std::vector<TraceEvent> events_of(ProcId pid) const;
+
+  /// End of the latest event (the traced T_p).
+  double span() const noexcept;
+
+  /// Total time pid spent in `kind`.
+  double total(ProcId pid, TraceEvent::Kind kind) const;
+
+  /// Fraction of [0, span()] that pid spent computing.
+  double utilization(ProcId pid) const;
+
+  /// ASCII Gantt chart: one row per processor, `width` time bins; the
+  /// dominant activity of each bin is drawn as #=compute, >=send, .=wait,
+  /// ~=modeled comm, space=nothing recorded.
+  void print_gantt(std::ostream& os, std::size_t width = 72,
+                   std::size_t max_procs = 32) const;
+
+ private:
+  std::size_t procs_ = 0;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace hpmm

@@ -1,0 +1,301 @@
+#include "tools/commands.hpp"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "analysis/crossover.hpp"
+#include "analysis/isoefficiency.hpp"
+#include "analysis/region_map.hpp"
+#include "core/registry.hpp"
+#include "core/selector.hpp"
+#include "core/experiments.hpp"
+#include "core/validate.hpp"
+#include "matrix/generate.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace hpmm::tools {
+namespace {
+
+/// Range-of-applicability text per formulation (Table 1 plus divisibility).
+std::string applicability_text(const std::string& name) {
+  if (name == "berntsen") return "p = 2^(3q) <= n^(3/2), p^(2/3) | n";
+  if (name == "cannon") return "p square <= n^2, sqrt(p) | n";
+  if (name == "cannon-gray") return "as cannon, sqrt(p) = 2^k";
+  if (name == "fox") return "as cannon, sqrt(p) = 2^k";
+  if (name == "fox-pipe") return "as cannon";
+  if (name == "simple") return "as cannon, sqrt(p) = 2^k";
+  if (name == "simple-ring") return "as cannon";
+  if (name == "simple-allport") return "as simple, n >= sqrt(p) log(p)/2";
+  if (name == "dns") return "n^2 <= p = n^2 2^k <= n^3, n = 2^j";
+  if (name == "gk" || name == "gk-jh" || name == "gk-fc" ||
+      name == "gk-allport") {
+    return "p = 2^(3q) <= n^3, p^(1/3) | n";
+  }
+  return "?";
+}
+
+void print_table(const CliArgs& args, const Table& table, std::ostream& os) {
+  const std::string format = args.get("format", "aligned");
+  if (format == "csv") {
+    table.print_csv(os);
+  } else if (format == "json") {
+    table.print_json(os);
+  } else if (format == "markdown") {
+    table.print_markdown(os);
+  } else {
+    table.print_aligned(os);
+  }
+}
+
+}  // namespace
+
+MachineParams machine_from_args(const CliArgs& args) {
+  const std::string name = args.get("machine", "");
+  if (name == "ncube2") return machines::ncube2();
+  if (name == "future") return machines::future_hypercube();
+  if (name == "cm2") return machines::simd_cm2();
+  if (name == "cm5") return machines::cm5_measured();
+  if (name == "ideal") return machines::ideal();
+  require(name.empty(), "unknown machine '" + name +
+                            "' (try ncube2, future, cm2, cm5, ideal)");
+  if (args.has("ts") || args.has("tw")) {
+    MachineParams mp;
+    mp.t_s = args.get_double("ts", 150.0);
+    mp.t_w = args.get_double("tw", 3.0);
+    mp.label = "custom (t_s=" + format_number(mp.t_s) +
+               ", t_w=" + format_number(mp.t_w) + ")";
+    return mp;
+  }
+  return machines::ncube2();
+}
+
+int cmd_list(const CliArgs& args, std::ostream& os) {
+  const auto& reg = default_registry();
+  Table t({"algorithm", "range of applicability"});
+  for (const auto& name : reg.names()) {
+    t.begin_row().add(name).add(applicability_text(name));
+  }
+  print_table(args, t, os);
+  return 0;
+}
+
+int cmd_machines(const CliArgs& args, std::ostream& os) {
+  Table t({"name", "t_s", "t_w", "description"});
+  const auto row = [&t](const char* key, const MachineParams& mp) {
+    t.begin_row().add(key).add_num(mp.t_s).add_num(mp.t_w).add(mp.label);
+  };
+  row("ncube2", machines::ncube2());
+  row("future", machines::future_hypercube());
+  row("cm2", machines::simd_cm2());
+  row("cm5", machines::cm5_measured());
+  row("ideal", machines::ideal());
+  print_table(args, t, os);
+  return 0;
+}
+
+int cmd_select(const CliArgs& args, std::ostream& os) {
+  const auto n = static_cast<std::size_t>(args.get_int("n", 0));
+  const auto p = static_cast<std::size_t>(args.get_int("p", 0));
+  require(n > 0 && p > 0, "select: --n and --p are required");
+  const MachineParams mp = machine_from_args(args);
+  const Selection sel =
+      select_algorithm(n, p, mp, args.get_bool("simulatable", true));
+  Table t({"algorithm", "applicable", "predicted T_p", "predicted E"});
+  for (const auto& c : sel.candidates) {
+    t.begin_row().add(c.name);
+    if (c.applicable) {
+      t.add("yes").add_num(c.t_parallel, 5).add_num(c.efficiency, 3);
+    } else {
+      t.add("no").add("-").add("-");
+    }
+  }
+  print_table(args, t, os);
+  if (sel.best.empty()) {
+    os << "no applicable formulation for n=" << n << ", p=" << p << "\n";
+    return 1;
+  }
+  os << "best: " << sel.best << " (T_p=" << format_number(sel.t_parallel, 5)
+     << ", E=" << format_number(sel.efficiency, 3) << ", " << mp.label << ")\n";
+  return 0;
+}
+
+int cmd_run(const CliArgs& args, std::ostream& os) {
+  const std::string algorithm = args.get("algorithm", "gk");
+  const auto n = static_cast<std::size_t>(args.get_int("n", 64));
+  const auto p = static_cast<std::size_t>(args.get_int("p", 64));
+  const MachineParams mp = machine_from_args(args);
+  const auto& reg = default_registry();
+  require(reg.contains(algorithm), "run: unknown algorithm '" + algorithm + "'");
+  const auto model = reg.model(algorithm, mp);
+  const auto pt = validate_algorithm(
+      reg.implementation(algorithm), *model, n, p,
+      static_cast<std::uint64_t>(args.get_int("seed", 42)));
+  os << algorithm << ": n=" << n << " p=" << p << " (" << mp.label << ")\n"
+     << "  T_p (simulated) = " << format_number(pt.sim_t_parallel, 6) << "\n"
+     << "  T_p (model)     = " << format_number(pt.model_t_parallel, 6)
+     << "  (ratio " << format_number(pt.ratio(), 4) << ")\n"
+     << "  speedup         = "
+     << format_number(std::pow(double(n), 3.0) / pt.sim_t_parallel, 5) << "\n"
+     << "  efficiency      = "
+     << format_number(std::pow(double(n), 3.0) / pt.sim_t_parallel / double(p), 4)
+     << "\n"
+     << "  product check   = "
+     << (pt.product_correct ? "ok" : "MISMATCH") << " (max error "
+     << format_number(pt.max_numeric_error, 2) << ")\n";
+  return pt.product_correct ? 0 : 1;
+}
+
+int cmd_iso(const CliArgs& args, std::ostream& os) {
+  const std::string algorithm = args.get("algorithm", "gk");
+  const double efficiency = args.get_double("efficiency", 0.7);
+  const MachineParams mp = machine_from_args(args);
+  const auto& reg = default_registry();
+  require(reg.contains(algorithm), "iso: unknown algorithm '" + algorithm + "'");
+  const auto model = reg.model(algorithm, mp);
+  Table t({"p", "n needed", "W = n^3", "W/p"});
+  std::vector<double> ps;
+  for (double p = args.get_double("pmin", 8);
+       p <= args.get_double("pmax", 1e9); p *= 8) {
+    ps.push_back(p);
+    const auto n = iso_matrix_order(*model, p, efficiency);
+    t.begin_row().add(format_si(p, 3));
+    if (n) {
+      const double w = std::pow(*n, 3.0);
+      t.add_num(*n, 4).add(format_si(w, 3)).add(format_si(w / p, 3));
+    } else {
+      t.add("unreachable").add("-").add("-");
+    }
+  }
+  print_table(args, t, os);
+  const auto fit = fit_isoefficiency_exponent(*model, efficiency, ps);
+  if (fit.points >= 2) {
+    os << "fitted: W ~ p^" << format_number(fit.exponent, 3) << " at E = "
+       << efficiency << " (" << mp.label << ")\n";
+  }
+  return 0;
+}
+
+int cmd_regions(const CliArgs& args, std::ostream& os) {
+  if (args.has("n") && args.has("p")) {
+    // Dual view: fixed workload, sweep the machine's (t_s, t_w) plane.
+    const MachineSpaceMap map(
+        args.get_double("n", 64), args.get_double("p", 512),
+        args.get_double("tsmin", 0.1), args.get_double("tsmax", 1000.0),
+        static_cast<std::size_t>(args.get_int("tscells", 72)),
+        args.get_double("twmin", 0.2), args.get_double("twmax", 30.0),
+        static_cast<std::size_t>(args.get_int("twcells", 24)));
+    map.print_ascii(os);
+    return 0;
+  }
+  const MachineParams mp = machine_from_args(args);
+  const RegionMap map(mp, args.get_double("pmin", 1.0),
+                      args.get_double("pmax", 1e9),
+                      static_cast<std::size_t>(args.get_int("pcells", 72)),
+                      args.get_double("nmin", 1.0),
+                      args.get_double("nmax", 1e5),
+                      static_cast<std::size_t>(args.get_int("ncells", 36)));
+  map.print_ascii(os);
+  return 0;
+}
+
+int cmd_crossover(const CliArgs& args, std::ostream& os) {
+  const std::string a = args.get("a", "gk");
+  const std::string b = args.get("b", "cannon");
+  const MachineParams mp = machine_from_args(args);
+  const auto& reg = default_registry();
+  require(reg.contains(a), "crossover: unknown algorithm '" + a + "'");
+  require(reg.contains(b), "crossover: unknown algorithm '" + b + "'");
+  const auto model_a = reg.model(a, mp);
+  const auto model_b = reg.model(b, mp);
+  Table t({"p", "n_EqualTo(" + a + " vs " + b + ")"});
+  for (double p = args.get_double("pmin", 4);
+       p <= args.get_double("pmax", 1e9); p *= 8) {
+    const auto n = n_equal_overhead(*model_a, *model_b, p);
+    t.begin_row().add(format_si(p, 3)).add(
+        n ? format_number(*n, 4) : std::string("- (one dominates)"));
+  }
+  print_table(args, t, os);
+  os << "below the curve " << a << " has the smaller overhead; above it " << b
+     << " does (" << mp.label << ")\n";
+  return 0;
+}
+
+int cmd_trace(const CliArgs& args, std::ostream& os) {
+  const std::string algorithm = args.get("algorithm", "gk");
+  const auto n = static_cast<std::size_t>(args.get_int("n", 16));
+  const auto p = static_cast<std::size_t>(args.get_int("p", 8));
+  MachineParams mp = machine_from_args(args);
+  mp.trace = true;
+  const auto& reg = default_registry();
+  require(reg.contains(algorithm),
+          "trace: unknown algorithm '" + algorithm + "'");
+  const ParallelMatmul& impl = reg.implementation(algorithm);
+  impl.check_applicable(n, p);
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 5)));
+  const Matrix a = random_matrix(n, n, rng);
+  const Matrix b = random_matrix(n, n, rng);
+  const MatmulResult result = impl.run(a, b, p, mp);
+  os << result.report.summary() << "\n";
+  result.trace.print_gantt(
+      os, static_cast<std::size_t>(args.get_int("width", 72)),
+      static_cast<std::size_t>(args.get_int("procs", 16)));
+  return 0;
+}
+
+int cmd_reproduce(const CliArgs& args, std::ostream& os) {
+  const std::string which = args.get("experiment", "all");
+  std::vector<ExperimentResult> results;
+  if (which == "all") {
+    results = ExperimentSuite::run_all();
+  } else {
+    require(ExperimentSuite::contains(which),
+            "reproduce: unknown experiment '" + which +
+                "' (try table1, fig1..fig5, sec6, sec7, sec8, validation)");
+    results.push_back(ExperimentSuite::run(which));
+  }
+  ExperimentSuite::print_report(results, os);
+  for (const auto& r : results) {
+    if (!r.all_passed()) return 1;
+  }
+  return 0;
+}
+
+int dispatch(const CliArgs& args, std::ostream& os, std::ostream& err) {
+  const auto usage = [&err]() {
+    err << "usage: hpmm <command> [--options]\n"
+           "  list       registered formulations and applicability\n"
+           "  machines   named machine parameter sets\n"
+           "  select     pick the best formulation for --n, --p\n"
+           "  run        simulate one multiplication (--algorithm, --n, --p)\n"
+           "  iso        isoefficiency curve (--algorithm, --efficiency)\n"
+           "  regions    ASCII best-algorithm map (Figures 1-3)\n"
+           "  crossover  equal-overhead curve for a pair (--a, --b)\n"
+           "  trace      simulate with tracing, print the Gantt chart\n"
+           "  reproduce  check the paper's claims against this build\n"
+           "machine selection: --machine=ncube2|future|cm2|cm5|ideal or "
+           "--ts=.. --tw=..\n"
+           "output: --format=aligned|csv|markdown\n";
+    return 2;
+  };
+  if (args.positionals().empty()) return usage();
+  const std::string& cmd = args.positionals().front();
+  try {
+    if (cmd == "list") return cmd_list(args, os);
+    if (cmd == "machines") return cmd_machines(args, os);
+    if (cmd == "select") return cmd_select(args, os);
+    if (cmd == "run") return cmd_run(args, os);
+    if (cmd == "iso") return cmd_iso(args, os);
+    if (cmd == "regions") return cmd_regions(args, os);
+    if (cmd == "crossover") return cmd_crossover(args, os);
+    if (cmd == "trace") return cmd_trace(args, os);
+    if (cmd == "reproduce") return cmd_reproduce(args, os);
+  } catch (const PreconditionError& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
+
+}  // namespace hpmm::tools

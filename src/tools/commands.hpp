@@ -1,0 +1,56 @@
+#pragma once
+
+#include <ostream>
+
+#include "machine/params.hpp"
+#include "util/cli.hpp"
+
+namespace hpmm::tools {
+
+/// The `hpmm` command-line tool's subcommands, exposed as functions so they
+/// can be unit-tested without spawning processes. Each returns a process
+/// exit code and writes its report to `os`.
+
+/// `hpmm list` — every registered formulation with its range of
+/// applicability.
+int cmd_list(const CliArgs& args, std::ostream& os);
+
+/// `hpmm machines` — the named machine parameter sets.
+int cmd_machines(const CliArgs& args, std::ostream& os);
+
+/// `hpmm select --n=.. --p=.. [--machine=..|--ts=..--tw=..]` — the Section
+/// 10 smart preprocessor: rank all formulations and pick the best.
+int cmd_select(const CliArgs& args, std::ostream& os);
+
+/// `hpmm run --algorithm=.. --n=.. --p=..` — simulate one multiplication
+/// end-to-end, verify the product, print the report.
+int cmd_run(const CliArgs& args, std::ostream& os);
+
+/// `hpmm iso --algorithm=.. --efficiency=..` — isoefficiency curve W(p).
+int cmd_iso(const CliArgs& args, std::ostream& os);
+
+/// `hpmm regions [--machine=..]` — ASCII best-algorithm map (Figures 1-3).
+int cmd_regions(const CliArgs& args, std::ostream& os);
+
+/// `hpmm crossover --a=gk --b=cannon --p=..` — equal-overhead order
+/// n_EqualTo(p) for a pair of formulations (Eq. 15 generalised).
+int cmd_crossover(const CliArgs& args, std::ostream& os);
+
+/// `hpmm trace --algorithm=.. --n=.. --p=..` — simulate with event tracing
+/// and print the per-processor Gantt chart.
+int cmd_trace(const CliArgs& args, std::ostream& os);
+
+/// `hpmm reproduce [--experiment=fig4]` — run the executable experiment
+/// registry (paper claims vs measured, PASS/FAIL per claim). Exit code 1
+/// when any claim fails to reproduce.
+int cmd_reproduce(const CliArgs& args, std::ostream& os);
+
+/// Dispatch on args.positionals()[0]; prints usage and returns 2 for an
+/// unknown or missing subcommand.
+int dispatch(const CliArgs& args, std::ostream& os, std::ostream& err);
+
+/// Resolve --machine=<name> or --ts/--tw into MachineParams (ncube2,
+/// future, cm2, cm5, ideal; default nCUBE2-like).
+MachineParams machine_from_args(const CliArgs& args);
+
+}  // namespace hpmm::tools

@@ -1,0 +1,11 @@
+// The `hpmm` command-line tool: the paper's algorithm library, selector and
+// analysis machinery behind one binary. Run without arguments for usage.
+
+#include <iostream>
+
+#include "tools/commands.hpp"
+
+int main(int argc, char** argv) {
+  const hpmm::CliArgs args(argc, argv);
+  return hpmm::tools::dispatch(args, std::cout, std::cerr);
+}

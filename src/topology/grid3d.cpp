@@ -1,0 +1,50 @@
+#include "topology/grid3d.hpp"
+
+#include "util/bits.hpp"
+#include "util/error.hpp"
+
+namespace hpmm {
+
+Grid3D::Grid3D(unsigned q) : q_(q) {
+  require(3 * q <= 30, "Grid3D: too large to simulate");
+}
+
+Grid3D Grid3D::with_procs(std::size_t p) {
+  require(is_pow8(p), "Grid3D::with_procs: p must be 2^(3q)");
+  return Grid3D(exact_log2(p) / 3);
+}
+
+Grid3D::Coord Grid3D::coords(ProcId node) const {
+  require(node < size(), "Grid3D::coords: node out of range");
+  const std::size_t mask = side() - 1;
+  return Coord{(node >> (2 * q_)) & mask, (node >> q_) & mask, node & mask};
+}
+
+ProcId Grid3D::rank(std::size_t i, std::size_t j, std::size_t k) const {
+  require(i < side() && j < side() && k < side(),
+          "Grid3D::rank: coords out of range");
+  return static_cast<ProcId>((i << (2 * q_)) | (j << q_) | k);
+}
+
+std::vector<ProcId> Grid3D::line_i(std::size_t j, std::size_t k) const {
+  std::vector<ProcId> out;
+  out.reserve(side());
+  for (std::size_t i = 0; i < side(); ++i) out.push_back(rank(i, j, k));
+  return out;
+}
+
+std::vector<ProcId> Grid3D::line_j(std::size_t i, std::size_t k) const {
+  std::vector<ProcId> out;
+  out.reserve(side());
+  for (std::size_t j = 0; j < side(); ++j) out.push_back(rank(i, j, k));
+  return out;
+}
+
+std::vector<ProcId> Grid3D::line_k(std::size_t i, std::size_t j) const {
+  std::vector<ProcId> out;
+  out.reserve(side());
+  for (std::size_t k = 0; k < side(); ++k) out.push_back(rank(i, j, k));
+  return out;
+}
+
+}  // namespace hpmm

@@ -1,0 +1,46 @@
+#pragma once
+
+#include "topology/topology.hpp"
+
+namespace hpmm {
+
+/// Logical 2^q x 2^q x 2^q processor arrangement used by the DNS and GK
+/// formulations (Sections 4.5 / 4.6): processor r sits at (i, j, k) with
+/// r = i * 2^{2q} + j * 2^q + k. Since each coordinate occupies q address
+/// bits, every axis-aligned line of the grid is a q-dimensional subcube of
+/// the 3q-dimensional hypercube — which is what makes the broadcasts and
+/// reductions of DNS/GK cheap.
+class Grid3D {
+ public:
+  /// Grid with side 2^q (p = 2^{3q} processors).
+  explicit Grid3D(unsigned q);
+
+  /// Grid with exactly p processors; throws unless p = 2^{3q}.
+  static Grid3D with_procs(std::size_t p);
+
+  unsigned q() const noexcept { return q_; }
+  std::size_t side() const noexcept { return std::size_t{1} << q_; }
+  std::size_t size() const noexcept { return std::size_t{1} << (3 * q_); }
+
+  /// (i, j, k) coordinates of a rank.
+  struct Coord {
+    std::size_t i, j, k;
+    friend bool operator==(const Coord&, const Coord&) noexcept = default;
+  };
+  Coord coords(ProcId node) const;
+
+  /// Rank of (i, j, k).
+  ProcId rank(std::size_t i, std::size_t j, std::size_t k) const;
+
+  /// All ranks along the i axis through (.., j, k), ascending in i.
+  std::vector<ProcId> line_i(std::size_t j, std::size_t k) const;
+  /// All ranks along the j axis through (i, .., k), ascending in j.
+  std::vector<ProcId> line_j(std::size_t i, std::size_t k) const;
+  /// All ranks along the k axis through (i, j, ..), ascending in k.
+  std::vector<ProcId> line_k(std::size_t i, std::size_t j) const;
+
+ private:
+  unsigned q_;
+};
+
+}  // namespace hpmm

@@ -1,0 +1,66 @@
+#include "topology/hypercube.hpp"
+
+#include "util/bits.hpp"
+#include "util/error.hpp"
+
+namespace hpmm {
+
+Hypercube::Hypercube(unsigned dim) : dim_(dim) {
+  require(dim <= 30, "Hypercube: dimension too large to simulate");
+}
+
+Hypercube Hypercube::with_procs(std::size_t p) {
+  require(is_pow2(p), "Hypercube::with_procs: p must be a power of two");
+  return Hypercube(exact_log2(p));
+}
+
+unsigned Hypercube::hops(ProcId src, ProcId dst) const {
+  require(src < size() && dst < size(), "Hypercube::hops: node out of range");
+  return popcount64(src ^ dst);
+}
+
+std::vector<ProcId> Hypercube::neighbors(ProcId node) const {
+  require(node < size(), "Hypercube::neighbors: node out of range");
+  std::vector<ProcId> out;
+  out.reserve(dim_);
+  for (unsigned d = 0; d < dim_; ++d) out.push_back(node ^ (ProcId{1} << d));
+  return out;
+}
+
+std::string Hypercube::name() const {
+  return "hypercube(d=" + std::to_string(dim_) + ")";
+}
+
+ProcId Hypercube::neighbor(ProcId node, unsigned d) const {
+  require(node < size(), "Hypercube::neighbor: node out of range");
+  require(d < dim_, "Hypercube::neighbor: dimension out of range");
+  return node ^ (ProcId{1} << d);
+}
+
+std::vector<std::vector<ProcId>> Hypercube::subcubes(unsigned k) const {
+  require(k <= dim_, "Hypercube::subcubes: k exceeds dimension");
+  const std::size_t count = std::size_t{1} << k;
+  const std::size_t members = std::size_t{1} << (dim_ - k);
+  std::vector<std::vector<ProcId>> out(count);
+  for (std::size_t s = 0; s < count; ++s) {
+    out[s].reserve(members);
+    for (std::size_t r = 0; r < members; ++r) {
+      out[s].push_back(static_cast<ProcId>((s << (dim_ - k)) | r));
+    }
+  }
+  return out;
+}
+
+ProcId Hypercube::subcube_of(ProcId node, unsigned k) const {
+  require(node < size(), "Hypercube::subcube_of: node out of range");
+  require(k <= dim_, "Hypercube::subcube_of: k exceeds dimension");
+  return node >> (dim_ - k);
+}
+
+ProcId Hypercube::rank_in_subcube(ProcId node, unsigned k) const {
+  require(node < size(), "Hypercube::rank_in_subcube: node out of range");
+  require(k <= dim_, "Hypercube::rank_in_subcube: k exceeds dimension");
+  return node & ((ProcId{1} << (dim_ - k)) - 1);
+}
+
+}  // namespace hpmm

@@ -1,0 +1,46 @@
+#pragma once
+
+#include "topology/topology.hpp"
+
+namespace hpmm {
+
+/// Boolean d-cube: 2^d processors, node ids are bit strings, two nodes are
+/// adjacent iff their ids differ in exactly one bit. The paper's primary
+/// architecture.
+class Hypercube final : public Topology {
+ public:
+  /// A hypercube of dimension `dim` (p = 2^dim processors).
+  explicit Hypercube(unsigned dim);
+
+  /// The hypercube with exactly p = 2^d processors; throws unless p is a
+  /// power of two.
+  static Hypercube with_procs(std::size_t p);
+
+  unsigned dim() const noexcept { return dim_; }
+
+  std::size_t size() const noexcept override { return std::size_t{1} << dim_; }
+  unsigned hops(ProcId src, ProcId dst) const override;
+  unsigned ports_per_proc() const noexcept override { return dim_; }
+  std::vector<ProcId> neighbors(ProcId node) const override;
+  std::string name() const override;
+
+  /// Neighbour of `node` across dimension d (bit d flipped).
+  ProcId neighbor(ProcId node, unsigned d) const;
+
+  /// Splits the cube into 2^k subcubes of dimension dim-k each, keyed by the
+  /// top k address bits — the decomposition used by Berntsen's algorithm.
+  /// Returns, for each subcube index s in [0, 2^k), the member node ids in
+  /// ascending order (each member's low dim-k bits enumerate the subcube).
+  std::vector<std::vector<ProcId>> subcubes(unsigned k) const;
+
+  /// Index of the subcube (under subcubes(k)) that `node` belongs to.
+  ProcId subcube_of(ProcId node, unsigned k) const;
+
+  /// Rank of `node` within its subcube (its low dim-k bits).
+  ProcId rank_in_subcube(ProcId node, unsigned k) const;
+
+ private:
+  unsigned dim_;
+};
+
+}  // namespace hpmm

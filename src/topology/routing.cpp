@@ -1,0 +1,89 @@
+#include "topology/routing.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace hpmm {
+
+Route ecube_route(const Hypercube& cube, ProcId src, ProcId dst) {
+  require(src < cube.size() && dst < cube.size(),
+          "ecube_route: node out of range");
+  Route route;
+  ProcId cur = src;
+  for (unsigned d = 0; d < cube.dim(); ++d) {
+    const ProcId bit = ProcId{1} << d;
+    if ((cur ^ dst) & bit) {
+      const ProcId next = cur ^ bit;
+      route.emplace_back(cur, next);
+      cur = next;
+    }
+  }
+  ensure(cur == dst, "ecube_route: routing did not terminate at dst");
+  return route;
+}
+
+Route xy_route(const Torus2D& torus, ProcId src, ProcId dst) {
+  require(src < torus.size() && dst < torus.size(),
+          "xy_route: node out of range");
+  Route route;
+  auto [sr, sc] = torus.coords(src);
+  const auto [dr, dc] = torus.coords(dst);
+  ProcId cur = src;
+  // X (column) dimension first, shorter ring direction.
+  const std::size_t cols = torus.grid_cols();
+  const std::size_t east_dist = (dc + cols - sc) % cols;
+  const bool go_east = east_dist <= cols - east_dist;
+  while (sc != dc) {
+    const ProcId next = go_east ? torus.east(cur) : torus.west(cur);
+    route.emplace_back(cur, next);
+    cur = next;
+    sc = go_east ? (sc + 1) % cols : (sc + cols - 1) % cols;
+  }
+  // Then Y (row) dimension.
+  const std::size_t rows = torus.grid_rows();
+  const std::size_t south_dist = (dr + rows - sr) % rows;
+  const bool go_south = south_dist <= rows - south_dist;
+  while (sr != dr) {
+    const ProcId next = go_south ? torus.south(cur) : torus.north(cur);
+    route.emplace_back(cur, next);
+    cur = next;
+    sr = go_south ? (sr + 1) % rows : (sr + rows - 1) % rows;
+  }
+  ensure(cur == dst, "xy_route: routing did not terminate at dst");
+  return route;
+}
+
+Route route_on(const Topology& topology, ProcId src, ProcId dst) {
+  if (src == dst) return {};
+  if (const auto* cube = dynamic_cast<const Hypercube*>(&topology)) {
+    return ecube_route(*cube, src, dst);
+  }
+  if (const auto* torus = dynamic_cast<const Torus2D*>(&topology)) {
+    return xy_route(*torus, src, dst);
+  }
+  return {Link{src, dst}};  // fully connected: one dedicated link
+}
+
+std::map<Link, unsigned> link_loads(
+    const Topology& topology,
+    const std::vector<std::pair<ProcId, ProcId>>& transfers) {
+  std::map<Link, unsigned> loads;
+  for (const auto& [src, dst] : transfers) {
+    for (const Link& link : route_on(topology, src, dst)) {
+      ++loads[link];
+    }
+  }
+  return loads;
+}
+
+unsigned max_link_load(const Topology& topology,
+                       const std::vector<std::pair<ProcId, ProcId>>& transfers) {
+  unsigned worst = 0;
+  for (const auto& [link, load] : link_loads(topology, transfers)) {
+    worst = std::max(worst, load);
+  }
+  return worst;
+}
+
+}  // namespace hpmm

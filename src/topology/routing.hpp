@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "topology/grid3d.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/topology.hpp"
+#include "topology/torus.hpp"
+
+namespace hpmm {
+
+/// A directed physical link.
+using Link = std::pair<ProcId, ProcId>;
+
+/// A route: the ordered list of directed links a message traverses.
+using Route = std::vector<Link>;
+
+/// Dimension-ordered (e-cube) route on a hypercube: correct lowest-differing
+/// bit first. Deadlock-free and minimal; the standard cut-through route the
+/// paper assumes.
+Route ecube_route(const Hypercube& cube, ProcId src, ProcId dst);
+
+/// X-then-Y dimension-ordered route on a wrap-around mesh, taking the
+/// shorter ring direction in each dimension.
+Route xy_route(const Torus2D& torus, ProcId src, ProcId dst);
+
+/// Route on any topology: e-cube for hypercubes, XY for tori, a single
+/// direct link otherwise (fully connected).
+Route route_on(const Topology& topology, ProcId src, ProcId dst);
+
+/// Per-link load of a set of simultaneous transfers: how many messages use
+/// each directed link. The paper's "non-conflicting paths" claim for
+/// Cannon's alignment is exactly max_link_load == small constant.
+std::map<Link, unsigned> link_loads(const Topology& topology,
+                                    const std::vector<std::pair<ProcId, ProcId>>&
+                                        transfers);
+
+/// The largest number of simultaneous messages sharing one directed link
+/// (1 = perfectly conflict-free, as in a unit shift or a binomial tree
+/// round). 0 for an empty transfer set.
+unsigned max_link_load(const Topology& topology,
+                       const std::vector<std::pair<ProcId, ProcId>>& transfers);
+
+}  // namespace hpmm

@@ -1,0 +1,30 @@
+#include "topology/topology.hpp"
+
+#include "util/error.hpp"
+
+namespace hpmm {
+
+FullyConnected::FullyConnected(std::size_t p) : p_(p) {
+  require(p > 0, "FullyConnected: need at least one processor");
+}
+
+unsigned FullyConnected::hops(ProcId src, ProcId dst) const {
+  require(src < p_ && dst < p_, "FullyConnected::hops: node out of range");
+  return src == dst ? 0u : 1u;
+}
+
+std::vector<ProcId> FullyConnected::neighbors(ProcId node) const {
+  require(node < p_, "FullyConnected::neighbors: node out of range");
+  std::vector<ProcId> out;
+  out.reserve(p_ - 1);
+  for (ProcId i = 0; i < p_; ++i) {
+    if (i != node) out.push_back(i);
+  }
+  return out;
+}
+
+std::string FullyConnected::name() const {
+  return "fully-connected(p=" + std::to_string(p_) + ")";
+}
+
+}  // namespace hpmm

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace hpmm {
+
+/// Processor id within a simulated machine.
+using ProcId = std::uint32_t;
+
+/// Abstract interconnection topology: enough structure for the simulator to
+/// charge communication costs (hop counts) and for algorithms to reason about
+/// adjacency. Concrete classes add their own navigation helpers.
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  /// Number of processors.
+  virtual std::size_t size() const noexcept = 0;
+
+  /// Number of links on a shortest route from src to dst (0 when src == dst).
+  virtual unsigned hops(ProcId src, ProcId dst) const = 0;
+
+  /// Number of communication ports per processor (log p on a hypercube,
+  /// 4 on a 2-D torus, p-1 when fully connected).
+  virtual unsigned ports_per_proc() const noexcept = 0;
+
+  /// Direct neighbours of `node`.
+  virtual std::vector<ProcId> neighbors(ProcId node) const = 0;
+
+  virtual std::string name() const = 0;
+
+  /// True when src and dst share a link.
+  bool adjacent(ProcId src, ProcId dst) const { return hops(src, dst) == 1; }
+};
+
+/// Every processor one hop from every other — the paper's model of the CM-5
+/// fat-tree ("the CM-5 can be viewed as a fully connected architecture",
+/// Section 9).
+class FullyConnected final : public Topology {
+ public:
+  explicit FullyConnected(std::size_t p);
+
+  std::size_t size() const noexcept override { return p_; }
+  unsigned hops(ProcId src, ProcId dst) const override;
+  unsigned ports_per_proc() const noexcept override {
+    return static_cast<unsigned>(p_ - 1);
+  }
+  std::vector<ProcId> neighbors(ProcId node) const override;
+  std::string name() const override;
+
+ private:
+  std::size_t p_;
+};
+
+}  // namespace hpmm

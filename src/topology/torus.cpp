@@ -1,0 +1,85 @@
+#include "topology/torus.hpp"
+
+#include <algorithm>
+
+#include "util/bits.hpp"
+#include "util/error.hpp"
+
+namespace hpmm {
+namespace {
+
+unsigned ring_distance(std::size_t a, std::size_t b, std::size_t len) {
+  const std::size_t d = a > b ? a - b : b - a;
+  return static_cast<unsigned>(std::min(d, len - d));
+}
+
+}  // namespace
+
+Torus2D::Torus2D(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols) {
+  require(rows > 0 && cols > 0, "Torus2D: dimensions must be positive");
+}
+
+Torus2D Torus2D::square(std::size_t p) {
+  const std::size_t side = exact_sqrt(p);
+  return Torus2D(side, side);
+}
+
+unsigned Torus2D::hops(ProcId src, ProcId dst) const {
+  const auto [sr, sc] = coords(src);
+  const auto [dr, dc] = coords(dst);
+  return ring_distance(sr, dr, rows_) + ring_distance(sc, dc, cols_);
+}
+
+std::vector<ProcId> Torus2D::neighbors(ProcId node) const {
+  std::vector<ProcId> out{north(node), south(node), west(node), east(node)};
+  // A 1-wide or 1-tall torus yields duplicate neighbours; deduplicate.
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  out.erase(std::remove(out.begin(), out.end(), node), out.end());
+  return out;
+}
+
+std::string Torus2D::name() const {
+  return "torus(" + std::to_string(rows_) + "x" + std::to_string(cols_) + ")";
+}
+
+std::pair<std::size_t, std::size_t> Torus2D::coords(ProcId node) const {
+  require(node < size(), "Torus2D::coords: node out of range");
+  return {node / cols_, node % cols_};
+}
+
+ProcId Torus2D::rank(std::size_t row, std::size_t col) const {
+  require(row < rows_ && col < cols_, "Torus2D::rank: coords out of range");
+  return static_cast<ProcId>(row * cols_ + col);
+}
+
+ProcId Torus2D::west(ProcId node, std::size_t steps) const {
+  const auto [r, c] = coords(node);
+  return rank(r, (c + cols_ - steps % cols_) % cols_);
+}
+
+ProcId Torus2D::east(ProcId node, std::size_t steps) const {
+  const auto [r, c] = coords(node);
+  return rank(r, (c + steps) % cols_);
+}
+
+ProcId Torus2D::north(ProcId node, std::size_t steps) const {
+  const auto [r, c] = coords(node);
+  return rank((r + rows_ - steps % rows_) % rows_, c);
+}
+
+ProcId Torus2D::south(ProcId node, std::size_t steps) const {
+  const auto [r, c] = coords(node);
+  return rank((r + steps) % rows_, c);
+}
+
+ProcId Torus2D::gray_rank(std::size_t row, std::size_t col) const {
+  require(is_pow2(rows_) && is_pow2(cols_),
+          "Torus2D::gray_rank: needs power-of-two dimensions");
+  require(row < rows_ && col < cols_, "Torus2D::gray_rank: coords out of range");
+  const auto gr = gray_code(row);
+  const auto gc = gray_code(col);
+  return static_cast<ProcId>((gr << exact_log2(cols_)) | gc);
+}
+
+}  // namespace hpmm

@@ -1,0 +1,51 @@
+#pragma once
+
+#include "topology/topology.hpp"
+
+namespace hpmm {
+
+/// 2-D wrap-around processor mesh (torus) of shape rows x cols — the logical
+/// arrangement used by the Simple, Cannon and Fox formulations. When both
+/// sides are powers of two the torus embeds into a hypercube with dilation 1
+/// via binary-reflected Gray codes (gray_rank).
+class Torus2D final : public Topology {
+ public:
+  Torus2D(std::size_t rows, std::size_t cols);
+
+  /// Square torus: sqrt(p) x sqrt(p); throws unless p is a perfect square.
+  static Torus2D square(std::size_t p);
+
+  std::size_t grid_rows() const noexcept { return rows_; }
+  std::size_t grid_cols() const noexcept { return cols_; }
+
+  std::size_t size() const noexcept override { return rows_ * cols_; }
+  unsigned hops(ProcId src, ProcId dst) const override;
+  unsigned ports_per_proc() const noexcept override { return 4; }
+  std::vector<ProcId> neighbors(ProcId node) const override;
+  std::string name() const override;
+
+  /// (row, col) coordinates of a rank, row-major.
+  std::pair<std::size_t, std::size_t> coords(ProcId node) const;
+
+  /// Row-major rank of (row, col).
+  ProcId rank(std::size_t row, std::size_t col) const;
+
+  /// Rank `steps` to the left (westward) with wrap-around.
+  ProcId west(ProcId node, std::size_t steps = 1) const;
+  /// Rank `steps` to the right (eastward) with wrap-around.
+  ProcId east(ProcId node, std::size_t steps = 1) const;
+  /// Rank `steps` up (northward) with wrap-around.
+  ProcId north(ProcId node, std::size_t steps = 1) const;
+  /// Rank `steps` down (southward) with wrap-around.
+  ProcId south(ProcId node, std::size_t steps = 1) const;
+
+  /// Hypercube node id of torus position (row, col) under the Gray-code
+  /// embedding. Requires rows and cols to be powers of two. Adjacent torus
+  /// nodes map to adjacent hypercube nodes (dilation 1).
+  ProcId gray_rank(std::size_t row, std::size_t col) const;
+
+ private:
+  std::size_t rows_, cols_;
+};
+
+}  // namespace hpmm

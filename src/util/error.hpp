@@ -1,0 +1,43 @@
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace hpmm {
+
+/// Thrown when a caller passes arguments that violate a documented
+/// precondition (e.g. a processor count outside an algorithm's range of
+/// applicability).
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant is violated; indicates a bug in hpmm
+/// itself rather than in the caller.
+class InternalError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Validate a documented precondition; throws PreconditionError with the
+/// call site baked into the message.
+inline void require(bool condition, const std::string& message,
+                    std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw PreconditionError(std::string(loc.file_name()) + ":" +
+                            std::to_string(loc.line()) + ": " + message);
+  }
+}
+
+/// Validate an internal invariant; throws InternalError on failure.
+inline void ensure(bool condition, const std::string& message,
+                   std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw InternalError(std::string(loc.file_name()) + ":" +
+                        std::to_string(loc.line()) + ": " + message);
+  }
+}
+
+}  // namespace hpmm

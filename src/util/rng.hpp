@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+
+namespace hpmm {
+
+/// Deterministic, seedable pseudo-random generator (xoshiro256**), used for
+/// reproducible matrix generation in tests, examples and benchmarks.
+///
+/// Not suitable for cryptography; chosen for speed and statistical quality.
+class Rng {
+ public:
+  /// Seeds the full 256-bit state from a single 64-bit seed via SplitMix64,
+  /// so distinct seeds give independent-looking streams.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept;
+
+  /// Next 64 uniformly distributed bits.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace hpmm

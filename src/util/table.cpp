@@ -1,0 +1,166 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace hpmm {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  require(!headers_.empty(), "Table: need at least one column");
+}
+
+Table& Table::begin_row() {
+  if (!cells_.empty()) {
+    ensure(cells_.back().size() == headers_.size(),
+           "Table: previous row has wrong number of cells");
+  }
+  cells_.emplace_back();
+  cells_.back().reserve(headers_.size());
+  return *this;
+}
+
+Table& Table::add(std::string cell) {
+  ensure(!cells_.empty(), "Table: begin_row() before add()");
+  ensure(cells_.back().size() < headers_.size(), "Table: row overflow");
+  cells_.back().push_back(std::move(cell));
+  return *this;
+}
+
+Table& Table::add_num(double value, int precision) {
+  return add(format_number(value, precision));
+}
+
+Table& Table::add_int(long long value) { return add(std::to_string(value)); }
+
+const std::string& Table::at(std::size_t row, std::size_t col) const {
+  require(row < cells_.size() && col < headers_.size(), "Table::at: out of range");
+  return cells_[row][col];
+}
+
+void Table::print_aligned(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : cells_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c] << std::string(width[c] - row[c].size() + 2, ' ');
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (auto w : width) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : cells_) emit(row);
+}
+
+void Table::print_markdown(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (const auto& cell : row) os << ' ' << cell << " |";
+    os << '\n';
+  };
+  emit(headers_);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) os << "---|";
+  os << '\n';
+  for (const auto& row : cells_) emit(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : cells_) emit(row);
+}
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+void emit_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      default: os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void Table::print_json(std::ostream& os) const {
+  os << "[\n";
+  for (std::size_t r = 0; r < cells_.size(); ++r) {
+    os << "  {";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      if (c) os << ", ";
+      emit_json_string(os, headers_[c]);
+      os << ": ";
+      if (looks_numeric(cells_[r][c])) {
+        os << cells_[r][c];
+      } else {
+        emit_json_string(os, cells_[r][c]);
+      }
+    }
+    os << '}' << (r + 1 < cells_.size() ? "," : "") << '\n';
+  }
+  os << "]\n";
+}
+
+std::string format_number(double value, int precision) {
+  if (value == 0.0) return "0";
+  const double mag = std::fabs(value);
+  char buf[64];
+  if (mag >= 1e-4 && mag < 1e7) {
+    // Fixed point with `precision` significant digits.
+    const int int_digits = (mag >= 1.0) ? static_cast<int>(std::log10(mag)) + 1 : 1;
+    const int frac = std::max(0, precision - int_digits);
+    std::snprintf(buf, sizeof buf, "%.*f", frac, value);
+    std::string s(buf);
+    // Trim trailing zeros after a decimal point.
+    if (s.find('.') != std::string::npos) {
+      s.erase(s.find_last_not_of('0') + 1);
+      if (!s.empty() && s.back() == '.') s.pop_back();
+    }
+    return s;
+  }
+  std::snprintf(buf, sizeof buf, "%.*e", std::max(0, precision - 1), value);
+  return buf;
+}
+
+std::string format_si(double value, int precision) {
+  static constexpr const char* kSuffix[] = {"", "K", "M", "G", "T", "P", "E"};
+  double mag = std::fabs(value);
+  int idx = 0;
+  while (mag >= 1000.0 && idx < 6) {
+    mag /= 1000.0;
+    value /= 1000.0;
+    ++idx;
+  }
+  return format_number(value, precision) + kSuffix[idx];
+}
+
+}  // namespace hpmm

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hpmm {
+
+/// Column-oriented table builder used by the benchmark harnesses to print the
+/// paper's tables and figure series in aligned plain-text, Markdown or CSV.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Start a new row. Cells are appended with add()/add_num().
+  Table& begin_row();
+
+  /// Append a pre-formatted cell to the current row.
+  Table& add(std::string cell);
+
+  /// Append a numeric cell formatted with `precision` significant digits
+  /// (fixed for moderate magnitudes, scientific for extreme ones).
+  Table& add_num(double value, int precision = 4);
+
+  /// Append an integer cell.
+  Table& add_int(long long value);
+
+  std::size_t rows() const noexcept { return cells_.size(); }
+  std::size_t columns() const noexcept { return headers_.size(); }
+
+  /// The raw text of cell (row, col); throws if out of range.
+  const std::string& at(std::size_t row, std::size_t col) const;
+
+  /// Render with aligned columns, a header rule, one row per line.
+  void print_aligned(std::ostream& os) const;
+
+  /// Render as GitHub-flavoured Markdown.
+  void print_markdown(std::ostream& os) const;
+
+  /// Render as CSV (no quoting of commas — callers avoid commas in cells).
+  void print_csv(std::ostream& os) const;
+
+  /// Render as a JSON array of objects keyed by the headers; numeric-looking
+  /// cells are emitted unquoted.
+  void print_json(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+/// Format a double with `precision` significant digits, choosing fixed or
+/// scientific notation by magnitude. "1234", "0.001234", "1.234e+09".
+std::string format_number(double value, int precision = 4);
+
+/// Format a count with SI-style suffix: 1500 -> "1.5K", 2.6e18 -> "2.6E".
+std::string format_si(double value, int precision = 3);
+
+}  // namespace hpmm

@@ -1,0 +1,159 @@
+// The algorithm variants added beyond the paper's baseline formulations:
+// Cannon under the Gray-code hypercube embedding (Section 4.4's mesh ==
+// hypercube claim) and Fox with Eq. 4's packet-pipelined row broadcast.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algorithms/cannon.hpp"
+#include "algorithms/fox.hpp"
+#include "matrix/generate.hpp"
+#include "matrix/kernels.hpp"
+#include "util/error.hpp"
+
+namespace hpmm {
+namespace {
+
+MachineParams test_params(double ts = 40.0, double tw = 2.5) {
+  MachineParams m;
+  m.t_s = ts;
+  m.t_w = tw;
+  return m;
+}
+
+MatmulResult run(const ParallelMatmul& alg, std::size_t n, std::size_t p,
+                 const MachineParams& mp) {
+  Rng rng(61);
+  const Matrix a = random_matrix(n, n, rng);
+  const Matrix b = random_matrix(n, n, rng);
+  return alg.run(a, b, p, mp);
+}
+
+// ---- Cannon under the Gray-code embedding ----------------------------------
+
+TEST(CannonGray, ProductCorrect) {
+  for (const auto [n, p] : {std::pair<std::size_t, std::size_t>{8, 4},
+                            {16, 16}, {16, 64}}) {
+    Rng rng(62);
+    const Matrix a = random_matrix(n, n, rng);
+    const Matrix b = random_matrix(n, n, rng);
+    const auto res = CannonAlgorithm(CannonAlgorithm::Mapping::kHypercubeGray)
+                         .run(a, b, p, test_params());
+    EXPECT_LE(max_abs_diff(res.c, multiply(a, b)), 1e-12 * double(n));
+  }
+}
+
+TEST(CannonGray, IdenticalTimeToMeshUnderCutThrough) {
+  // Section 4.4: "Cannon's algorithm's performance is the same on both mesh
+  // and hypercube architectures."
+  for (const auto [n, p] : {std::pair<std::size_t, std::size_t>{16, 16},
+                            {32, 64}}) {
+    const auto mesh = run(CannonAlgorithm(), n, p, test_params());
+    const auto gray = run(CannonAlgorithm(CannonAlgorithm::Mapping::kHypercubeGray),
+                          n, p, test_params());
+    EXPECT_DOUBLE_EQ(mesh.report.t_parallel, gray.report.t_parallel)
+        << "n=" << n << " p=" << p;
+    EXPECT_EQ(mesh.c, gray.c);
+  }
+}
+
+TEST(CannonGray, DilationOneSurvivesStoreAndForwardShifts) {
+  // The embedding maps every *unit* mesh link to one cube link, so the
+  // multiply-shift phase costs the same even under store-and-forward. (The
+  // alignment's multi-step moves route differently, so compare a run where
+  // alignment is trivial: p = 4 aligns by at most one step.)
+  MachineParams sf = test_params();
+  sf.routing = Routing::kStoreAndForward;
+  const auto mesh = run(CannonAlgorithm(), 8, 4, sf);
+  const auto gray =
+      run(CannonAlgorithm(CannonAlgorithm::Mapping::kHypercubeGray), 8, 4, sf);
+  EXPECT_DOUBLE_EQ(mesh.report.t_parallel, gray.report.t_parallel);
+}
+
+TEST(CannonGray, RequiresPow2Side) {
+  CannonAlgorithm gray(CannonAlgorithm::Mapping::kHypercubeGray);
+  EXPECT_FALSE(gray.applicable(12, 9));  // 3x3 mesh has no Gray embedding
+  EXPECT_TRUE(CannonAlgorithm().applicable(12, 9));
+  EXPECT_TRUE(gray.applicable(16, 16));
+}
+
+TEST(CannonGray, NamesDiffer) {
+  EXPECT_EQ(CannonAlgorithm().name(), "cannon");
+  EXPECT_EQ(CannonAlgorithm(CannonAlgorithm::Mapping::kHypercubeGray).name(),
+            "cannon-gray");
+}
+
+// ---- Pipelined Fox -----------------------------------------------------------
+
+TEST(FoxPipelined, ProductCorrect) {
+  for (const auto [n, p] : {std::pair<std::size_t, std::size_t>{8, 4},
+                            {16, 16}, {12, 9}, {32, 64}, {15, 25}}) {
+    Rng rng(63);
+    const Matrix a = random_matrix(n, n, rng);
+    const Matrix b = random_matrix(n, n, rng);
+    const auto res = FoxAlgorithm(FoxAlgorithm::Variant::kPipelinedRing)
+                         .run(a, b, p, test_params());
+    EXPECT_LE(max_abs_diff(res.c, multiply(a, b)), 1e-12 * double(n))
+        << "n=" << n << " p=" << p;
+  }
+}
+
+TEST(FoxPipelined, WorksOnNonPow2Mesh) {
+  // Unlike the hypercube variant, the ring pipeline accepts any square p.
+  FoxAlgorithm pipe(FoxAlgorithm::Variant::kPipelinedRing);
+  EXPECT_TRUE(pipe.applicable(12, 9));
+  EXPECT_FALSE(FoxAlgorithm().applicable(12, 9));
+}
+
+TEST(FoxPipelined, CutsTheBroadcastTwTerm) {
+  // At large blocks (t_w-dominated), pipelining beats the binomial broadcast
+  // whose t_w term carries a log sqrt(p) factor.
+  MachineParams cheap_start = test_params(1.0, 2.5);
+  const std::size_t n = 64, p = 16;
+  const auto pipe = run(FoxAlgorithm(FoxAlgorithm::Variant::kPipelinedRing), n,
+                        p, cheap_start);
+  const auto tree = run(FoxAlgorithm(), n, p, cheap_start);
+  EXPECT_LT(pipe.report.t_parallel, tree.report.t_parallel);
+}
+
+TEST(FoxPipelined, TreeWinsWhenStartupDominates) {
+  // With huge t_s the pipeline's ~2 sqrt(p) startups per iteration lose to
+  // the tree's log sqrt(p).
+  MachineParams pricey = test_params(5000.0, 0.1);
+  const std::size_t n = 16, p = 16;
+  const auto pipe =
+      run(FoxAlgorithm(FoxAlgorithm::Variant::kPipelinedRing), n, p, pricey);
+  const auto tree = run(FoxAlgorithm(), n, p, pricey);
+  EXPECT_GT(pipe.report.t_parallel, tree.report.t_parallel);
+}
+
+TEST(FoxPipelined, WithinBandOfEq4) {
+  // Eq. 4: T_p = n^3/p + 2 t_w n^2/sqrt(p) + t_s p. The simulated pipeline
+  // pays roughly twice the startup term (packets + drain), so expect the
+  // ratio in [0.8, 2.5].
+  const std::size_t n = 64, p = 64;
+  const MachineParams mp = test_params();
+  const auto pipe =
+      run(FoxAlgorithm(FoxAlgorithm::Variant::kPipelinedRing), n, p, mp);
+  const double eq4 = double(n) * n * n / double(p) +
+                     2.0 * mp.t_w * double(n) * n / std::sqrt(double(p)) +
+                     mp.t_s * double(p);
+  EXPECT_GT(pipe.report.t_parallel / eq4, 0.8);
+  EXPECT_LT(pipe.report.t_parallel / eq4, 2.5);
+}
+
+TEST(FoxPipelined, SingleProcessorDegenerates) {
+  const auto res = run(FoxAlgorithm(FoxAlgorithm::Variant::kPipelinedRing), 8,
+                       1, test_params());
+  EXPECT_DOUBLE_EQ(res.report.t_parallel, 512.0);
+}
+
+TEST(FoxPipelined, FlopConservation) {
+  const auto res = run(FoxAlgorithm(FoxAlgorithm::Variant::kPipelinedRing), 16,
+                       16, test_params());
+  EXPECT_EQ(res.report.total_flops, 16ULL * 16 * 16);
+}
+
+}  // namespace
+}  // namespace hpmm

@@ -1,0 +1,146 @@
+#include "analysis/crossover.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace hpmm {
+namespace {
+
+MachineParams params(double ts, double tw) {
+  MachineParams m;
+  m.t_s = ts;
+  m.t_w = tw;
+  return m;
+}
+
+TEST(Crossover, NumericRootMatchesClosedFormGkCannon) {
+  // Eq. 15 closed form vs the generic bisection, across machines and p.
+  for (double ts : {150.0, 10.0}) {
+    const MachineParams mp = params(ts, 3.0);
+    const GkModel gk(mp);
+    const CannonModel cannon(mp);
+    for (double p : {64.0, 4096.0, 262144.0}) {
+      const auto closed = n_equal_overhead_gk_cannon(mp, p);
+      const auto numeric = n_equal_overhead(gk, cannon, p, 1.0, 1e12);
+      if (closed && numeric) {
+        EXPECT_NEAR(*numeric / *closed, 1.0, 1e-4) << "ts=" << ts << " p=" << p;
+      } else {
+        EXPECT_EQ(closed.has_value(), numeric.has_value())
+            << "ts=" << ts << " p=" << p;
+      }
+    }
+  }
+}
+
+TEST(Crossover, GkWinsBelowCannonAbove) {
+  const MachineParams mp = params(150, 3);
+  const GkModel gk(mp);
+  const CannonModel cannon(mp);
+  const double p = 4096.0;
+  const auto n_eq = n_equal_overhead(gk, cannon, p, 1.0, 1e12);
+  ASSERT_TRUE(n_eq);
+  EXPECT_LT(gk.t_overhead(*n_eq * 0.5, p), cannon.t_overhead(*n_eq * 0.5, p));
+  EXPECT_GT(gk.t_overhead(*n_eq * 2.0, p), cannon.t_overhead(*n_eq * 2.0, p));
+}
+
+TEST(Crossover, Cm5Figure4PredictedCrossoverNear83) {
+  // Section 9: "for 64 processors, Cannon's algorithm should perform better
+  // than our algorithm for n > 83" (CM-5 measured parameters, Eq. 18 vs 3).
+  const MachineParams mp = machines::cm5_measured();
+  const GkCm5Model gk(mp);
+  const CannonModel cannon(mp);
+  const auto n_eq = n_equal_overhead(gk, cannon, 64.0, 1.0, 1e6);
+  ASSERT_TRUE(n_eq);
+  EXPECT_NEAR(*n_eq, 83.0, 3.0);
+}
+
+TEST(Crossover, Cm5Figure5PredictedCrossoverNear295) {
+  // Section 9: "For 512 processors, the predicted cross-over point is for
+  // n = 295" (GK at p = 512 vs Cannon at p = 484, by efficiency).
+  const MachineParams mp = machines::cm5_measured();
+  const GkCm5Model gk(mp);
+  const CannonModel cannon(mp);
+  // Efficiencies are compared across *different* processor counts, so find
+  // the root of E_gk(n, 512) - E_cannon(n, 484) by scanning.
+  double crossover = 0.0;
+  for (double n = 22; n <= 1200; n += 1.0) {
+    if (gk.efficiency(n, 512) < cannon.efficiency(n, 484)) {
+      crossover = n;
+      break;
+    }
+  }
+  EXPECT_NEAR(crossover, 295.0, 25.0);
+}
+
+TEST(Crossover, GkDominatesCannonBeyond130MillionProcs) {
+  // Section 6: with t_s = 0, the GK t_w term beats Cannon's for
+  // p > ~1.3e8 regardless of n.
+  const MachineParams mp = params(0.0, 3.0);
+  const GkModel gk(mp);
+  const CannonModel cannon(mp);
+  EXPECT_FALSE(dominates_at_p(gk, cannon, 1e6));
+  EXPECT_TRUE(dominates_at_p(gk, cannon, 2e8));
+  const auto cutoff = dominance_cutoff_p(gk, cannon, 1e12);
+  ASSERT_TRUE(cutoff);
+  EXPECT_GT(*cutoff, 0.5e8);
+  EXPECT_LT(*cutoff, 3e8);
+}
+
+TEST(Crossover, GkVsCannonTwTermAlgebra) {
+  // The t_w comparison reduces to 2 sqrt(p) vs (5/3) p^{1/3} log p; they
+  // cross at p ~ 1.3e8 (the paper's "130 million processors").
+  const auto f = [](double p) {
+    return 2.0 * std::sqrt(p) - (5.0 / 3.0) * std::cbrt(p) * std::log2(p);
+  };
+  EXPECT_LT(f(1.0e8), 0.0);
+  EXPECT_GT(f(1.4e8), 0.0);
+}
+
+TEST(Crossover, NoCrossoverWhenOneDominates) {
+  // With t_s = 0 and enormous p, GK's overhead is below Cannon's for all n.
+  const MachineParams mp = params(0.0, 3.0);
+  const GkModel gk(mp);
+  const CannonModel cannon(mp);
+  EXPECT_FALSE(n_equal_overhead(gk, cannon, 1e10, 1.0, 1e12).has_value());
+}
+
+TEST(Crossover, ClosedFormRejectsNegativeSquare) {
+  // Beyond p ~ 1.3e8 the denominator of Eq. 15 turns positive while the
+  // numerator stays negative: n^2 < 0, i.e. GK wins for every n.
+  const MachineParams mp = params(150, 3);
+  EXPECT_FALSE(n_equal_overhead_gk_cannon(mp, 1e10).has_value());
+  // At small p both terms are negative and a genuine crossover exists.
+  EXPECT_TRUE(n_equal_overhead_gk_cannon(mp, 64.0).has_value());
+}
+
+TEST(Crossover, ValidatesArguments) {
+  const MachineParams mp = params(1, 1);
+  const GkModel gk(mp);
+  const CannonModel cannon(mp);
+  EXPECT_THROW(n_equal_overhead(gk, cannon, 0.0, 1.0, 10.0), PreconditionError);
+  EXPECT_THROW(n_equal_overhead(gk, cannon, 4.0, 10.0, 10.0), PreconditionError);
+}
+
+TEST(Crossover, DnsVsGkNeedsAstronomicalP) {
+  // Section 6 footnote: the DNS-vs-GK equal-overhead curve only crosses
+  // p = n^3 at p ~ 2.6e18 — DNS never beats GK at practical scale when
+  // t_s = 150, t_w = 3.
+  const MachineParams mp = params(150, 3);
+  const DnsModel dns(mp);
+  const GkModel gk(mp);
+  for (double p : {1e4, 1e6, 1e8}) {
+    const double n = std::cbrt(p);  // DNS applicability floor n^3 = p
+    // Everywhere DNS is applicable (n in [p^{1/3}, sqrt(p)]), GK overhead is
+    // smaller at practical p.
+    for (double nn = n; nn * nn <= p * 1.0001; nn *= 1.3) {
+      EXPECT_LT(gk.t_overhead(nn, p), dns.t_overhead(nn, p))
+          << "p=" << p << " n=" << nn;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hpmm

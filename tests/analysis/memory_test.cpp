@@ -1,0 +1,98 @@
+#include "analysis/memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace hpmm {
+namespace {
+
+MachineParams params(double ts, double tw) {
+  MachineParams m;
+  m.t_s = ts;
+  m.t_w = tw;
+  return m;
+}
+
+TEST(Memory, MaxOrderMatchesFootprintAlgebra) {
+  // Cannon stores 3 n^2/p words: M words allow n = sqrt(M p / 3).
+  const CannonModel m(params(150, 3));
+  const auto n = max_order_for_memory(m, 100.0, 30000.0);
+  ASSERT_TRUE(n);
+  EXPECT_NEAR(*n, std::sqrt(30000.0 * 100.0 / 3.0), 1.0);
+}
+
+TEST(Memory, SimpleAlgorithmFitsMuchLess) {
+  // O(n^2/sqrt(p)) vs O(n^2/p): at the same memory, Simple supports a far
+  // smaller matrix than Cannon (Section 4.1's memory-inefficiency).
+  const MachineParams mp = params(150, 3);
+  const SimpleModel simple(mp);
+  const CannonModel cannon(mp);
+  const double p = 1024, mem = 1e6;
+  const auto n_simple = max_order_for_memory(simple, p, mem);
+  const auto n_cannon = max_order_for_memory(cannon, p, mem);
+  ASSERT_TRUE(n_simple && n_cannon);
+  EXPECT_LT(*n_simple, *n_cannon / 3.0);
+}
+
+TEST(Memory, TinyMemoryIsInfeasible) {
+  const CannonModel m(params(1, 1));
+  // A single processor needs 3 words even for a 1x1 problem.
+  EXPECT_FALSE(max_order_for_memory(m, 1.0, 1.0).has_value());
+  EXPECT_THROW(max_order_for_memory(m, 0.5, 100.0), PreconditionError);
+  EXPECT_THROW(max_order_for_memory(m, 4.0, -1.0), PreconditionError);
+}
+
+TEST(Memory, MaxEfficiencyGrowsWithMemory) {
+  const CannonModel m(params(150, 3));
+  const double p = 4096;
+  const auto e_small = max_efficiency_for_memory(m, p, 1e4);
+  const auto e_big = max_efficiency_for_memory(m, p, 1e7);
+  ASSERT_TRUE(e_small && e_big);
+  EXPECT_LT(*e_small, *e_big);
+  EXPECT_LE(*e_big, 1.0);
+}
+
+TEST(Memory, CannonOutlastsSimpleUnderMemoryCeiling) {
+  // With a fixed per-processor memory budget, the memory-efficient
+  // formulation can keep a target efficiency out to far more processors.
+  const MachineParams mp = params(10, 3);
+  const CannonModel cannon(mp);
+  const SimpleModel simple(mp);
+  const double e = 0.5, mem = 1e6;
+  const auto p_cannon = max_procs_at_efficiency_and_memory(cannon, e, mem);
+  const auto p_simple = max_procs_at_efficiency_and_memory(simple, e, mem);
+  ASSERT_TRUE(p_cannon && p_simple);
+  EXPECT_GT(*p_cannon, 4.0 * *p_simple);
+}
+
+TEST(Memory, DnsRespectsItsApplicabilityCap) {
+  // DNS stores 3 words regardless — memory never binds, but n <= sqrt(p)
+  // does; max_efficiency must respect it (and stay below the ceiling).
+  const DnsModel m(params(10, 2));
+  const auto e = max_efficiency_for_memory(m, 4096.0, 100.0);
+  ASSERT_TRUE(e);
+  EXPECT_LE(*e, m.efficiency_ceiling() + 1e-12);
+  EXPECT_GT(*e, 0.0);
+}
+
+TEST(Memory, UnconstrainedWhenMemoryHuge) {
+  const CannonModel m(params(10, 3));
+  const auto p_max = max_procs_at_efficiency_and_memory(m, 0.5, 1e30, 1e9);
+  ASSERT_TRUE(p_max);
+  EXPECT_DOUBLE_EQ(*p_max, 1e9);  // hit the search cap, not the ceiling
+}
+
+TEST(Memory, EfficiencyTargetAboveCeilingCannotScale) {
+  // Above the DNS efficiency ceiling only the trivial p = 1 "configuration"
+  // meets the target (E = 1 serially) — the search collapses to ~1.
+  const DnsModel m(params(10, 2));  // ceiling 1/25
+  const auto p_max = max_procs_at_efficiency_and_memory(m, 0.5, 1e9);
+  ASSERT_TRUE(p_max);
+  EXPECT_LT(*p_max, 1.01);
+}
+
+}  // namespace
+}  // namespace hpmm

@@ -1,0 +1,107 @@
+#include "analysis/sensitivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hpmm {
+namespace {
+
+MachineParams params(double ts, double tw) {
+  MachineParams m;
+  m.t_s = ts;
+  m.t_w = tw;
+  return m;
+}
+
+TEST(Sensitivity, SplitIsExactForSeparableModels) {
+  // Cannon's overhead is a pure t_s term plus a pure t_w term.
+  const MachineParams mp = params(150, 3);
+  const auto split = overhead_split<CannonModel>(mp, 128, 64);
+  EXPECT_DOUBLE_EQ(split.ts_part, 2.0 * 150 * 8);
+  EXPECT_DOUBLE_EQ(split.tw_part, 2.0 * 3 * 128 * 128 / 8);
+  EXPECT_DOUBLE_EQ(split.other_part, 0.0);
+  const CannonModel m(mp);
+  EXPECT_NEAR(split.total(), m.comm_time(128, 64), 1e-9);
+}
+
+TEST(Sensitivity, SplitsSumToCommTimeAcrossModels) {
+  const MachineParams mp = params(40, 2.5);
+  const double n = 256, p = 64;
+  EXPECT_NEAR(overhead_split<SimpleModel>(mp, n, p).total(),
+              SimpleModel(mp).comm_time(n, p), 1e-9);
+  EXPECT_NEAR(overhead_split<BerntsenModel>(mp, n, p).total(),
+              BerntsenModel(mp).comm_time(n, p), 1e-9);
+  EXPECT_NEAR(overhead_split<GkModel>(mp, n, p).total(),
+              GkModel(mp).comm_time(n, p), 1e-9);
+  EXPECT_NEAR(overhead_split<GkCm5Model>(mp, n, p).total(),
+              GkCm5Model(mp).comm_time(n, p), 1e-9);
+}
+
+TEST(Sensitivity, JohnssonHoHasMixedTerm) {
+  // The pipelined broadcast's sqrt(t_s t_w) packets are neither pure-t_s
+  // nor pure-t_w.
+  const auto split = overhead_split<GkJohnssonHoModel>(params(40, 2.5), 256, 64);
+  EXPECT_GT(split.other_part, 0.0);
+}
+
+TEST(Sensitivity, SmallMatricesAreStartupDominated) {
+  const MachineParams mp = params(150, 3);
+  EXPECT_TRUE(overhead_split<CannonModel>(mp, 16, 64).startup_dominated());
+  EXPECT_FALSE(overhead_split<CannonModel>(mp, 2048, 64).startup_dominated());
+}
+
+TEST(Sensitivity, BalanceOrderSeparatesTheRegimes) {
+  // Cannon at p: t_s part = 2 t_s sqrt(p), t_w part = 2 t_w n^2/sqrt(p);
+  // equal at n = sqrt(t_s/t_w) * sqrt(p).
+  const MachineParams mp = params(150, 3);
+  const double p = 64;
+  const auto n_bal = balance_order<CannonModel>(mp, p);
+  ASSERT_TRUE(n_bal);
+  EXPECT_NEAR(*n_bal, std::sqrt(150.0 / 3.0) * 8.0, 0.5);
+  // Below: startup-dominated; above: bandwidth-dominated.
+  EXPECT_TRUE(overhead_split<CannonModel>(mp, *n_bal * 0.5, p).startup_dominated());
+  EXPECT_FALSE(overhead_split<CannonModel>(mp, *n_bal * 2.0, p).startup_dominated());
+}
+
+TEST(Sensitivity, NoBalanceWhenOneSideAlwaysWins) {
+  // With t_s = 0 every order is bandwidth-dominated.
+  EXPECT_FALSE(balance_order<CannonModel>(params(0.0, 3.0), 64).has_value());
+}
+
+TEST(Sensitivity, ElasticitiesArePartitionOfUnity) {
+  // compute share + t_s share + t_w share (+ mixed) = 1.
+  const MachineParams mp = params(150, 3);
+  const CannonModel m(mp);
+  const double n = 256, p = 64;
+  const double e_ts = ts_elasticity<CannonModel>(mp, n, p);
+  const double e_tw = tw_elasticity<CannonModel>(mp, n, p);
+  const double compute_share = (n * n * n / p) / m.t_parallel(n, p);
+  EXPECT_NEAR(e_ts + e_tw + compute_share, 1.0, 1e-9);
+  EXPECT_GT(e_ts, 0.0);
+  EXPECT_GT(e_tw, 0.0);
+}
+
+TEST(Sensitivity, ElasticityPredictsFiniteDifference) {
+  // A 1% t_s bump changes T_p by ~e_ts percent.
+  const MachineParams mp = params(150, 3);
+  const double n = 128, p = 64;
+  const double e_ts = ts_elasticity<CannonModel>(mp, n, p);
+  MachineParams bumped = mp;
+  bumped.t_s *= 1.01;
+  const double t0 = CannonModel(mp).t_parallel(n, p);
+  const double t1 = CannonModel(bumped).t_parallel(n, p);
+  EXPECT_NEAR((t1 - t0) / t0, 0.01 * e_ts, 1e-6);
+}
+
+TEST(Sensitivity, GkLessTsSensitiveThanCannonAtLargeP) {
+  // GK pays (5/3) log p startups vs Cannon's 2 sqrt(p) — the design reason
+  // it wins the small-n regime (Section 6).
+  const MachineParams mp = params(150, 3);
+  const double n = 64, p = 4096;
+  EXPECT_LT(ts_elasticity<GkModel>(mp, n, p),
+            ts_elasticity<CannonModel>(mp, n, p));
+}
+
+}  // namespace
+}  // namespace hpmm

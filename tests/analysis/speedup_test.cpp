@@ -1,0 +1,106 @@
+#include "analysis/speedup.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace hpmm {
+namespace {
+
+MachineParams params(double ts, double tw) {
+  MachineParams m;
+  m.t_s = ts;
+  m.t_w = tw;
+  return m;
+}
+
+std::vector<double> pow2_procs(double lo, double hi) {
+  std::vector<double> out;
+  for (double p = lo; p <= hi; p *= 2.0) out.push_back(p);
+  return out;
+}
+
+TEST(Speedup, FixedSizeCurveRisesThenSaturates) {
+  const CannonModel m(params(150, 3));
+  const auto curve = fixed_size_speedup(m, 256, pow2_procs(1, 65536));
+  ASSERT_GT(curve.size(), 8u);
+  // Rises at the start...
+  EXPECT_GT(curve[3].speedup, curve[0].speedup);
+  // ...but the last point is below the peak (saturation / rollover).
+  double peak = 0.0;
+  for (const auto& pt : curve) peak = std::max(peak, pt.speedup);
+  EXPECT_LT(curve.back().speedup, peak);
+  // Efficiency decreases monotonically with p at fixed n.
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i].efficiency, curve[i - 1].efficiency + 1e-12);
+  }
+}
+
+TEST(Speedup, FixedSizeSkipsInapplicable) {
+  const CannonModel m(params(150, 3));
+  const auto curve = fixed_size_speedup(m, 16, pow2_procs(1, 4096));
+  for (const auto& pt : curve) EXPECT_LE(pt.p, 256.0);  // p <= n^2
+}
+
+TEST(Speedup, MaxFixedSizeIsAStationaryPoint) {
+  const CannonModel m(params(150, 3));
+  const auto best = max_fixed_size_speedup(m, 256);
+  ASSERT_TRUE(best);
+  // No sampled p does better.
+  for (double p : pow2_procs(1, 65536)) {
+    if (!m.applicable(256, p)) continue;
+    EXPECT_GE(best->speedup + 1e-6, m.speedup(256, p)) << p;
+  }
+  EXPECT_GT(best->speedup, 1.0);
+  EXPECT_LE(best->p, 256.0 * 256.0);
+}
+
+TEST(Speedup, BiggerProblemsSaturateLater) {
+  const CannonModel m(params(150, 3));
+  const auto s1 = max_fixed_size_speedup(m, 128);
+  const auto s2 = max_fixed_size_speedup(m, 1024);
+  ASSERT_TRUE(s1 && s2);
+  EXPECT_GT(s2->p, s1->p);
+  EXPECT_GT(s2->speedup, s1->speedup);
+}
+
+TEST(Speedup, IsoefficientSpeedupIsLinear) {
+  // Growing W along the isoefficiency curve keeps S = E p.
+  const GkModel m(params(150, 3));
+  const double e = 0.6;
+  const auto curve = isoefficient_speedup(m, e, pow2_procs(8, 8192));
+  ASSERT_GT(curve.size(), 5u);
+  for (const auto& pt : curve) {
+    EXPECT_NEAR(pt.efficiency, e, 0.02);
+    EXPECT_NEAR(pt.speedup, e * pt.p, 0.03 * e * pt.p);
+  }
+}
+
+TEST(Speedup, DnsCeilingBoundsIsoefficientCurve) {
+  const DnsModel m(params(10, 2));  // ceiling 1/25
+  const auto none = isoefficient_speedup(m, 0.5, pow2_procs(256, 65536));
+  EXPECT_TRUE(none.empty());
+  const auto some = isoefficient_speedup(m, 0.03, pow2_procs(256, 65536));
+  EXPECT_FALSE(some.empty());
+}
+
+TEST(Speedup, GkSaturatesLaterThanCannon) {
+  // GK's higher concurrency (p <= n^3) lets it keep gaining where Cannon has
+  // exhausted its n^2 processors.
+  const MachineParams mp = params(10, 3);
+  const auto cannon = max_fixed_size_speedup(CannonModel(mp), 64);
+  const auto gk = max_fixed_size_speedup(GkModel(mp), 64);
+  ASSERT_TRUE(cannon && gk);
+  EXPECT_GT(gk->speedup, cannon->speedup);
+}
+
+TEST(Speedup, Validation) {
+  const CannonModel m(params(1, 1));
+  EXPECT_THROW(fixed_size_speedup(m, 0.5, {}), PreconditionError);
+  EXPECT_THROW(max_fixed_size_speedup(m, 0.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace hpmm

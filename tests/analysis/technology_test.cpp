@@ -1,0 +1,79 @@
+#include "analysis/technology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hpmm {
+namespace {
+
+MachineParams params(double ts, double tw) {
+  MachineParams m;
+  m.t_s = ts;
+  m.t_w = tw;
+  return m;
+}
+
+TEST(Technology, CannonTenfoldProcessorsNeeds31x) {
+  // Section 8: "in case of Cannon's algorithm, if the number of processors
+  // is increased 10 times, one would have to solve a problem 31.6 times
+  // bigger" (p^{1.5} isoefficiency: 10^{1.5} = 31.6).
+  const CannonModel m(params(0.0, 3.0));  // t_w-dominated regime
+  const auto growth = problem_growth_more_procs(m, 1e6, 10.0, 0.7);
+  ASSERT_TRUE(growth);
+  EXPECT_NEAR(*growth, 31.6, 0.5);
+}
+
+TEST(Technology, CannonTenfoldFasterCpusNeeds1000x) {
+  // Section 8: with small t_s, 10x faster processors force a 1000x larger
+  // problem (the t_w^3 factor).
+  const auto growth =
+      problem_growth_faster_procs<CannonModel>(params(0.0, 3.0), 1e6, 10.0, 0.7);
+  ASSERT_TRUE(growth);
+  EXPECT_NEAR(*growth, 1000.0, 5.0);
+}
+
+TEST(Technology, MoreProcessorsCanBeatFasterProcessors) {
+  // The headline contrarian claim: for a fixed problem, k-fold more
+  // processors can outperform k-fold faster processors.
+  const MachineParams mp = params(0.5, 3.0);
+  // Large matrix, communication-light regime: more processors win.
+  const auto r = more_vs_faster<CannonModel>(mp, 4096.0, 256.0, 4.0);
+  EXPECT_LT(r.t_more_procs, r.t_faster_procs);
+  EXPECT_TRUE(r.more_procs_wins());
+}
+
+TEST(Technology, FasterProcessorsWinWhenCommDominates) {
+  // Small problem on a high-latency machine: adding processors only adds
+  // startup cost, so faster CPUs win.
+  const MachineParams mp = params(5000.0, 3.0);
+  const auto r = more_vs_faster<CannonModel>(mp, 64.0, 16.0, 4.0);
+  EXPECT_GT(r.t_more_procs, r.t_faster_procs);
+  EXPECT_FALSE(r.more_procs_wins());
+}
+
+TEST(Technology, FasterCpusTimeIsConsistent) {
+  // With free communication the two options tie exactly: n^3/(k p) each.
+  const MachineParams mp = params(0.0, 0.0);
+  const auto r = more_vs_faster<CannonModel>(mp, 512.0, 64.0, 8.0);
+  EXPECT_DOUBLE_EQ(r.t_more_procs, r.t_faster_procs);
+  EXPECT_DOUBLE_EQ(r.t_more_procs, 512.0 * 512.0 * 512.0 / 512.0);
+}
+
+TEST(Technology, GkGrowthIsMilderThanCannon) {
+  // GK's ~p polylog isoefficiency makes its required growth under 10x
+  // processors smaller than Cannon's p^{1.5}.
+  const MachineParams mp = params(0.0, 3.0);
+  const GkModel gk(mp);
+  const CannonModel cannon(mp);
+  const auto g_gk = problem_growth_more_procs(gk, 1e6, 10.0, 0.7);
+  const auto g_cn = problem_growth_more_procs(cannon, 1e6, 10.0, 0.7);
+  ASSERT_TRUE(g_gk && g_cn);
+  EXPECT_LT(*g_gk, *g_cn);
+}
+
+TEST(Technology, UnreachableEfficiencyPropagates) {
+  const DnsModel dns(params(10, 2));  // ceiling 1/25
+  EXPECT_FALSE(problem_growth_more_procs(dns, 1e6, 10.0, 0.5).has_value());
+}
+
+}  // namespace
+}  // namespace hpmm

@@ -1,0 +1,78 @@
+#include "core/experiments.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace hpmm {
+namespace {
+
+TEST(Experiments, IdsAreInPaperOrder) {
+  const auto ids = ExperimentSuite::ids();
+  ASSERT_EQ(ids.size(), 10u);
+  EXPECT_EQ(ids.front(), "table1");
+  EXPECT_EQ(ids[4], "fig4");
+  EXPECT_EQ(ids.back(), "validation");
+  const std::set<std::string> unique(ids.begin(), ids.end());
+  EXPECT_EQ(unique.size(), ids.size());
+}
+
+TEST(Experiments, ContainsAndUnknown) {
+  EXPECT_TRUE(ExperimentSuite::contains("fig5"));
+  EXPECT_FALSE(ExperimentSuite::contains("fig6"));
+  EXPECT_THROW(ExperimentSuite::run("fig6"), PreconditionError);
+}
+
+/// Every experiment must run and every recorded claim must reproduce — this
+/// is the repository's headline guarantee, enforced in CI.
+class EveryExperiment : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EveryExperiment, AllClaimsReproduce) {
+  const auto result = ExperimentSuite::run(GetParam());
+  EXPECT_EQ(result.id, GetParam());
+  EXPECT_FALSE(result.checks.empty());
+  for (const auto& c : result.checks) {
+    EXPECT_TRUE(c.passed) << c.claim << ": measured " << c.measured
+                          << " outside [" << c.lo << ", " << c.hi << "]";
+    EXPECT_LE(c.lo, c.hi);
+  }
+  EXPECT_TRUE(result.all_passed());
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperClaims, EveryExperiment,
+                         ::testing::ValuesIn(ExperimentSuite::ids()),
+                         [](const auto& info) { return info.param; });
+
+TEST(Experiments, ReportFormat) {
+  std::vector<ExperimentResult> results;
+  results.push_back(ExperimentSuite::run("sec8"));
+  std::ostringstream os;
+  ExperimentSuite::print_report(results, os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== sec8"), std::string::npos);
+  EXPECT_NE(out.find("[PASS]"), std::string::npos);
+  EXPECT_NE(out.find("claims reproduced"), std::string::npos);
+}
+
+TEST(Experiments, FailedCheckIsReportedAsFail) {
+  ExperimentResult r{"synthetic", "synthetic", {}};
+  ClaimCheck bad;
+  bad.claim = "impossible";
+  bad.paper = 1.0;
+  bad.measured = 5.0;
+  bad.lo = 0.9;
+  bad.hi = 1.1;
+  bad.passed = false;
+  r.checks.push_back(bad);
+  EXPECT_FALSE(r.all_passed());
+  std::ostringstream os;
+  ExperimentSuite::print_report({r}, os);
+  EXPECT_NE(os.str().find("[FAIL]"), std::string::npos);
+  EXPECT_NE(os.str().find("0/1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hpmm

@@ -1,0 +1,62 @@
+#include "core/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace hpmm {
+namespace {
+
+TEST(Registry, ContainsAllPaperFormulations) {
+  const auto& reg = default_registry();
+  for (const char* name : {"simple", "simple-ring", "cannon", "cannon-gray",
+                           "fox", "fox-pipe", "berntsen", "dns", "gk", "gk-jh",
+                           "gk-fc", "simple-allport", "gk-allport"}) {
+    EXPECT_TRUE(reg.contains(name)) << name;
+  }
+  EXPECT_FALSE(reg.contains("strassen"));
+  EXPECT_EQ(reg.names().size(), 13u);
+}
+
+TEST(Registry, ImplementationNamesMatchKeys) {
+  const auto& reg = default_registry();
+  for (const auto& name : reg.names()) {
+    EXPECT_EQ(reg.implementation(name).name(), name);
+  }
+}
+
+TEST(Registry, ModelNamesMatchKeys) {
+  const auto& reg = default_registry();
+  MachineParams mp;
+  for (const auto& name : reg.names()) {
+    // Variants share their base formulation's model.
+    if (name == "cannon-gray") {
+      EXPECT_EQ(reg.model(name, mp)->name(), "cannon");
+    } else if (name == "fox-pipe") {
+      EXPECT_EQ(reg.model(name, mp)->name(), "fox");
+    } else {
+      EXPECT_EQ(reg.model(name, mp)->name(), name);
+    }
+  }
+}
+
+TEST(Registry, ModelBindsParams) {
+  const auto& reg = default_registry();
+  MachineParams mp;
+  mp.t_s = 123.0;
+  const auto model = reg.model("cannon", mp);
+  EXPECT_DOUBLE_EQ(model->params().t_s, 123.0);
+}
+
+TEST(Registry, UnknownNameThrows) {
+  const auto& reg = default_registry();
+  EXPECT_THROW(reg.implementation("nope"), PreconditionError);
+  EXPECT_THROW(reg.model("nope", MachineParams{}), PreconditionError);
+}
+
+TEST(Registry, DefaultRegistryIsSingleton) {
+  EXPECT_EQ(&default_registry(), &default_registry());
+}
+
+}  // namespace
+}  // namespace hpmm

@@ -1,0 +1,121 @@
+#include "core/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hpmm {
+namespace {
+
+MachineParams params(double ts, double tw) {
+  MachineParams m;
+  m.t_s = ts;
+  m.t_w = tw;
+  return m;
+}
+
+TEST(Runner, SweepProducesModelPoints) {
+  const auto pts = efficiency_sweep("cannon", 16, params(150, 3),
+                                    {16, 32, 64, 128});
+  ASSERT_EQ(pts.size(), 4u);
+  for (const auto& pt : pts) {
+    EXPECT_EQ(pt.p, 16u);
+    EXPECT_GT(pt.model_efficiency, 0.0);
+    EXPECT_LT(pt.model_efficiency, 1.0);
+    EXPECT_FALSE(pt.sim_efficiency.has_value());  // sim_n_limit = 0
+  }
+  // Efficiency grows with n.
+  EXPECT_LT(pts.front().model_efficiency, pts.back().model_efficiency);
+}
+
+TEST(Runner, SweepSimulatesUpToLimit) {
+  const auto pts = efficiency_sweep("cannon", 16, params(150, 3),
+                                    {16, 32, 64}, /*sim_n_limit=*/32);
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_TRUE(pts[0].sim_efficiency.has_value());
+  EXPECT_TRUE(pts[1].sim_efficiency.has_value());
+  EXPECT_FALSE(pts[2].sim_efficiency.has_value());
+  // Simulated efficiency equals the model's (the simulation realises Eq. 3
+  // exactly).
+  EXPECT_NEAR(*pts[0].sim_efficiency, pts[0].model_efficiency, 1e-9);
+}
+
+TEST(Runner, SweepSkipsInapplicableOrders) {
+  // p = 16 on Cannon needs 4 | n; 20 is kept (model-applicable), but only
+  // simulated when divisible.
+  const auto pts = efficiency_sweep("cannon", 16, params(150, 3),
+                                    {20}, /*sim_n_limit=*/64);
+  ASSERT_EQ(pts.size(), 1u);
+  EXPECT_TRUE(pts[0].sim_efficiency.has_value());  // 4 divides 20
+  const auto pts2 = efficiency_sweep("cannon", 16, params(150, 3),
+                                     {21}, /*sim_n_limit=*/64);
+  ASSERT_EQ(pts2.size(), 1u);
+  EXPECT_FALSE(pts2[0].sim_efficiency.has_value());  // 4 does not divide 21
+}
+
+TEST(Runner, SweepDropsModelInapplicablePoints) {
+  // n = 2, p = 16 violates p <= n^2.
+  const auto pts = efficiency_sweep("cannon", 16, params(150, 3), {2, 16});
+  ASSERT_EQ(pts.size(), 1u);
+  EXPECT_EQ(pts[0].n, 16u);
+}
+
+TEST(Runner, TableRendering) {
+  const auto pts = efficiency_sweep("gk", 8, params(150, 3), {8, 16});
+  const Table t = efficiency_table(pts, "gk");
+  EXPECT_EQ(t.rows(), 2u);
+  std::ostringstream os;
+  t.print_aligned(os);
+  EXPECT_NE(os.str().find("E(model)"), std::string::npos);
+}
+
+TEST(Runner, CrossoverDetection) {
+  // Construct two synthetic series crossing at n = 30.
+  std::vector<EfficiencyPoint> a, b;
+  for (std::size_t n : {10u, 20u, 30u, 40u}) {
+    EfficiencyPoint pa, pb;
+    pa.n = pb.n = n;
+    pa.model_efficiency = 0.5;
+    pb.model_efficiency = n < 30 ? 0.4 : 0.6;
+    a.push_back(pa);
+    b.push_back(pb);
+  }
+  const auto cross = crossover_order(a, b);
+  ASSERT_TRUE(cross);
+  EXPECT_EQ(*cross, 30u);
+}
+
+TEST(Runner, NoCrossoverWhenDominant) {
+  std::vector<EfficiencyPoint> a, b;
+  for (std::size_t n : {10u, 20u}) {
+    EfficiencyPoint pa, pb;
+    pa.n = pb.n = n;
+    pa.model_efficiency = 0.9;
+    pb.model_efficiency = 0.1;
+    a.push_back(pa);
+    b.push_back(pb);
+  }
+  EXPECT_FALSE(crossover_order(a, b).has_value());
+}
+
+TEST(Runner, CrossoverAlignsMismatchedOrders) {
+  std::vector<EfficiencyPoint> a, b;
+  for (std::size_t n : {8u, 16u, 24u}) {
+    EfficiencyPoint pt;
+    pt.n = n;
+    pt.model_efficiency = 0.5;
+    a.push_back(pt);
+  }
+  for (std::size_t n : {16u, 24u}) {
+    EfficiencyPoint pt;
+    pt.n = n;
+    pt.model_efficiency = n == 16 ? 0.3 : 0.7;
+    b.push_back(pt);
+  }
+  const auto cross = crossover_order(a, b);
+  ASSERT_TRUE(cross);
+  EXPECT_EQ(*cross, 24u);
+}
+
+}  // namespace
+}  // namespace hpmm

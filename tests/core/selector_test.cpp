@@ -1,0 +1,97 @@
+#include "core/selector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace hpmm {
+namespace {
+
+MachineParams params(double ts, double tw) {
+  MachineParams m;
+  m.t_s = ts;
+  m.t_w = tw;
+  return m;
+}
+
+TEST(Selector, PicksSomethingApplicable) {
+  const auto sel = select_algorithm(64, 64, params(150, 3));
+  EXPECT_FALSE(sel.best.empty());
+  EXPECT_GT(sel.t_parallel, 0.0);
+  EXPECT_GT(sel.efficiency, 0.0);
+  EXPECT_LE(sel.efficiency, 1.0);
+}
+
+TEST(Selector, BestIsTheMinimumOverCandidates) {
+  const auto sel = select_algorithm(64, 64, params(150, 3));
+  for (const auto& cand : sel.candidates) {
+    if (cand.applicable) {
+      EXPECT_LE(sel.t_parallel, cand.t_parallel + 1e-9) << cand.name;
+    }
+  }
+}
+
+TEST(Selector, SmallProblemManyProcsPrefersGkOverCannon) {
+  // The Figure 4 regime: p = 64, small n on a high-startup machine — the
+  // GK algorithm must rank above Cannon.
+  // (the predicted Eq. 15 crossover for these parameters is n ~ 28)
+  const auto sel = select_among_table1(16, 64, params(150, 3));
+  double t_gk = 0, t_cannon = 0;
+  for (const auto& c : sel.candidates) {
+    if (c.name == "gk") t_gk = c.t_parallel;
+    if (c.name == "cannon") t_cannon = c.t_parallel;
+  }
+  ASSERT_GT(t_gk, 0.0);
+  ASSERT_GT(t_cannon, 0.0);
+  EXPECT_LT(t_gk, t_cannon);
+}
+
+TEST(Selector, LargeProblemPrefersBerntsen) {
+  // Deep in the b region of Figure 1.
+  const auto sel = select_among_table1(512, 64, params(150, 3));
+  EXPECT_EQ(sel.best, "berntsen");
+}
+
+TEST(Selector, RequireSimulatableFiltersDivisibility) {
+  // n = 10, p = 64: GK needs 4 | 10 — simulatable selection must skip it,
+  // model-only selection may keep it.
+  const auto strict = select_algorithm(10, 64, params(150, 3), true);
+  for (const auto& c : strict.candidates) {
+    if (c.name == "gk") EXPECT_FALSE(c.applicable);
+  }
+  const auto loose = select_algorithm(10, 64, params(150, 3), false);
+  for (const auto& c : loose.candidates) {
+    if (c.name == "gk") EXPECT_TRUE(c.applicable);
+  }
+}
+
+TEST(Selector, NoApplicableAlgorithmLeavesBestEmpty) {
+  // p > n^3: nothing applies.
+  const auto sel = select_among_table1(4, 512, params(150, 3));
+  EXPECT_TRUE(sel.best.empty());
+  for (const auto& c : sel.candidates) EXPECT_FALSE(c.applicable);
+}
+
+TEST(Selector, CandidatesCoverTable1) {
+  const auto sel = select_among_table1(64, 64, params(150, 3));
+  ASSERT_EQ(sel.candidates.size(), 4u);
+  EXPECT_EQ(sel.candidates[0].name, "berntsen");
+  EXPECT_EQ(sel.candidates[3].name, "dns");
+}
+
+TEST(Selector, ValidatesArguments) {
+  EXPECT_THROW(select_algorithm(0, 4, params(1, 1)), PreconditionError);
+  EXPECT_THROW(select_algorithm(4, 0, params(1, 1)), PreconditionError);
+}
+
+TEST(Selector, MachineParametersChangeTheChoice) {
+  // Same (n, p); high-startup machine avoids DNS, near-zero startup makes
+  // DNS attractive (Figures 1 vs 3) — n^2 <= p <= n^3 regime.
+  const auto high_ts = select_among_table1(16, 512, params(150, 3), false);
+  const auto low_ts = select_among_table1(16, 512, params(0.5, 3), false);
+  EXPECT_EQ(high_ts.best, "gk");
+  EXPECT_EQ(low_ts.best, "dns");
+}
+
+}  // namespace
+}  // namespace hpmm

@@ -1,0 +1,81 @@
+#include "core/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/registry.hpp"
+
+namespace hpmm {
+namespace {
+
+MachineParams params(double ts, double tw) {
+  MachineParams m;
+  m.t_s = ts;
+  m.t_w = tw;
+  return m;
+}
+
+TEST(Validate, CannonSimEqualsModelExactly) {
+  const auto& reg = default_registry();
+  const auto model = reg.model("cannon", params(150, 3));
+  const auto pt = validate_algorithm(reg.implementation("cannon"), *model, 16, 16);
+  EXPECT_TRUE(pt.product_correct);
+  EXPECT_NEAR(pt.ratio(), 1.0, 1e-9);
+}
+
+TEST(Validate, GkSimEqualsModelExactly) {
+  const auto& reg = default_registry();
+  const auto model = reg.model("gk", params(150, 3));
+  const auto pt = validate_algorithm(reg.implementation("gk"), *model, 16, 64);
+  EXPECT_TRUE(pt.product_correct);
+  EXPECT_NEAR(pt.ratio(), 1.0, 1e-9);
+}
+
+TEST(Validate, GkFcSimEqualsModelExactly) {
+  const auto& reg = default_registry();
+  const auto model = reg.model("gk-fc", machines::cm5_measured());
+  const auto pt = validate_algorithm(reg.implementation("gk-fc"), *model, 16, 64);
+  EXPECT_TRUE(pt.product_correct);
+  EXPECT_NEAR(pt.ratio(), 1.0, 1e-9);
+}
+
+TEST(Validate, AllRegisteredAlgorithmsWithinModelBand) {
+  // Across the registry the simulation should stay within a constant factor
+  // of the paper expression (constants differ where the paper is loose —
+  // e.g. the Simple algorithm's t_s coefficient and Fox's pipelining).
+  const auto& reg = default_registry();
+  struct Case {
+    const char* name;
+    std::size_t n, p;
+  };
+  for (const Case c : {Case{"simple", 16, 16}, Case{"cannon", 16, 16},
+                       Case{"fox", 16, 16}, Case{"berntsen", 16, 8},
+                       Case{"dns", 8, 128}, Case{"gk", 16, 64},
+                       Case{"gk-jh", 16, 64}, Case{"gk-fc", 16, 64},
+                       Case{"simple-allport", 16, 16},
+                       Case{"gk-allport", 16, 64}}) {
+    const auto model = reg.model(c.name, params(40, 2.5));
+    const auto pt =
+        validate_algorithm(reg.implementation(c.name), *model, c.n, c.p);
+    EXPECT_TRUE(pt.product_correct) << c.name;
+    EXPECT_GT(pt.ratio(), 0.2) << c.name;
+    EXPECT_LT(pt.ratio(), 5.0) << c.name;
+  }
+}
+
+TEST(Validate, ToleranceScalesWithN) {
+  EXPECT_GT(product_tolerance(1000), product_tolerance(10));
+}
+
+TEST(Validate, SeedChangesInputsNotCorrectness) {
+  const auto& reg = default_registry();
+  const auto model = reg.model("cannon", params(10, 1));
+  const auto p1 = validate_algorithm(reg.implementation("cannon"), *model, 8, 4, 1);
+  const auto p2 = validate_algorithm(reg.implementation("cannon"), *model, 8, 4, 2);
+  EXPECT_TRUE(p1.product_correct);
+  EXPECT_TRUE(p2.product_correct);
+  // Same timing (data-independent), different data.
+  EXPECT_DOUBLE_EQ(p1.sim_t_parallel, p2.sim_t_parallel);
+}
+
+}  // namespace
+}  // namespace hpmm

@@ -1,0 +1,123 @@
+// Every algorithm must stay numerically correct (and keep its invariants)
+// under every machine mode: store-and-forward routing, non-zero per-hop
+// latency, link-contention charging, and combinations — the timing changes,
+// the product must not.
+
+#include <gtest/gtest.h>
+
+#include "core/registry.hpp"
+#include "matrix/generate.hpp"
+#include "matrix/kernels.hpp"
+
+namespace hpmm {
+namespace {
+
+struct ModeCase {
+  const char* algorithm;
+  std::size_t n, p;
+  Routing routing;
+  double t_h;
+  Contention contention;
+};
+
+class MachineModes : public ::testing::TestWithParam<ModeCase> {};
+
+TEST_P(MachineModes, ProductCorrectAndCostsSane) {
+  const auto c = GetParam();
+  MachineParams mp;
+  mp.t_s = 30.0;
+  mp.t_w = 2.0;
+  mp.routing = c.routing;
+  mp.t_h = c.t_h;
+  mp.contention = c.contention;
+
+  Rng rng(81);
+  const Matrix a = random_matrix(c.n, c.n, rng);
+  const Matrix b = random_matrix(c.n, c.n, rng);
+  const auto res =
+      default_registry().implementation(c.algorithm).run(a, b, c.p, mp);
+  EXPECT_LE(max_abs_diff(res.c, multiply(a, b)), 1e-12 * double(c.n))
+      << c.algorithm;
+  EXPECT_GT(res.report.t_parallel, 0.0);
+  EXPECT_LE(res.report.efficiency(), 1.0 + 1e-12);
+
+  // The extra costs can only slow things down relative to the ideal
+  // cut-through, contention-free machine.
+  MachineParams ideal = mp;
+  ideal.routing = Routing::kCutThrough;
+  ideal.t_h = 0.0;
+  ideal.contention = Contention::kIgnore;
+  const auto base =
+      default_registry().implementation(c.algorithm).run(a, b, c.p, ideal);
+  EXPECT_GE(res.report.t_parallel, base.report.t_parallel - 1e-9) << c.algorithm;
+  EXPECT_EQ(res.c, base.c);  // identical numerics regardless of timing mode
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, MachineModes,
+    ::testing::Values(
+        // Store-and-forward: multi-hop transfers pay per hop.
+        ModeCase{"cannon", 16, 16, Routing::kStoreAndForward, 0.0,
+                 Contention::kIgnore},
+        ModeCase{"simple", 16, 16, Routing::kStoreAndForward, 0.0,
+                 Contention::kIgnore},
+        ModeCase{"fox", 16, 16, Routing::kStoreAndForward, 0.0,
+                 Contention::kIgnore},
+        ModeCase{"fox-pipe", 16, 16, Routing::kStoreAndForward, 0.0,
+                 Contention::kIgnore},
+        ModeCase{"berntsen", 16, 8, Routing::kStoreAndForward, 0.0,
+                 Contention::kIgnore},
+        ModeCase{"dns", 4, 32, Routing::kStoreAndForward, 0.0,
+                 Contention::kIgnore},
+        ModeCase{"gk", 16, 64, Routing::kStoreAndForward, 0.0,
+                 Contention::kIgnore},
+        // Cut-through with per-hop latency.
+        ModeCase{"cannon", 16, 16, Routing::kCutThrough, 1.5,
+                 Contention::kIgnore},
+        ModeCase{"gk", 16, 64, Routing::kCutThrough, 1.5, Contention::kIgnore},
+        ModeCase{"berntsen", 16, 8, Routing::kCutThrough, 1.5,
+                 Contention::kIgnore},
+        // Contention charging.
+        ModeCase{"cannon", 16, 16, Routing::kCutThrough, 0.0,
+                 Contention::kLinkLoad},
+        ModeCase{"gk", 16, 64, Routing::kCutThrough, 0.0,
+                 Contention::kLinkLoad},
+        ModeCase{"simple-ring", 12, 9, Routing::kCutThrough, 0.0,
+                 Contention::kLinkLoad},
+        // Everything at once.
+        ModeCase{"cannon", 16, 16, Routing::kStoreAndForward, 2.0,
+                 Contention::kLinkLoad},
+        ModeCase{"gk", 16, 8, Routing::kStoreAndForward, 2.0,
+                 Contention::kLinkLoad}),
+    [](const auto& info) {
+      const auto& c = info.param;
+      std::string name = c.algorithm;
+      for (auto& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      name += c.routing == Routing::kStoreAndForward ? "_sf" : "_ct";
+      if (c.t_h > 0) name += "_hop";
+      if (c.contention == Contention::kLinkLoad) name += "_load";
+      return name;
+    });
+
+TEST(MachineModes, StoreAndForwardCostsMoreWhereRoutesAreLong) {
+  // GK's stage-1 moves and the hypercube Fox's B-roll cross several links;
+  // store-and-forward must be measurably slower there, while Cannon (all
+  // nearest-neighbour shifts, 1-hop alignment ring moves) barely changes.
+  Rng rng(82);
+  const Matrix a = random_matrix(16, 16, rng);
+  const Matrix b = random_matrix(16, 16, rng);
+  MachineParams ct;
+  ct.t_s = 30.0;
+  ct.t_w = 2.0;
+  MachineParams sf = ct;
+  sf.routing = Routing::kStoreAndForward;
+  const auto& reg = default_registry();
+  const double fox_ct = reg.implementation("fox").run(a, b, 16, ct).report.t_parallel;
+  const double fox_sf = reg.implementation("fox").run(a, b, 16, sf).report.t_parallel;
+  EXPECT_GT(fox_sf, fox_ct * 1.05);
+}
+
+}  // namespace
+}  // namespace hpmm

@@ -1,0 +1,101 @@
+// Cross-layer validation: the simulated algorithms must realise their
+// analytical models — exactly where the paper's expression is exact, within
+// the paper's loose constants elsewhere.
+
+#include <gtest/gtest.h>
+
+#include "core/registry.hpp"
+#include "core/validate.hpp"
+
+namespace hpmm {
+namespace {
+
+MachineParams params(double ts, double tw) {
+  MachineParams m;
+  m.t_s = ts;
+  m.t_w = tw;
+  return m;
+}
+
+struct GridCase {
+  const char* name;
+  std::size_t n, p;
+  double lo, hi;  // acceptable sim/model T_p ratio band
+};
+
+class ModelVsSim : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(ModelVsSim, RatioWithinBand) {
+  const auto c = GetParam();
+  const auto& reg = default_registry();
+  const auto model = reg.model(c.name, params(60, 2));
+  const auto pt = validate_algorithm(reg.implementation(c.name), *model, c.n, c.p);
+  EXPECT_TRUE(pt.product_correct) << c.name;
+  EXPECT_GE(pt.ratio(), c.lo) << c.name << " n=" << c.n << " p=" << c.p
+                              << " sim=" << pt.sim_t_parallel
+                              << " model=" << pt.model_t_parallel;
+  EXPECT_LE(pt.ratio(), c.hi) << c.name << " n=" << c.n << " p=" << c.p
+                              << " sim=" << pt.sim_t_parallel
+                              << " model=" << pt.model_t_parallel;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ExactModels, ModelVsSim,
+    ::testing::Values(
+        // Cannon, GK (hypercube), GK (CM-5) and DNS simulate their equations
+        // exactly.
+        GridCase{"cannon", 16, 4, 0.999, 1.001},
+        GridCase{"cannon", 16, 16, 0.999, 1.001},
+        GridCase{"cannon", 32, 64, 0.999, 1.001},
+        GridCase{"gk", 16, 8, 0.999, 1.001},
+        GridCase{"gk", 16, 64, 0.999, 1.001},
+        GridCase{"gk", 24, 512, 0.999, 1.001},
+        GridCase{"gk-fc", 16, 64, 0.999, 1.001},
+        GridCase{"gk-fc", 16, 512, 0.999, 1.001},
+        GridCase{"dns", 4, 32, 0.999, 1.001},
+        GridCase{"dns", 8, 128, 0.999, 1.001},
+        GridCase{"gk-allport", 16, 64, 0.999, 1.001},
+        GridCase{"simple-allport", 16, 16, 0.999, 1.001},
+        GridCase{"simple-ring", 12, 9, 0.999, 1.001},
+        GridCase{"simple-ring", 16, 16, 0.999, 1.001}));
+
+INSTANTIATE_TEST_SUITE_P(
+    LooseConstantModels, ModelVsSim,
+    ::testing::Values(
+        // The paper's Eq. 2 doubles the recursive-doubling t_s constant and
+        // Eq. 4 models a pipelined Fox; the simulations sit within a small
+        // constant band of the expressions.
+        GridCase{"simple", 16, 16, 0.4, 1.1},
+        GridCase{"simple", 32, 64, 0.4, 1.1},
+        GridCase{"fox", 16, 16, 0.3, 3.0},
+        GridCase{"berntsen", 16, 8, 0.7, 1.05},
+        GridCase{"berntsen", 32, 64, 0.7, 1.05},
+        GridCase{"gk-jh", 16, 64, 0.5, 1.5}));
+
+TEST(ModelVsSim, OverheadRatioStableAcrossN) {
+  // For a fixed p, sim/model must not drift with n (same asymptotics).
+  const auto& reg = default_registry();
+  const auto model = reg.model("gk", params(60, 2));
+  double first = 0.0;
+  for (std::size_t n : {8u, 16u, 32u, 64u}) {
+    const auto pt = validate_algorithm(reg.implementation("gk"), *model, n, 64);
+    if (first == 0.0) {
+      first = pt.ratio();
+    } else {
+      EXPECT_NEAR(pt.ratio(), first, 0.05) << n;
+    }
+  }
+}
+
+TEST(ModelVsSim, CannonExactAcrossMachines) {
+  const auto& reg = default_registry();
+  for (const auto mp : {params(150, 3), params(10, 3), params(0.5, 3),
+                        machines::cm5_measured()}) {
+    const auto model = reg.model("cannon", mp);
+    const auto pt = validate_algorithm(reg.implementation("cannon"), *model, 24, 16);
+    EXPECT_NEAR(pt.ratio(), 1.0, 1e-9) << mp.label;
+  }
+}
+
+}  // namespace
+}  // namespace hpmm

@@ -1,0 +1,189 @@
+// Property-style sweeps over the whole stack: invariants that must hold for
+// every algorithm, machine and problem shape.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/registry.hpp"
+#include "matrix/generate.hpp"
+#include "matrix/kernels.hpp"
+
+namespace hpmm {
+namespace {
+
+MachineParams params(double ts, double tw) {
+  MachineParams m;
+  m.t_s = ts;
+  m.t_w = tw;
+  return m;
+}
+
+struct Shape {
+  const char* name;
+  std::size_t n, p;
+};
+
+const Shape kShapes[] = {
+    {"simple", 16, 16},  {"simple", 16, 64},  {"cannon", 16, 16},
+    {"cannon", 12, 9},   {"fox", 16, 16},     {"berntsen", 16, 8},
+    {"berntsen", 16, 64},{"dns", 4, 64},      {"dns", 8, 128},
+    {"gk", 16, 8},       {"gk", 16, 64},      {"gk-fc", 16, 64},
+    {"gk-jh", 16, 64},
+};
+
+class AlgorithmProperties : public ::testing::TestWithParam<Shape> {
+ protected:
+  MatmulResult run(std::uint64_t seed = 7) const {
+    const auto s = GetParam();
+    Rng rng(seed);
+    const Matrix a = random_matrix(s.n, s.n, rng);
+    const Matrix b = random_matrix(s.n, s.n, rng);
+    return default_registry().implementation(s.name).run(a, b, s.p,
+                                                         params(50, 2));
+  }
+};
+
+TEST_P(AlgorithmProperties, SpeedupBoundedByP) {
+  const auto res = run();
+  EXPECT_LE(res.report.speedup(), static_cast<double>(GetParam().p) * (1 + 1e-12));
+  EXPECT_GT(res.report.speedup(), 0.0);
+}
+
+TEST_P(AlgorithmProperties, EfficiencyInUnitInterval) {
+  const auto res = run();
+  EXPECT_GT(res.report.efficiency(), 0.0);
+  EXPECT_LE(res.report.efficiency(), 1.0 + 1e-12);
+}
+
+TEST_P(AlgorithmProperties, TotalFlopsEqualUsefulWork) {
+  // Conservation of work: the charged multiply-adds across all processors
+  // must equal n^3 exactly (no algorithm does redundant multiplications).
+  const auto res = run();
+  const auto n = static_cast<std::uint64_t>(GetParam().n);
+  EXPECT_EQ(res.report.total_flops, n * n * n) << GetParam().name;
+}
+
+TEST_P(AlgorithmProperties, ComputePlusCommPlusIdleEqualsClock) {
+  const auto s = GetParam();
+  Rng rng(7);
+  const Matrix a = random_matrix(s.n, s.n, rng);
+  const Matrix b = random_matrix(s.n, s.n, rng);
+  // Re-run to collect per-processor stats.
+  const auto res = default_registry().implementation(s.name).run(
+      a, b, s.p, params(50, 2));
+  // T_p >= each component.
+  EXPECT_GE(res.report.t_parallel + 1e-9, res.report.max_compute_time);
+  EXPECT_GE(res.report.t_parallel + 1e-9, res.report.max_comm_time);
+  EXPECT_GE(res.report.t_parallel + 1e-9, res.report.max_idle_time);
+}
+
+TEST_P(AlgorithmProperties, DeterministicAcrossRuns) {
+  const auto r1 = run(3);
+  const auto r2 = run(3);
+  EXPECT_EQ(r1.c, r2.c);
+  EXPECT_DOUBLE_EQ(r1.report.t_parallel, r2.report.t_parallel);
+  EXPECT_EQ(r1.report.total_words, r2.report.total_words);
+}
+
+TEST_P(AlgorithmProperties, TimingIsDataIndependent) {
+  const auto r1 = run(1);
+  const auto r2 = run(2);
+  EXPECT_DOUBLE_EQ(r1.report.t_parallel, r2.report.t_parallel);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllShapes, AlgorithmProperties,
+                         ::testing::ValuesIn(kShapes));
+
+TEST(Properties, MoreProcessorsNeverIncreaseComputeTime) {
+  // n fixed: per-processor compute shrinks as p grows (perfect load
+  // balance in every formulation).
+  const auto& reg = default_registry();
+  Rng rng(11);
+  const Matrix a = random_matrix(16, 16, rng);
+  const Matrix b = random_matrix(16, 16, rng);
+  double prev = 1e30;
+  for (std::size_t p : {1u, 8u, 64u}) {
+    const auto res = reg.implementation("gk").run(a, b, p, params(50, 2));
+    EXPECT_LT(res.report.max_compute_time, prev);
+    prev = res.report.max_compute_time;
+  }
+}
+
+TEST(Properties, EfficiencyImprovesWithProblemSizeInSim) {
+  const auto& reg = default_registry();
+  double prev = 0.0;
+  for (std::size_t n : {8u, 16u, 32u, 64u}) {
+    Rng rng(n);
+    const Matrix a = random_matrix(n, n, rng);
+    const Matrix b = random_matrix(n, n, rng);
+    const auto res = reg.implementation("cannon").run(a, b, 16, params(50, 2));
+    EXPECT_GT(res.report.efficiency(), prev);
+    prev = res.report.efficiency();
+  }
+}
+
+TEST(Properties, WordsSentScaleWithProblemSize) {
+  // Doubling n quadruples every message, so total traffic grows 4x for the
+  // mesh algorithms at fixed p.
+  const auto& reg = default_registry();
+  std::uint64_t words[2];
+  std::size_t idx = 0;
+  for (std::size_t n : {16u, 32u}) {
+    Rng rng(n);
+    const Matrix a = random_matrix(n, n, rng);
+    const Matrix b = random_matrix(n, n, rng);
+    words[idx++] =
+        reg.implementation("cannon").run(a, b, 16, params(50, 2)).report.total_words;
+  }
+  EXPECT_EQ(words[1], 4 * words[0]);
+}
+
+TEST(Properties, MemoryEfficiencyClaims) {
+  // Section 4.1 vs 4.2: the simple algorithm's peak per-processor storage
+  // is ~sqrt(p)/3 times Cannon's; Cannon stores only the three resident
+  // blocks.
+  const auto& reg = default_registry();
+  const std::size_t n = 32, p = 16;
+  Rng rng(13);
+  const Matrix a = random_matrix(n, n, rng);
+  const Matrix b = random_matrix(n, n, rng);
+  const auto simple = reg.implementation("simple").run(a, b, p, params(50, 2));
+  const auto cannon = reg.implementation("cannon").run(a, b, p, params(50, 2));
+  EXPECT_EQ(cannon.report.max_peak_words, 3 * (n * n / p));
+  EXPECT_GT(simple.report.max_peak_words, cannon.report.max_peak_words);
+  // Simple gathers a whole block-row of A and block-column of B.
+  EXPECT_EQ(simple.report.max_peak_words,
+            2 * (n * n / p) * 4 /*sqrt p*/ + (n * n / p));
+}
+
+TEST(Properties, BerntsenMemoryMatchesSection44) {
+  // 2 n^2/p operand words + n^2/p^{2/3} partial product words per processor.
+  const auto& reg = default_registry();
+  const std::size_t n = 16, p = 8;
+  Rng rng(14);
+  const Matrix a = random_matrix(n, n, rng);
+  const Matrix b = random_matrix(n, n, rng);
+  const auto res = reg.implementation("berntsen").run(a, b, p, params(50, 2));
+  EXPECT_EQ(res.report.max_peak_words, 2 * (n * n / p) + (n * n / 4));
+}
+
+TEST(Properties, HigherTsHurtsGkMoreThanCannonPerStep) {
+  // GK pays (5/3) log p startups, Cannon pays 2 sqrt(p): at p = 64 Cannon
+  // pays more startups, so raising t_s flips more decisions towards GK.
+  const auto& reg = default_registry();
+  const std::size_t n = 32, p = 64;
+  Rng rng(15);
+  const Matrix a = random_matrix(n, n, rng);
+  const Matrix b = random_matrix(n, n, rng);
+  const auto gk_low = reg.implementation("gk").run(a, b, p, params(1, 3));
+  const auto gk_high = reg.implementation("gk").run(a, b, p, params(1000, 3));
+  const auto cn_low = reg.implementation("cannon").run(a, b, p, params(1, 3));
+  const auto cn_high = reg.implementation("cannon").run(a, b, p, params(1000, 3));
+  const double gk_delta = gk_high.report.t_parallel - gk_low.report.t_parallel;
+  const double cn_delta = cn_high.report.t_parallel - cn_low.report.t_parallel;
+  EXPECT_LT(gk_delta, cn_delta);  // 10 startups vs 16 startups at p = 64
+}
+
+}  // namespace
+}  // namespace hpmm

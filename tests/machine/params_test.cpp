@@ -1,0 +1,76 @@
+#include "machine/params.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace hpmm {
+namespace {
+
+TEST(MachineParams, MessageTimeCutThrough) {
+  MachineParams m;
+  m.t_s = 10.0;
+  m.t_w = 2.0;
+  m.routing = Routing::kCutThrough;
+  EXPECT_DOUBLE_EQ(m.message_time(5.0), 20.0);       // 10 + 2*5
+  EXPECT_DOUBLE_EQ(m.message_time(5.0, 4), 20.0);    // hops free when t_h = 0
+  EXPECT_DOUBLE_EQ(m.message_time(5.0, 0), 0.0);     // local
+}
+
+TEST(MachineParams, MessageTimeWithHopLatency) {
+  MachineParams m;
+  m.t_s = 10.0;
+  m.t_w = 2.0;
+  m.t_h = 1.0;
+  EXPECT_DOUBLE_EQ(m.message_time(5.0, 4), 24.0);  // 10 + 4*1 + 2*5
+}
+
+TEST(MachineParams, MessageTimeStoreAndForward) {
+  MachineParams m;
+  m.t_s = 10.0;
+  m.t_w = 2.0;
+  m.routing = Routing::kStoreAndForward;
+  EXPECT_DOUBLE_EQ(m.message_time(5.0, 3), 60.0);  // (10 + 10) * 3
+}
+
+TEST(MachineParams, CpuSpeedupScalesRelativeCosts) {
+  MachineParams m;
+  m.t_s = 100.0;
+  m.t_w = 3.0;
+  m.t_h = 0.5;
+  const auto fast = m.with_cpu_speedup(10.0);
+  EXPECT_DOUBLE_EQ(fast.t_s, 1000.0);
+  EXPECT_DOUBLE_EQ(fast.t_w, 30.0);
+  EXPECT_DOUBLE_EQ(fast.t_h, 5.0);
+  EXPECT_THROW(m.with_cpu_speedup(0.0), PreconditionError);
+}
+
+TEST(MachineParams, FromPhysicalNormalises) {
+  // Section 9 CM-5 measurements.
+  const auto m = MachineParams::from_physical(1.53, 380.0, 1.8, "cm5");
+  EXPECT_NEAR(m.t_s, 248.37, 0.01);
+  EXPECT_NEAR(m.t_w, 1.176, 0.001);
+  EXPECT_THROW(MachineParams::from_physical(0.0, 1.0, 1.0), PreconditionError);
+}
+
+TEST(MachinePresets, PaperParameterSets) {
+  EXPECT_DOUBLE_EQ(machines::ncube2().t_s, 150.0);
+  EXPECT_DOUBLE_EQ(machines::ncube2().t_w, 3.0);
+  EXPECT_DOUBLE_EQ(machines::future_hypercube().t_s, 10.0);
+  EXPECT_DOUBLE_EQ(machines::simd_cm2().t_s, 0.5);
+  EXPECT_DOUBLE_EQ(machines::simd_cm2().t_w, 3.0);
+  EXPECT_NEAR(machines::cm5_measured().t_s, 248.37, 0.01);
+  EXPECT_NEAR(machines::cm5_measured().t_w, 1.176, 0.001);
+  EXPECT_DOUBLE_EQ(machines::ideal().t_s, 0.0);
+  EXPECT_DOUBLE_EQ(machines::ideal().t_w, 0.0);
+}
+
+TEST(MachinePresets, DefaultsAreOnePortCutThrough) {
+  const auto m = machines::ncube2();
+  EXPECT_EQ(m.ports, PortModel::kOnePort);
+  EXPECT_EQ(m.routing, Routing::kCutThrough);
+  EXPECT_DOUBLE_EQ(m.t_h, 0.0);
+}
+
+}  // namespace
+}  // namespace hpmm

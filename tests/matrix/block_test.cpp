@@ -1,0 +1,95 @@
+#include "matrix/block.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matrix/generate.hpp"
+#include "util/error.hpp"
+
+namespace hpmm {
+namespace {
+
+TEST(BlockGrid, BasicGeometry) {
+  BlockGrid g(8, 8, 4, 4);
+  EXPECT_EQ(g.block_rows(), 2u);
+  EXPECT_EQ(g.block_cols(), 2u);
+  EXPECT_EQ(g.block_count(), 16u);
+  EXPECT_EQ(g.block_words(), 4u);
+}
+
+TEST(BlockGrid, RequiresExactDivision) {
+  EXPECT_THROW(BlockGrid(8, 8, 3, 4), PreconditionError);
+  EXPECT_THROW(BlockGrid(8, 8, 4, 3), PreconditionError);
+  EXPECT_THROW(BlockGrid(8, 8, 0, 4), PreconditionError);
+}
+
+TEST(BlockGrid, ExtractPicksTheRightElements) {
+  const Matrix m = index_matrix(4, 4);
+  BlockGrid g(4, 4, 2, 2);
+  const Matrix blk = g.extract(m, 1, 0);
+  EXPECT_EQ(blk(0, 0), m(2, 0));
+  EXPECT_EQ(blk(1, 1), m(3, 1));
+}
+
+TEST(BlockGrid, ExtractValidation) {
+  const Matrix m = index_matrix(4, 4);
+  BlockGrid g(4, 4, 2, 2);
+  EXPECT_THROW(g.extract(m, 2, 0), PreconditionError);
+  const Matrix wrong(6, 6);
+  EXPECT_THROW(g.extract(wrong, 0, 0), PreconditionError);
+}
+
+TEST(BlockGrid, InsertValidation) {
+  Matrix m(4, 4);
+  BlockGrid g(4, 4, 2, 2);
+  Matrix wrong_shape(1, 2);
+  EXPECT_THROW(g.insert(m, wrong_shape, 0, 0), PreconditionError);
+}
+
+TEST(BlockGrid, ScatterGatherRoundTrip) {
+  Rng rng(3);
+  const Matrix m = random_matrix(12, 12, rng);
+  BlockGrid g(12, 12, 3, 4);
+  const auto blocks = scatter_blocks(m, g);
+  ASSERT_EQ(blocks.size(), 12u);
+  EXPECT_EQ(gather_blocks(blocks, g), m);
+}
+
+TEST(BlockGrid, GatherWrongCountThrows) {
+  BlockGrid g(4, 4, 2, 2);
+  std::vector<Matrix> blocks(3, Matrix(2, 2));
+  EXPECT_THROW(gather_blocks(blocks, g), PreconditionError);
+}
+
+TEST(BlockGrid, RectangularBlocks) {
+  // Non-square block shapes as used by Berntsen's algorithm.
+  Rng rng(4);
+  const Matrix m = random_matrix(8, 16, rng);
+  BlockGrid g(8, 16, 4, 2);
+  EXPECT_EQ(g.block_rows(), 2u);
+  EXPECT_EQ(g.block_cols(), 8u);
+  EXPECT_EQ(gather_blocks(scatter_blocks(m, g), g), m);
+}
+
+/// Property: scatter/gather round-trips for every grid shape that divides.
+class ScatterGatherProperty
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(ScatterGatherProperty, RoundTrip) {
+  const auto [size, grid] = GetParam();
+  Rng rng(size * 31 + grid);
+  const Matrix m = random_matrix(size, size, rng);
+  BlockGrid g(size, size, grid, grid);
+  EXPECT_EQ(gather_blocks(scatter_blocks(m, g), g), m);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ScatterGatherProperty,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{4, 1},
+                      std::pair<std::size_t, std::size_t>{4, 2},
+                      std::pair<std::size_t, std::size_t>{4, 4},
+                      std::pair<std::size_t, std::size_t>{24, 3},
+                      std::pair<std::size_t, std::size_t>{32, 8},
+                      std::pair<std::size_t, std::size_t>{60, 5}));
+
+}  // namespace
+}  // namespace hpmm

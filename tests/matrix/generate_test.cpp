@@ -1,0 +1,52 @@
+#include "matrix/generate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hpmm {
+namespace {
+
+TEST(Generate, RandomMatrixDeterministicInSeed) {
+  Rng r1(9), r2(9);
+  EXPECT_EQ(random_matrix(8, 8, r1), random_matrix(8, 8, r2));
+}
+
+TEST(Generate, RandomMatrixRespectsBounds) {
+  Rng rng(10);
+  const Matrix m = random_matrix(16, 16, rng, -2.0, 3.0);
+  for (double v : m.data()) {
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Generate, Identity) {
+  const Matrix i = identity_matrix(4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_EQ(i(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Generate, IndexMatrixValues) {
+  const Matrix m = index_matrix(3, 4);
+  EXPECT_EQ(m(0, 0), 0.0);
+  EXPECT_EQ(m(1, 0), 4.0);
+  EXPECT_EQ(m(2, 3), 11.0);
+}
+
+TEST(Generate, ConstantMatrix) {
+  const Matrix m = constant_matrix(2, 5, 3.5);
+  for (double v : m.data()) EXPECT_EQ(v, 3.5);
+}
+
+TEST(Generate, HilbertMatrixEntries) {
+  const Matrix h = hilbert_matrix(3);
+  EXPECT_DOUBLE_EQ(h(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(h(1, 1), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(h(2, 2), 0.2);
+  EXPECT_DOUBLE_EQ(h(0, 2), h(2, 0));  // symmetric
+}
+
+}  // namespace
+}  // namespace hpmm

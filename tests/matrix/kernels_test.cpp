@@ -1,0 +1,95 @@
+#include "matrix/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matrix/generate.hpp"
+#include "util/error.hpp"
+
+namespace hpmm {
+namespace {
+
+TEST(Kernels, SmallHandComputedProduct) {
+  Matrix a(2, 2), b(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 3; a(1, 1) = 4;
+  b(0, 0) = 5; b(0, 1) = 6; b(1, 0) = 7; b(1, 1) = 8;
+  const Matrix c = multiply(a, b, Kernel::kNaiveIjk);
+  EXPECT_EQ(c(0, 0), 19.0);
+  EXPECT_EQ(c(0, 1), 22.0);
+  EXPECT_EQ(c(1, 0), 43.0);
+  EXPECT_EQ(c(1, 1), 50.0);
+}
+
+TEST(Kernels, IdentityIsNeutral) {
+  Rng rng(1);
+  const Matrix a = random_matrix(16, 16, rng);
+  const Matrix i = identity_matrix(16);
+  EXPECT_TRUE(approx_equal(multiply(a, i), a, 1e-14));
+  EXPECT_TRUE(approx_equal(multiply(i, a), a, 1e-14));
+}
+
+TEST(Kernels, MultiplyAddAccumulates) {
+  Matrix a(2, 2, 1.0), b(2, 2, 1.0);
+  Matrix c(2, 2, 10.0);
+  multiply_add(a, b, c);
+  EXPECT_EQ(c(0, 0), 12.0);  // 10 + 2
+}
+
+TEST(Kernels, ShapeValidation) {
+  Matrix a(2, 3), b(2, 3), c(2, 3);
+  EXPECT_THROW(multiply_add(a, b, c), PreconditionError);  // inner mismatch
+  Matrix b2(3, 4), c_bad(2, 3);
+  EXPECT_THROW(multiply_add(a, b2, c_bad), PreconditionError);  // C shape
+}
+
+TEST(Kernels, RectangularShapes) {
+  Rng rng(2);
+  const Matrix a = random_matrix(3, 5, rng);
+  const Matrix b = random_matrix(5, 2, rng);
+  const Matrix c = multiply(a, b);
+  EXPECT_EQ(c.rows(), 3u);
+  EXPECT_EQ(c.cols(), 2u);
+  // Check one entry against the direct dot product.
+  double expect = 0.0;
+  for (std::size_t k = 0; k < 5; ++k) expect += a(1, k) * b(k, 1);
+  EXPECT_NEAR(c(1, 1), expect, 1e-14);
+}
+
+TEST(Kernels, FlopCount) {
+  EXPECT_EQ(matmul_flops(2, 3, 4), 24u);
+  EXPECT_EQ(matmul_flops(64, 64, 64), 262144u);
+}
+
+TEST(Kernels, ToStringNames) {
+  EXPECT_EQ(to_string(Kernel::kNaiveIjk), "naive-ijk");
+  EXPECT_EQ(to_string(Kernel::kCacheIkj), "cache-ikj");
+  EXPECT_EQ(to_string(Kernel::kBlocked), "blocked");
+  EXPECT_EQ(to_string(Kernel::kTransposedB), "transposed-b");
+}
+
+/// All kernels must agree with the naive reference on random inputs,
+/// including sizes that straddle the blocked kernel's tile boundary.
+class KernelAgreement
+    : public ::testing::TestWithParam<std::tuple<Kernel, std::size_t>> {};
+
+TEST_P(KernelAgreement, MatchesNaive) {
+  const auto [kernel, n] = GetParam();
+  Rng rng(17 + n);
+  const Matrix a = random_matrix(n, n, rng);
+  const Matrix b = random_matrix(n, n, rng);
+  const Matrix expect = multiply(a, b, Kernel::kNaiveIjk);
+  const Matrix got = multiply(a, b, kernel);
+  EXPECT_TRUE(approx_equal(expect, got, 1e-11 * static_cast<double>(n)))
+      << to_string(kernel) << " n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernelsAndSizes, KernelAgreement,
+    ::testing::Combine(::testing::Values(Kernel::kCacheIkj, Kernel::kBlocked,
+                                         Kernel::kTransposedB),
+                       ::testing::Values(std::size_t{1}, std::size_t{7},
+                                         std::size_t{31}, std::size_t{32},
+                                         std::size_t{33}, std::size_t{64},
+                                         std::size_t{100})));
+
+}  // namespace
+}  // namespace hpmm

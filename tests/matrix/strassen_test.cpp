@@ -1,0 +1,72 @@
+#include "matrix/strassen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matrix/generate.hpp"
+#include "matrix/kernels.hpp"
+#include "util/error.hpp"
+
+namespace hpmm {
+namespace {
+
+TEST(Strassen, MatchesConventionalOnPow2) {
+  Rng rng(21);
+  const Matrix a = random_matrix(64, 64, rng);
+  const Matrix b = random_matrix(64, 64, rng);
+  const Matrix expect = multiply(a, b);
+  const Matrix got = multiply_strassen(a, b, /*cutoff=*/8);
+  EXPECT_TRUE(approx_equal(expect, got, 1e-9));
+}
+
+TEST(Strassen, MatchesConventionalOnNonPow2) {
+  Rng rng(22);
+  for (std::size_t n : {3u, 17u, 50u, 100u}) {
+    const Matrix a = random_matrix(n, n, rng);
+    const Matrix b = random_matrix(n, n, rng);
+    EXPECT_TRUE(approx_equal(multiply(a, b), multiply_strassen(a, b, 8),
+                             1e-9 * static_cast<double>(n)))
+        << n;
+  }
+}
+
+TEST(Strassen, CutoffAtOrAboveNFallsBackToConventional) {
+  Rng rng(23);
+  const Matrix a = random_matrix(16, 16, rng);
+  const Matrix b = random_matrix(16, 16, rng);
+  EXPECT_EQ(multiply_strassen(a, b, 16), multiply(a, b));
+}
+
+TEST(Strassen, IdentityAndEmpty) {
+  Rng rng(24);
+  const Matrix a = random_matrix(32, 32, rng);
+  EXPECT_TRUE(approx_equal(multiply_strassen(a, identity_matrix(32), 8), a, 1e-10));
+  EXPECT_TRUE(multiply_strassen(Matrix(), Matrix(), 8).empty());
+}
+
+TEST(Strassen, Validation) {
+  Matrix sq(4, 4), rect(4, 5);
+  EXPECT_THROW(multiply_strassen(sq, rect), PreconditionError);
+  EXPECT_THROW(multiply_strassen(sq, sq, 0), PreconditionError);
+}
+
+TEST(Strassen, MultiplicationCountBelowCubeForLargeN) {
+  // Footnote 1's trade-off: asymptotically fewer multiplications...
+  const std::uint64_t conventional = 1024ULL * 1024 * 1024;
+  EXPECT_LT(strassen_multiplications(1024, 64), conventional);
+}
+
+TEST(Strassen, MultiplicationCountHigherConstantsAtSmallN) {
+  // ...but no advantage at small orders (the paper's reason for sticking to
+  // the conventional algorithm).
+  EXPECT_EQ(strassen_multiplications(64, 64), 64ULL * 64 * 64);
+  // Just above the cutoff the padded 7-recursion barely pays.
+  EXPECT_GT(strassen_multiplications(65, 64), 65ULL * 65 * 65);
+}
+
+TEST(Strassen, CountMatchesRecursionAlgebra) {
+  // n = 256, cutoff 32: three levels of 7x, base 32^3.
+  EXPECT_EQ(strassen_multiplications(256, 32), 7ULL * 7 * 7 * 32 * 32 * 32);
+}
+
+}  // namespace
+}  // namespace hpmm

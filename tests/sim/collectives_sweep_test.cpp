@@ -1,0 +1,130 @@
+// Parameterized sweeps over the emergent collectives: for every (group
+// size, message size) combination the simulated cost must equal the closed
+// form exactly, the data must arrive intact, and no messages may linger.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <numeric>
+
+#include "sim/collectives.hpp"
+#include "topology/hypercube.hpp"
+#include "util/bits.hpp"
+
+namespace hpmm {
+namespace {
+
+constexpr double kTs = 17.0;
+constexpr double kTw = 1.25;
+
+struct Sweep {
+  std::size_t group;  // power of two
+  std::size_t words;
+};
+
+class CollectiveSweep : public ::testing::TestWithParam<Sweep> {
+ protected:
+  CollectiveSweep() {
+    MachineParams mp;
+    mp.t_s = kTs;
+    mp.t_w = kTw;
+    machine_ = std::make_unique<SimMachine>(
+        std::make_shared<Hypercube>(exact_log2(GetParam().group)), mp);
+    group_.resize(GetParam().group);
+    std::iota(group_.begin(), group_.end(), 0u);
+  }
+
+  double cost(std::size_t words) const {
+    return kTs + kTw * static_cast<double>(words);
+  }
+  double logg() const {
+    return static_cast<double>(exact_log2(GetParam().group));
+  }
+
+  std::unique_ptr<SimMachine> machine_;
+  std::vector<ProcId> group_;
+};
+
+TEST_P(CollectiveSweep, BroadcastBinomialExact) {
+  const auto [g, w] = GetParam();
+  Matrix payload(1, w);
+  payload(0, w - 1) = 42.0;
+  const auto copies = broadcast_binomial(*machine_, group_, g / 2, 1, payload);
+  ASSERT_EQ(copies.size(), g);
+  for (const auto& c : copies) EXPECT_EQ(c(0, w - 1), 42.0);
+  EXPECT_DOUBLE_EQ(machine_->time(), logg() * cost(w));
+  EXPECT_EQ(machine_->pending_messages(), 0u);
+}
+
+TEST_P(CollectiveSweep, ReduceBinomialExact) {
+  const auto [g, w] = GetParam();
+  std::vector<Matrix> contribs;
+  for (std::size_t i = 0; i < g; ++i) contribs.push_back(Matrix(1, w, 1.0));
+  const Matrix sum = reduce_binomial(*machine_, group_, 0, 1, std::move(contribs));
+  EXPECT_EQ(sum(0, 0), static_cast<double>(g));
+  EXPECT_DOUBLE_EQ(machine_->time(), logg() * cost(w));
+}
+
+TEST_P(CollectiveSweep, RingAllToAllExact) {
+  const auto [g, w] = GetParam();
+  std::vector<Matrix> contribs;
+  for (std::size_t i = 0; i < g; ++i) {
+    contribs.push_back(Matrix(1, w, static_cast<double>(i)));
+  }
+  const auto result = all_to_all_ring(*machine_, group_, 1, std::move(contribs));
+  for (std::size_t pos = 0; pos < g; ++pos) {
+    for (std::size_t origin = 0; origin < g; ++origin) {
+      EXPECT_EQ(result[pos][origin](0, 0), static_cast<double>(origin));
+    }
+  }
+  EXPECT_DOUBLE_EQ(machine_->time(), static_cast<double>(g - 1) * cost(w));
+}
+
+TEST_P(CollectiveSweep, RecursiveDoublingExact) {
+  const auto [g, w] = GetParam();
+  std::vector<Matrix> contribs;
+  for (std::size_t i = 0; i < g; ++i) {
+    contribs.push_back(Matrix(1, w, static_cast<double>(i + 1)));
+  }
+  const auto result =
+      all_to_all_recursive_doubling(*machine_, group_, 1, std::move(contribs));
+  for (std::size_t pos = 0; pos < g; ++pos) {
+    for (std::size_t origin = 0; origin < g; ++origin) {
+      EXPECT_EQ(result[pos][origin](0, 0), static_cast<double>(origin + 1));
+    }
+  }
+  const double expect =
+      kTs * logg() + kTw * static_cast<double>(w) * static_cast<double>(g - 1);
+  EXPECT_DOUBLE_EQ(machine_->time(), expect);
+}
+
+TEST_P(CollectiveSweep, ReduceScatterExact) {
+  const auto [g, w] = GetParam();
+  // Rows must be divisible by g; give each member g rows of width w.
+  std::vector<Matrix> contribs;
+  for (std::size_t i = 0; i < g; ++i) contribs.push_back(Matrix(g, w, 2.0));
+  const auto slices =
+      reduce_scatter_halving(*machine_, group_, 1, std::move(contribs));
+  for (const auto& s : slices) {
+    ASSERT_EQ(s.rows(), 1u);
+    EXPECT_EQ(s(0, 0), 2.0 * static_cast<double>(g));
+  }
+  const double m = static_cast<double>(g) * static_cast<double>(w);
+  const double expect =
+      kTs * logg() + kTw * m * (1.0 - 1.0 / static_cast<double>(g));
+  EXPECT_NEAR(machine_->time(), expect, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GroupsAndSizes, CollectiveSweep,
+    ::testing::Values(Sweep{2, 1}, Sweep{2, 64}, Sweep{4, 1}, Sweep{4, 17},
+                      Sweep{8, 3}, Sweep{8, 256}, Sweep{16, 5}, Sweep{32, 9},
+                      Sweep{64, 2}),
+    [](const ::testing::TestParamInfo<Sweep>& info) {
+      return "g" + std::to_string(info.param.group) + "w" +
+             std::to_string(info.param.words);
+    });
+
+}  // namespace
+}  // namespace hpmm

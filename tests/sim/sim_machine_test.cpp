@@ -1,0 +1,246 @@
+#include "sim/sim_machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "topology/hypercube.hpp"
+#include "util/error.hpp"
+
+namespace hpmm {
+namespace {
+
+MachineParams test_params(double ts = 10.0, double tw = 2.0) {
+  MachineParams m;
+  m.t_s = ts;
+  m.t_w = tw;
+  return m;
+}
+
+SimMachine make_machine(unsigned dim, MachineParams params = test_params()) {
+  return SimMachine(std::make_shared<Hypercube>(dim), std::move(params));
+}
+
+Matrix payload(std::size_t words) { return Matrix(1, words); }
+
+TEST(SimMachine, ComputeAdvancesClockAndCounters) {
+  auto m = make_machine(2);
+  m.compute(1, 100.0);
+  EXPECT_DOUBLE_EQ(m.clock(1), 100.0);
+  EXPECT_DOUBLE_EQ(m.clock(0), 0.0);
+  EXPECT_EQ(m.stats(1).flops, 100u);
+  EXPECT_DOUBLE_EQ(m.stats(1).compute_time, 100.0);
+  EXPECT_DOUBLE_EQ(m.time(), 100.0);
+}
+
+TEST(SimMachine, ComputeValidation) {
+  auto m = make_machine(1);
+  EXPECT_THROW(m.compute(5, 1.0), PreconditionError);
+  EXPECT_THROW(m.compute(0, -1.0), PreconditionError);
+}
+
+TEST(SimMachine, SingleMessageCostAndDelivery) {
+  auto m = make_machine(2);
+  std::vector<Message> msgs;
+  msgs.emplace_back(0, 1, 7, payload(5));
+  m.exchange(std::move(msgs));
+  // cost = t_s + t_w * 5 = 10 + 10 = 20 for both endpoints.
+  EXPECT_DOUBLE_EQ(m.clock(0), 20.0);
+  EXPECT_DOUBLE_EQ(m.clock(1), 20.0);
+  EXPECT_TRUE(m.has_message(1, 7));
+  const Message got = m.receive(1, 7);
+  EXPECT_EQ(got.words(), 5u);
+  EXPECT_EQ(got.src, 0u);
+  EXPECT_FALSE(m.has_message(1, 7));
+}
+
+TEST(SimMachine, ReceiverWaitsForLateSender) {
+  auto m = make_machine(2);
+  m.compute(0, 50.0);  // sender is busy until t = 50
+  std::vector<Message> msgs;
+  msgs.emplace_back(0, 1, 1, payload(5));
+  m.exchange(std::move(msgs));
+  EXPECT_DOUBLE_EQ(m.clock(0), 70.0);
+  EXPECT_DOUBLE_EQ(m.clock(1), 70.0);  // waited 50, then 20 transfer
+  EXPECT_DOUBLE_EQ(m.stats(1).idle_time, 70.0);
+  EXPECT_DOUBLE_EQ(m.stats(0).idle_time, 0.0);
+}
+
+TEST(SimMachine, BusyReceiverDoesNotWait) {
+  auto m = make_machine(2);
+  m.compute(1, 100.0);  // receiver busy past the arrival
+  std::vector<Message> msgs;
+  msgs.emplace_back(0, 1, 1, payload(5));
+  m.exchange(std::move(msgs));
+  EXPECT_DOUBLE_EQ(m.clock(1), 100.0);  // arrival at 20 < 100
+  EXPECT_DOUBLE_EQ(m.stats(1).idle_time, 0.0);
+}
+
+TEST(SimMachine, RingShiftCostsOneMessageTime) {
+  // Every processor sends to its hypercube neighbour and receives from the
+  // other one: a synchronous shift costs t_s + t_w m for everyone.
+  auto m = make_machine(2);
+  std::vector<Message> msgs;
+  for (ProcId pid = 0; pid < 4; ++pid) {
+    msgs.emplace_back(pid, (pid + 1) % 4, 1, payload(3));
+  }
+  m.exchange(std::move(msgs));
+  for (ProcId pid = 0; pid < 4; ++pid) {
+    EXPECT_DOUBLE_EQ(m.clock(pid), 16.0);  // 10 + 2*3
+  }
+}
+
+TEST(SimMachine, OnePortRejectsTwoSends) {
+  auto m = make_machine(2);
+  std::vector<Message> msgs;
+  msgs.emplace_back(0, 1, 1, payload(1));
+  msgs.emplace_back(0, 2, 1, payload(1));
+  EXPECT_THROW(m.exchange(std::move(msgs)), PreconditionError);
+}
+
+TEST(SimMachine, OnePortRejectsTwoReceives) {
+  auto m = make_machine(2);
+  std::vector<Message> msgs;
+  msgs.emplace_back(1, 0, 1, payload(1));
+  msgs.emplace_back(2, 0, 1, payload(1));
+  EXPECT_THROW(m.exchange(std::move(msgs)), PreconditionError);
+}
+
+TEST(SimMachine, AllPortAllowsConcurrentSendsAtMaxCost) {
+  auto params = test_params();
+  params.ports = PortModel::kAllPort;
+  SimMachine m(std::make_shared<Hypercube>(2), params);
+  std::vector<Message> msgs;
+  msgs.emplace_back(0, 1, 1, payload(3));  // cost 16
+  msgs.emplace_back(0, 2, 2, payload(8));  // cost 26
+  m.exchange(std::move(msgs));
+  // Concurrent transfers: the sender is busy for the longer one only.
+  EXPECT_DOUBLE_EQ(m.clock(0), 26.0);
+  EXPECT_DOUBLE_EQ(m.clock(1), 16.0);
+  EXPECT_DOUBLE_EQ(m.clock(2), 26.0);
+}
+
+TEST(SimMachine, AllPortStillBoundedByPortCount) {
+  auto params = test_params();
+  params.ports = PortModel::kAllPort;
+  SimMachine m(std::make_shared<Hypercube>(1), params);  // 1 port per proc
+  std::vector<Message> msgs;
+  msgs.emplace_back(0, 1, 1, payload(1));
+  EXPECT_NO_THROW(m.exchange(std::move(msgs)));
+  // dim-1 cube has 1 port; two sends must be rejected... but p=2 has only
+  // one possible peer anyway, so use a bigger cube.
+  SimMachine m2(std::make_shared<Hypercube>(2), params);  // 2 ports
+  std::vector<Message> over;
+  over.emplace_back(0, 1, 1, payload(1));
+  over.emplace_back(0, 2, 2, payload(1));
+  over.emplace_back(0, 3, 3, payload(1));
+  EXPECT_THROW(m2.exchange(std::move(over)), PreconditionError);
+}
+
+TEST(SimMachine, SelfMessageRejected) {
+  auto m = make_machine(2);
+  std::vector<Message> msgs;
+  msgs.emplace_back(1, 1, 1, payload(1));
+  EXPECT_THROW(m.exchange(std::move(msgs)), PreconditionError);
+}
+
+TEST(SimMachine, ReceiveMissingTagThrows) {
+  auto m = make_machine(1);
+  EXPECT_THROW(m.receive(0, 42), PreconditionError);
+}
+
+TEST(SimMachine, StoreAndForwardChargesPerHop) {
+  auto params = test_params();
+  params.routing = Routing::kStoreAndForward;
+  SimMachine m(std::make_shared<Hypercube>(2), params);
+  std::vector<Message> msgs;
+  msgs.emplace_back(0, 3, 1, payload(5));  // 2 hops on the 2-cube
+  m.exchange(std::move(msgs));
+  EXPECT_DOUBLE_EQ(m.clock(3), 40.0);  // (10 + 10) * 2
+}
+
+TEST(SimMachine, SynchronizeBarrier) {
+  auto m = make_machine(2);
+  m.compute(0, 100.0);
+  const double t = m.synchronize();
+  EXPECT_DOUBLE_EQ(t, 100.0);
+  for (ProcId pid = 0; pid < 4; ++pid) EXPECT_DOUBLE_EQ(m.clock(pid), 100.0);
+  EXPECT_DOUBLE_EQ(m.stats(3).idle_time, 100.0);
+  EXPECT_DOUBLE_EQ(m.stats(0).idle_time, 0.0);
+}
+
+TEST(SimMachine, ChargeGroupComm) {
+  auto m = make_machine(2);
+  m.compute(1, 30.0);
+  const std::vector<ProcId> group{0, 1};
+  m.charge_group_comm(group, 12.0);
+  EXPECT_DOUBLE_EQ(m.clock(0), 42.0);  // synced to 30, then +12
+  EXPECT_DOUBLE_EQ(m.clock(1), 42.0);
+  EXPECT_DOUBLE_EQ(m.clock(2), 0.0);  // not in the group
+  EXPECT_DOUBLE_EQ(m.stats(0).idle_time, 30.0);
+  EXPECT_DOUBLE_EQ(m.stats(0).comm_time, 12.0);
+}
+
+TEST(SimMachine, StorageAccounting) {
+  auto m = make_machine(1);
+  m.note_alloc(0, 100);
+  m.note_alloc(0, 50);
+  EXPECT_EQ(m.stats(0).peak_words_stored, 150u);
+  m.note_free(0, 120);
+  EXPECT_EQ(m.stats(0).words_stored, 30u);
+  EXPECT_EQ(m.stats(0).peak_words_stored, 150u);
+  EXPECT_THROW(m.note_free(0, 31), PreconditionError);
+}
+
+TEST(SimMachine, SenderCountersTrackTraffic) {
+  auto m = make_machine(2);
+  std::vector<Message> msgs;
+  msgs.emplace_back(0, 1, 1, payload(7));
+  m.exchange(std::move(msgs));
+  EXPECT_EQ(m.stats(0).messages_sent, 1u);
+  EXPECT_EQ(m.stats(0).words_sent, 7u);
+  EXPECT_EQ(m.stats(1).messages_sent, 0u);
+}
+
+TEST(SimMachine, ReportAggregates) {
+  auto m = make_machine(2);
+  m.compute(0, 64.0);
+  std::vector<Message> msgs;
+  msgs.emplace_back(0, 1, 1, payload(4));
+  m.exchange(std::move(msgs));
+  (void)m.receive(1, 1);
+  m.synchronize();
+  const RunReport r = m.report("test", 4, 64.0);
+  EXPECT_EQ(r.p, 4u);
+  EXPECT_EQ(r.n, 4u);
+  EXPECT_DOUBLE_EQ(r.t_parallel, 64.0 + 10.0 + 2.0 * 4);
+  EXPECT_EQ(r.total_flops, 64u);
+  EXPECT_EQ(r.total_messages, 1u);
+  EXPECT_EQ(r.total_words, 4u);
+  EXPECT_GT(r.total_overhead(), 0.0);
+  EXPECT_GT(r.speedup(), 0.0);
+  EXPECT_LE(r.efficiency(), 1.0);
+  EXPECT_FALSE(r.summary().empty());
+}
+
+TEST(SimMachine, PendingMessagesAndReset) {
+  auto m = make_machine(1);
+  std::vector<Message> msgs;
+  msgs.emplace_back(0, 1, 1, payload(1));
+  m.exchange(std::move(msgs));
+  EXPECT_EQ(m.pending_messages(), 1u);
+  m.reset();
+  EXPECT_EQ(m.pending_messages(), 0u);
+  EXPECT_DOUBLE_EQ(m.time(), 0.0);
+}
+
+TEST(SimMachine, ComputeMultiplyAddChargesExactFlops) {
+  auto m = make_machine(1);
+  Matrix a(4, 8, 1.0), b(8, 2, 1.0), c(4, 2);
+  m.compute_multiply_add(0, a, b, c);
+  EXPECT_DOUBLE_EQ(m.clock(0), 64.0);  // 4*8*2
+  EXPECT_EQ(c(0, 0), 8.0);
+}
+
+}  // namespace
+}  // namespace hpmm

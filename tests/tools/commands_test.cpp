@@ -1,0 +1,168 @@
+#include "tools/commands.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace hpmm::tools {
+namespace {
+
+CliArgs make(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v(argv);
+  return CliArgs(static_cast<int>(v.size()), v.data());
+}
+
+struct Run {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+Run run(std::initializer_list<const char*> argv) {
+  std::ostringstream os, es;
+  const int code = dispatch(make(argv), os, es);
+  return Run{code, os.str(), es.str()};
+}
+
+TEST(Cli, NoArgsPrintsUsage) {
+  const auto r = run({"hpmm"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("usage"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandPrintsUsage) {
+  const auto r = run({"hpmm", "frobnicate"});
+  EXPECT_EQ(r.code, 2);
+}
+
+TEST(Cli, ListShowsAllAlgorithms) {
+  const auto r = run({"hpmm", "list"});
+  EXPECT_EQ(r.code, 0);
+  for (const char* name : {"cannon", "gk", "berntsen", "dns", "fox-pipe"}) {
+    EXPECT_NE(r.out.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(Cli, MachinesShowsPresets) {
+  const auto r = run({"hpmm", "machines"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("cm5"), std::string::npos);
+  EXPECT_NE(r.out.find("248"), std::string::npos);  // normalised t_s
+}
+
+TEST(Cli, SelectPicksBest) {
+  const auto r = run({"hpmm", "select", "--n=512", "--p=64"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("best: berntsen"), std::string::npos);
+}
+
+TEST(Cli, SelectFailsWithoutArguments) {
+  const auto r = run({"hpmm", "select"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--n and --p"), std::string::npos);
+}
+
+TEST(Cli, SelectReportsNoApplicable) {
+  const auto r = run({"hpmm", "select", "--n=4", "--p=513"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.out.find("no applicable"), std::string::npos);
+}
+
+TEST(Cli, RunSimulatesAndVerifies) {
+  const auto r = run({"hpmm", "run", "--algorithm=cannon", "--n=16", "--p=16"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("product check   = ok"), std::string::npos);
+  EXPECT_NE(r.out.find("ratio 1"), std::string::npos);  // Eq. 3 exact
+}
+
+TEST(Cli, RunRejectsUnknownAlgorithm) {
+  const auto r = run({"hpmm", "run", "--algorithm=magic", "--n=16", "--p=16"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("unknown algorithm"), std::string::npos);
+}
+
+TEST(Cli, IsoPrintsCurveAndFit) {
+  const auto r = run({"hpmm", "iso", "--algorithm=cannon", "--efficiency=0.7",
+                      "--pmax=1e7"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("fitted: W ~ p^1.5"), std::string::npos);
+}
+
+TEST(Cli, IsoMarksUnreachable) {
+  const auto r = run({"hpmm", "iso", "--algorithm=dns", "--efficiency=0.9",
+                      "--machine=ncube2", "--pmax=1e6"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("unreachable"), std::string::npos);
+}
+
+TEST(Cli, RegionsRendersMap) {
+  const auto r = run({"hpmm", "regions", "--machine=cm2", "--pcells=24",
+                      "--ncells=12"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("a=GK"), std::string::npos);
+  EXPECT_NE(r.out.find('d'), std::string::npos);  // DNS region on the CM-2
+}
+
+TEST(Cli, RegionsMachineSpaceView) {
+  const auto r = run({"hpmm", "regions", "--n=100", "--p=50000",
+                      "--tscells=16", "--twcells=8"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("t_w up"), std::string::npos);
+}
+
+TEST(Cli, CrossoverPrintsCurve) {
+  const auto r = run({"hpmm", "crossover", "--a=gk", "--b=cannon",
+                      "--machine=ncube2", "--pmax=1e6"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("n_EqualTo"), std::string::npos);
+}
+
+TEST(Cli, TracePrintsGantt) {
+  const auto r = run({"hpmm", "trace", "--algorithm=cannon", "--n=16", "--p=16"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("Gantt"), std::string::npos);
+  EXPECT_NE(r.out.find('#'), std::string::npos);
+}
+
+TEST(Cli, TraceRejectsBadCombo) {
+  const auto r = run({"hpmm", "trace", "--algorithm=gk", "--n=10", "--p=64"});
+  EXPECT_EQ(r.code, 1);  // 4 does not divide 10
+}
+
+TEST(Cli, ReproduceSingleExperiment) {
+  const auto r = run({"hpmm", "reproduce", "--experiment=sec8"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("claims reproduced"), std::string::npos);
+  EXPECT_EQ(r.out.find("[FAIL]"), std::string::npos);
+}
+
+TEST(Cli, ReproduceRejectsUnknownExperiment) {
+  const auto r = run({"hpmm", "reproduce", "--experiment=fig9"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("unknown experiment"), std::string::npos);
+}
+
+TEST(Cli, CsvFormat) {
+  const auto r = run({"hpmm", "machines", "--format=csv"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("name,t_s,t_w"), std::string::npos);
+}
+
+TEST(Cli, MachineFromArgs) {
+  EXPECT_DOUBLE_EQ(machine_from_args(make({"x", "--machine=cm2"})).t_s, 0.5);
+  EXPECT_DOUBLE_EQ(machine_from_args(make({"x", "--ts=42"})).t_s, 42.0);
+  EXPECT_DOUBLE_EQ(machine_from_args(make({"x"})).t_s, 150.0);  // default
+  EXPECT_THROW(machine_from_args(make({"x", "--machine=zx81"})),
+               PreconditionError);
+}
+
+TEST(Cli, UnknownMachineIsHandledByDispatch) {
+  const auto r = run({"hpmm", "select", "--n=64", "--p=64", "--machine=zx81"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("unknown machine"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hpmm::tools

@@ -1,0 +1,46 @@
+#include "topology/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace hpmm {
+namespace {
+
+TEST(FullyConnected, AllPairsOneHop) {
+  FullyConnected fc(8);
+  EXPECT_EQ(fc.size(), 8u);
+  for (ProcId a = 0; a < 8; ++a) {
+    for (ProcId b = 0; b < 8; ++b) {
+      EXPECT_EQ(fc.hops(a, b), a == b ? 0u : 1u);
+    }
+  }
+}
+
+TEST(FullyConnected, NeighborsAreEveryoneElse) {
+  FullyConnected fc(5);
+  const auto ns = fc.neighbors(2);
+  EXPECT_EQ(ns.size(), 4u);
+  for (ProcId nb : ns) EXPECT_NE(nb, 2u);
+}
+
+TEST(FullyConnected, Ports) {
+  FullyConnected fc(10);
+  EXPECT_EQ(fc.ports_per_proc(), 9u);
+}
+
+TEST(FullyConnected, Validation) {
+  EXPECT_THROW(FullyConnected(0), PreconditionError);
+  FullyConnected fc(4);
+  EXPECT_THROW(fc.hops(4, 0), PreconditionError);
+  EXPECT_THROW(fc.neighbors(4), PreconditionError);
+}
+
+TEST(FullyConnected, AdjacentHelper) {
+  FullyConnected fc(3);
+  EXPECT_TRUE(fc.adjacent(0, 1));
+  EXPECT_FALSE(fc.adjacent(1, 1));
+}
+
+}  // namespace
+}  // namespace hpmm

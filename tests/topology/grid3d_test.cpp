@@ -1,0 +1,84 @@
+#include "topology/grid3d.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/hypercube.hpp"
+#include "util/error.hpp"
+
+namespace hpmm {
+namespace {
+
+TEST(Grid3D, Geometry) {
+  Grid3D g(2);
+  EXPECT_EQ(g.side(), 4u);
+  EXPECT_EQ(g.size(), 64u);
+  EXPECT_EQ(g.q(), 2u);
+}
+
+TEST(Grid3D, WithProcsValidation) {
+  EXPECT_EQ(Grid3D::with_procs(512).q(), 3u);
+  EXPECT_THROW(Grid3D::with_procs(256), PreconditionError);
+  EXPECT_THROW(Grid3D::with_procs(100), PreconditionError);
+}
+
+TEST(Grid3D, RankMatchesDnsNumbering) {
+  // r = i * 2^{2q} + j * 2^q + k (Section 4.5.1).
+  Grid3D g(2);
+  EXPECT_EQ(g.rank(1, 2, 3), 1u * 16 + 2 * 4 + 3);
+  EXPECT_EQ(g.rank(0, 0, 0), 0u);
+  EXPECT_EQ(g.rank(3, 3, 3), 63u);
+}
+
+TEST(Grid3D, CoordsRankRoundTrip) {
+  Grid3D g(3);
+  for (ProcId r = 0; r < g.size(); ++r) {
+    const auto c = g.coords(r);
+    EXPECT_EQ(g.rank(c.i, c.j, c.k), r);
+  }
+}
+
+TEST(Grid3D, LinesHaveRightMembers) {
+  Grid3D g(2);
+  const auto li = g.line_i(1, 2);
+  ASSERT_EQ(li.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto c = g.coords(li[i]);
+    EXPECT_EQ(c.i, i);
+    EXPECT_EQ(c.j, 1u);
+    EXPECT_EQ(c.k, 2u);
+  }
+  const auto lj = g.line_j(3, 0);
+  for (std::size_t j = 0; j < 4; ++j) EXPECT_EQ(g.coords(lj[j]).j, j);
+  const auto lk = g.line_k(0, 3);
+  for (std::size_t k = 0; k < 4; ++k) EXPECT_EQ(g.coords(lk[k]).k, k);
+}
+
+TEST(Grid3D, AxisLinesAreHypercubeSubcubes) {
+  // Positions pos and pos^bit along any axis line are physical hypercube
+  // neighbours — the property the DNS/GK broadcasts rely on.
+  Grid3D g(2);
+  Hypercube h(6);
+  const auto check_line = [&](const std::vector<ProcId>& line) {
+    for (std::size_t pos = 0; pos < line.size(); ++pos) {
+      for (std::size_t bit = 1; bit < line.size(); bit <<= 1) {
+        EXPECT_EQ(h.hops(line[pos], line[pos ^ bit]), 1u);
+      }
+    }
+  };
+  for (std::size_t a = 0; a < 4; ++a) {
+    for (std::size_t b = 0; b < 4; ++b) {
+      check_line(g.line_i(a, b));
+      check_line(g.line_j(a, b));
+      check_line(g.line_k(a, b));
+    }
+  }
+}
+
+TEST(Grid3D, CoordsOutOfRangeThrows) {
+  Grid3D g(1);
+  EXPECT_THROW(g.coords(8), PreconditionError);
+  EXPECT_THROW(g.rank(2, 0, 0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace hpmm

@@ -1,0 +1,117 @@
+#include "topology/hypercube.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace hpmm {
+namespace {
+
+TEST(Hypercube, SizeAndPorts) {
+  Hypercube h(4);
+  EXPECT_EQ(h.size(), 16u);
+  EXPECT_EQ(h.dim(), 4u);
+  EXPECT_EQ(h.ports_per_proc(), 4u);
+}
+
+TEST(Hypercube, WithProcsValidation) {
+  EXPECT_EQ(Hypercube::with_procs(64).dim(), 6u);
+  EXPECT_THROW(Hypercube::with_procs(63), PreconditionError);
+}
+
+TEST(Hypercube, HopsIsHammingDistance) {
+  Hypercube h(4);
+  EXPECT_EQ(h.hops(0, 0), 0u);
+  EXPECT_EQ(h.hops(0b0000, 0b0001), 1u);
+  EXPECT_EQ(h.hops(0b0101, 0b1010), 4u);
+  EXPECT_EQ(h.hops(3, 5), 2u);
+}
+
+TEST(Hypercube, HopsSymmetric) {
+  Hypercube h(5);
+  for (ProcId a = 0; a < h.size(); a += 3) {
+    for (ProcId b = 0; b < h.size(); b += 5) {
+      EXPECT_EQ(h.hops(a, b), h.hops(b, a));
+    }
+  }
+}
+
+TEST(Hypercube, NeighborsDifferInOneBit) {
+  Hypercube h(3);
+  const auto ns = h.neighbors(0b101);
+  ASSERT_EQ(ns.size(), 3u);
+  for (ProcId nb : ns) EXPECT_EQ(h.hops(0b101, nb), 1u);
+  // All distinct
+  auto sorted = ns;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(Hypercube, NeighborAcrossDimension) {
+  Hypercube h(3);
+  EXPECT_EQ(h.neighbor(0b000, 0), 0b001u);
+  EXPECT_EQ(h.neighbor(0b000, 2), 0b100u);
+  EXPECT_EQ(h.neighbor(0b111, 1), 0b101u);
+  EXPECT_THROW(h.neighbor(0, 3), PreconditionError);
+}
+
+TEST(Hypercube, SubcubesPartitionTheCube) {
+  Hypercube h(6);
+  const auto subs = h.subcubes(2);
+  ASSERT_EQ(subs.size(), 4u);
+  std::vector<bool> seen(h.size(), false);
+  for (const auto& sub : subs) {
+    EXPECT_EQ(sub.size(), 16u);
+    for (ProcId node : sub) {
+      EXPECT_FALSE(seen[node]);
+      seen[node] = true;
+    }
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+}
+
+TEST(Hypercube, SubcubeMembersAreSubcube) {
+  // Within a subcube, consecutive members by rank differ only in low bits;
+  // members pos and pos^2^k are physical neighbours.
+  Hypercube h(6);
+  const auto subs = h.subcubes(2);
+  for (const auto& sub : subs) {
+    for (std::size_t pos = 0; pos < sub.size(); ++pos) {
+      for (unsigned k = 0; k < 4; ++k) {
+        const std::size_t peer = pos ^ (1u << k);
+        EXPECT_EQ(h.hops(sub[pos], sub[peer]), 1u);
+      }
+    }
+  }
+}
+
+TEST(Hypercube, SubcubeOfAndRank) {
+  Hypercube h(6);
+  EXPECT_EQ(h.subcube_of(0b110101, 2), 0b11u);
+  EXPECT_EQ(h.rank_in_subcube(0b110101, 2), 0b0101u);
+  for (ProcId node = 0; node < h.size(); ++node) {
+    const auto s = h.subcube_of(node, 2);
+    const auto r = h.rank_in_subcube(node, 2);
+    EXPECT_EQ(h.subcubes(2)[s][r], node);
+  }
+}
+
+TEST(Hypercube, NameMentionsDimension) {
+  EXPECT_EQ(Hypercube(5).name(), "hypercube(d=5)");
+}
+
+TEST(Hypercube, TriangleInequality) {
+  Hypercube h(4);
+  for (ProcId a = 0; a < h.size(); ++a) {
+    for (ProcId b = 0; b < h.size(); ++b) {
+      for (ProcId c = 0; c < h.size(); c += 3) {
+        EXPECT_LE(h.hops(a, c), h.hops(a, b) + h.hops(b, c));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hpmm

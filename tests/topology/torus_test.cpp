@@ -1,0 +1,113 @@
+#include "topology/torus.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/hypercube.hpp"
+#include "util/error.hpp"
+
+namespace hpmm {
+namespace {
+
+TEST(Torus, GeometryAndName) {
+  Torus2D t(3, 5);
+  EXPECT_EQ(t.size(), 15u);
+  EXPECT_EQ(t.grid_rows(), 3u);
+  EXPECT_EQ(t.grid_cols(), 5u);
+  EXPECT_EQ(t.name(), "torus(3x5)");
+  EXPECT_EQ(t.ports_per_proc(), 4u);
+}
+
+TEST(Torus, SquareFactory) {
+  const auto t = Torus2D::square(484);
+  EXPECT_EQ(t.grid_rows(), 22u);
+  EXPECT_THROW(Torus2D::square(485), PreconditionError);
+}
+
+TEST(Torus, CoordsRankRoundTrip) {
+  Torus2D t(4, 6);
+  for (ProcId r = 0; r < t.size(); ++r) {
+    const auto [i, j] = t.coords(r);
+    EXPECT_EQ(t.rank(i, j), r);
+  }
+}
+
+TEST(Torus, DirectionalMovesWrapAround) {
+  Torus2D t(4, 4);
+  const ProcId origin = t.rank(0, 0);
+  EXPECT_EQ(t.west(origin), t.rank(0, 3));
+  EXPECT_EQ(t.east(origin), t.rank(0, 1));
+  EXPECT_EQ(t.north(origin), t.rank(3, 0));
+  EXPECT_EQ(t.south(origin), t.rank(1, 0));
+}
+
+TEST(Torus, MultiStepMoves) {
+  Torus2D t(5, 5);
+  const ProcId origin = t.rank(2, 2);
+  EXPECT_EQ(t.west(origin, 3), t.rank(2, 4));
+  EXPECT_EQ(t.north(origin, 7), t.rank(0, 2));  // 7 mod 5 = 2 up
+}
+
+TEST(Torus, MovesAreInverses) {
+  Torus2D t(4, 6);
+  for (ProcId r = 0; r < t.size(); ++r) {
+    EXPECT_EQ(t.east(t.west(r)), r);
+    EXPECT_EQ(t.south(t.north(r)), r);
+  }
+}
+
+TEST(Torus, HopsWrapAroundDistance) {
+  Torus2D t(8, 8);
+  EXPECT_EQ(t.hops(t.rank(0, 0), t.rank(0, 7)), 1u);  // wraps
+  EXPECT_EQ(t.hops(t.rank(0, 0), t.rank(4, 4)), 8u);
+  EXPECT_EQ(t.hops(t.rank(1, 1), t.rank(1, 1)), 0u);
+}
+
+TEST(Torus, NeighborsAreAtDistanceOne) {
+  Torus2D t(4, 4);
+  for (ProcId r = 0; r < t.size(); ++r) {
+    const auto ns = t.neighbors(r);
+    EXPECT_EQ(ns.size(), 4u);
+    for (ProcId nb : ns) EXPECT_EQ(t.hops(r, nb), 1u);
+  }
+}
+
+TEST(Torus, DegenerateRingNeighbors) {
+  Torus2D ring(1, 4);
+  const auto ns = ring.neighbors(0);
+  // Left/right wrap plus north/south collapsing onto self (removed).
+  EXPECT_EQ(ns.size(), 2u);
+}
+
+TEST(Torus, GrayRankGivesDilationOneEmbedding) {
+  Torus2D t(8, 8);
+  Hypercube h(6);
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (std::size_t c = 0; c < 8; ++c) {
+      const ProcId node = t.gray_rank(r, c);
+      // Torus neighbours map to hypercube neighbours.
+      EXPECT_EQ(h.hops(node, t.gray_rank((r + 1) % 8, c)), 1u);
+      EXPECT_EQ(h.hops(node, t.gray_rank(r, (c + 1) % 8)), 1u);
+    }
+  }
+}
+
+TEST(Torus, GrayRankIsBijective) {
+  Torus2D t(4, 8);
+  std::vector<bool> seen(32, false);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 8; ++c) {
+      const ProcId node = t.gray_rank(r, c);
+      ASSERT_LT(node, 32u);
+      EXPECT_FALSE(seen[node]);
+      seen[node] = true;
+    }
+  }
+}
+
+TEST(Torus, GrayRankRequiresPow2) {
+  Torus2D t(3, 3);
+  EXPECT_THROW(t.gray_rank(0, 0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace hpmm

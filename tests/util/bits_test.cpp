@@ -1,0 +1,127 @@
+#include "util/bits.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace hpmm {
+namespace {
+
+TEST(Bits, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ULL << 40));
+  EXPECT_FALSE(is_pow2((1ULL << 40) + 1));
+}
+
+TEST(Bits, IsPow8) {
+  EXPECT_FALSE(is_pow8(0));
+  EXPECT_TRUE(is_pow8(1));
+  EXPECT_FALSE(is_pow8(2));
+  EXPECT_FALSE(is_pow8(4));
+  EXPECT_TRUE(is_pow8(8));
+  EXPECT_TRUE(is_pow8(64));
+  EXPECT_TRUE(is_pow8(512));
+  EXPECT_FALSE(is_pow8(256));
+  EXPECT_TRUE(is_pow8(1ULL << 30));
+}
+
+TEST(Bits, IsPerfectSquare) {
+  EXPECT_TRUE(is_perfect_square(0));
+  EXPECT_TRUE(is_perfect_square(1));
+  EXPECT_TRUE(is_perfect_square(4));
+  EXPECT_TRUE(is_perfect_square(484));
+  EXPECT_FALSE(is_perfect_square(2));
+  EXPECT_FALSE(is_perfect_square(483));
+}
+
+TEST(Bits, Ilog2) {
+  EXPECT_EQ(ilog2(1), 0u);
+  EXPECT_EQ(ilog2(2), 1u);
+  EXPECT_EQ(ilog2(3), 1u);
+  EXPECT_EQ(ilog2(1024), 10u);
+  EXPECT_EQ(ilog2(1025), 10u);
+  EXPECT_THROW(ilog2(0), PreconditionError);
+}
+
+TEST(Bits, ExactLog2) {
+  EXPECT_EQ(exact_log2(1), 0u);
+  EXPECT_EQ(exact_log2(512), 9u);
+  EXPECT_THROW(exact_log2(3), PreconditionError);
+}
+
+TEST(Bits, Isqrt) {
+  EXPECT_EQ(isqrt(0), 0u);
+  EXPECT_EQ(isqrt(1), 1u);
+  EXPECT_EQ(isqrt(3), 1u);
+  EXPECT_EQ(isqrt(4), 2u);
+  EXPECT_EQ(isqrt(484), 22u);
+  EXPECT_EQ(isqrt(1ULL << 50), 1ULL << 25);
+}
+
+TEST(Bits, IsqrtExhaustiveSmall) {
+  for (std::uint64_t x = 0; x < 5000; ++x) {
+    const std::uint64_t r = isqrt(x);
+    EXPECT_LE(r * r, x);
+    EXPECT_GT((r + 1) * (r + 1), x);
+  }
+}
+
+TEST(Bits, Icbrt) {
+  EXPECT_EQ(icbrt(0), 0u);
+  EXPECT_EQ(icbrt(7), 1u);
+  EXPECT_EQ(icbrt(8), 2u);
+  EXPECT_EQ(icbrt(511), 7u);
+  EXPECT_EQ(icbrt(512), 8u);
+  EXPECT_EQ(icbrt(1ULL << 30), 1ULL << 10);
+}
+
+TEST(Bits, ExactSqrtCbrt) {
+  EXPECT_EQ(exact_sqrt(484), 22u);
+  EXPECT_THROW(exact_sqrt(485), PreconditionError);
+  EXPECT_EQ(exact_cbrt(512), 8u);
+  EXPECT_THROW(exact_cbrt(500), PreconditionError);
+}
+
+TEST(Bits, GrayCodeAdjacency) {
+  // Consecutive Gray codes differ in exactly one bit.
+  for (std::uint64_t i = 0; i + 1 < 1024; ++i) {
+    EXPECT_EQ(popcount64(gray_code(i) ^ gray_code(i + 1)), 1u);
+  }
+}
+
+TEST(Bits, GrayCodeInverse) {
+  for (std::uint64_t i = 0; i < 4096; ++i) {
+    EXPECT_EQ(inverse_gray_code(gray_code(i)), i);
+  }
+  EXPECT_EQ(inverse_gray_code(gray_code(0xDEADBEEFCAFEULL)), 0xDEADBEEFCAFEULL);
+}
+
+TEST(Bits, GrayCodeIsPermutation) {
+  std::vector<bool> seen(256, false);
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    const auto g = gray_code(i);
+    ASSERT_LT(g, 256u);
+    EXPECT_FALSE(seen[g]);
+    seen[g] = true;
+  }
+}
+
+TEST(Bits, Pow2Range) {
+  const auto v = pow2_range(4, 64);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_EQ(v.front(), 4u);
+  EXPECT_EQ(v.back(), 64u);
+}
+
+TEST(Bits, Pow8Range) {
+  const auto v = pow8_range(1, 512);
+  ASSERT_EQ(v.size(), 4u);  // 1, 8, 64, 512
+  EXPECT_EQ(v[1], 8u);
+  EXPECT_EQ(v[3], 512u);
+}
+
+}  // namespace
+}  // namespace hpmm

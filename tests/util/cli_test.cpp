@@ -1,0 +1,53 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hpmm {
+namespace {
+
+CliArgs make(std::initializer_list<const char*> args) {
+  std::vector<const char*> v(args);
+  return CliArgs(static_cast<int>(v.size()), v.data());
+}
+
+TEST(Cli, ParsesKeyValues) {
+  const auto args = make({"prog", "--n=128", "--machine=cm5"});
+  EXPECT_EQ(args.get_int("n", 0), 128);
+  EXPECT_EQ(args.get("machine", ""), "cm5");
+  EXPECT_EQ(args.program(), "prog");
+}
+
+TEST(Cli, FlagWithoutValueIsTrue) {
+  const auto args = make({"prog", "--verbose"});
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_TRUE(args.get_bool("verbose", false));
+}
+
+TEST(Cli, FallbacksUsedWhenAbsent) {
+  const auto args = make({"prog"});
+  EXPECT_EQ(args.get_int("n", 64), 64);
+  EXPECT_DOUBLE_EQ(args.get_double("ts", 150.0), 150.0);
+  EXPECT_FALSE(args.get_bool("verbose", false));
+  EXPECT_EQ(args.get("machine", "ncube2"), "ncube2");
+}
+
+TEST(Cli, Positionals) {
+  const auto args = make({"prog", "run", "--x=1", "fast"});
+  ASSERT_EQ(args.positionals().size(), 2u);
+  EXPECT_EQ(args.positionals()[0], "run");
+  EXPECT_EQ(args.positionals()[1], "fast");
+}
+
+TEST(Cli, DoubleParsing) {
+  const auto args = make({"prog", "--tw=3.5"});
+  EXPECT_DOUBLE_EQ(args.get_double("tw", 0.0), 3.5);
+}
+
+TEST(Cli, BoolVariants) {
+  EXPECT_TRUE(make({"p", "--a=yes"}).get_bool("a", false));
+  EXPECT_TRUE(make({"p", "--a=1"}).get_bool("a", false));
+  EXPECT_FALSE(make({"p", "--a=no"}).get_bool("a", true));
+}
+
+}  // namespace
+}  // namespace hpmm

@@ -1,0 +1,106 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace hpmm {
+namespace {
+
+TEST(Table, BuildsRows) {
+  Table t({"a", "b"});
+  t.begin_row().add("1").add("2");
+  t.begin_row().add_int(3).add_num(4.5);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.columns(), 2u);
+  EXPECT_EQ(t.at(0, 0), "1");
+  EXPECT_EQ(t.at(1, 0), "3");
+  EXPECT_EQ(t.at(1, 1), "4.5");
+}
+
+TEST(Table, RejectsOverflowingRow) {
+  Table t({"only"});
+  t.begin_row().add("x");
+  EXPECT_THROW(t.add("y"), InternalError);
+}
+
+TEST(Table, RejectsAddWithoutRow) {
+  Table t({"only"});
+  EXPECT_THROW(t.add("x"), InternalError);
+}
+
+TEST(Table, AtOutOfRangeThrows) {
+  Table t({"a"});
+  t.begin_row().add("1");
+  EXPECT_THROW(t.at(1, 0), PreconditionError);
+  EXPECT_THROW(t.at(0, 1), PreconditionError);
+}
+
+TEST(Table, AlignedOutputContainsHeaderRule) {
+  Table t({"col"});
+  t.begin_row().add("value");
+  std::ostringstream os;
+  t.print_aligned(os);
+  EXPECT_NE(os.str().find("col"), std::string::npos);
+  EXPECT_NE(os.str().find("-----"), std::string::npos);
+  EXPECT_NE(os.str().find("value"), std::string::npos);
+}
+
+TEST(Table, MarkdownOutput) {
+  Table t({"x", "y"});
+  t.begin_row().add("1").add("2");
+  std::ostringstream os;
+  t.print_markdown(os);
+  EXPECT_NE(os.str().find("| x | y |"), std::string::npos);
+  EXPECT_NE(os.str().find("|---|---|"), std::string::npos);
+  EXPECT_NE(os.str().find("| 1 | 2 |"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"x", "y"});
+  t.begin_row().add("1").add("2");
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(Table, JsonOutput) {
+  Table t({"name", "value"});
+  t.begin_row().add("alpha \"quoted\"").add("1.5");
+  t.begin_row().add("beta").add("-");
+  std::ostringstream os;
+  t.print_json(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"name\": \"alpha \\\"quoted\\\"\""), std::string::npos);
+  EXPECT_NE(out.find("\"value\": 1.5"), std::string::npos);   // numeric unquoted
+  EXPECT_NE(out.find("\"value\": \"-\""), std::string::npos);  // non-numeric quoted
+  EXPECT_EQ(out.front(), '[');
+}
+
+TEST(FormatNumber, FixedRange) {
+  EXPECT_EQ(format_number(0.0), "0");
+  EXPECT_EQ(format_number(1234.0), "1234");
+  EXPECT_EQ(format_number(0.5), "0.5");
+  EXPECT_EQ(format_number(-2.25), "-2.25");
+}
+
+TEST(FormatNumber, ScientificForExtremes) {
+  EXPECT_NE(format_number(2.6e18).find("e+18"), std::string::npos);
+  EXPECT_NE(format_number(1e-9).find("e-09"), std::string::npos);
+}
+
+TEST(FormatNumber, TrimsTrailingZeros) {
+  EXPECT_EQ(format_number(1.5, 6), "1.5");
+  EXPECT_EQ(format_number(2.0, 6), "2");
+}
+
+TEST(FormatSi, Suffixes) {
+  EXPECT_EQ(format_si(1500.0), "1.5K");
+  EXPECT_EQ(format_si(130e6, 3), "130M");
+  EXPECT_NE(format_si(2.6e18).find("E"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hpmm
