@@ -159,6 +159,7 @@ MatmulResult BerntsenAlgorithm::run(const Matrix& a, const Matrix& b,
     }
   }
   machine.synchronize();
+  machine.assert_clean_run();
 
   MatmulResult result;
   result.c = std::move(c);

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "matrix/block.hpp"
+#include "matrix/checksum.hpp"
 #include "sim/sim_machine.hpp"
 #include "topology/hypercube.hpp"
 #include "topology/torus.hpp"
@@ -56,6 +57,24 @@ MatmulResult CannonAlgorithm::run(const Matrix& a, const Matrix& b,
     return torus.gray_rank(row, col);
   };
 
+  // ABFT: guard blocks crossing the network with row/column checksums and
+  // verify (optionally correct) them on receipt (matrix/checksum.hpp). The
+  // extra checksum row/column travels with every message, so the protection
+  // overhead shows up honestly in T_o.
+  const AbftMode abft = params.faults ? params.faults->abft : AbftMode::kOff;
+  const auto guard = [abft](Matrix blk) {
+    return abft == AbftMode::kOff ? std::move(blk) : with_checksums(blk);
+  };
+  const auto unguard = [abft, &machine](Matrix blk) {
+    if (abft != AbftMode::kOff) {
+      const ChecksumVerdict v =
+          verify_checksums(blk, abft == AbftMode::kCorrect);
+      if (!v.consistent) machine.note_abft(true, v.corrected);
+      blk = strip_checksums(blk);
+    }
+    return blk;
+  };
+
   const BlockGrid grid(n, n, sp, sp);
   std::vector<Matrix> a_blk = scatter_blocks(a, grid);
   std::vector<Matrix> b_blk = scatter_blocks(b, grid);
@@ -73,7 +92,7 @@ MatmulResult CannonAlgorithm::run(const Matrix& a, const Matrix& b,
       for (std::size_t j = 0; j < sp; ++j) {
         const ProcId src = torus.rank(i, j);
         const ProcId dst = torus.west(src, i);
-        align_a.emplace_back(phys(src), phys(dst), kTagAlignA, std::move(a_blk[i * sp + j]));
+        align_a.emplace_back(phys(src), phys(dst), kTagAlignA, guard(std::move(a_blk[i * sp + j])));
       }
     }
     machine.exchange(std::move(align_a));
@@ -81,7 +100,7 @@ MatmulResult CannonAlgorithm::run(const Matrix& a, const Matrix& b,
     for (std::size_t i = 1; i < sp; ++i) {
       for (std::size_t j = 0; j < sp; ++j) {
         const ProcId pid = torus.rank(i, j);
-        a_blk[i * sp + j] = std::move(machine.receive(phys(pid), kTagAlignA).blocks.front());
+        a_blk[i * sp + j] = unguard(std::move(machine.receive(phys(pid), kTagAlignA).blocks.front()));
       }
     }
     std::vector<Message> align_b;
@@ -89,14 +108,14 @@ MatmulResult CannonAlgorithm::run(const Matrix& a, const Matrix& b,
       for (std::size_t j = 1; j < sp; ++j) {
         const ProcId src = torus.rank(i, j);
         const ProcId dst = torus.north(src, j);
-        align_b.emplace_back(phys(src), phys(dst), kTagAlignB, std::move(b_blk[i * sp + j]));
+        align_b.emplace_back(phys(src), phys(dst), kTagAlignB, guard(std::move(b_blk[i * sp + j])));
       }
     }
     machine.exchange(std::move(align_b));
     for (std::size_t i = 0; i < sp; ++i) {
       for (std::size_t j = 1; j < sp; ++j) {
         const ProcId pid = torus.rank(i, j);
-        b_blk[i * sp + j] = std::move(machine.receive(phys(pid), kTagAlignB).blocks.front());
+        b_blk[i * sp + j] = unguard(std::move(machine.receive(phys(pid), kTagAlignB).blocks.front()));
       }
     }
   }
@@ -123,9 +142,9 @@ MatmulResult CannonAlgorithm::run(const Matrix& a, const Matrix& b,
       for (std::size_t j = 0; j < sp; ++j) {
         const ProcId src = torus.rank(i, j);
         shift_a.emplace_back(phys(src), phys(torus.west(src)), kTagShiftA,
-                             std::move(a_blk[i * sp + j]));
+                             guard(std::move(a_blk[i * sp + j])));
         shift_b.emplace_back(phys(src), phys(torus.north(src)), kTagShiftB,
-                             std::move(b_blk[i * sp + j]));
+                             guard(std::move(b_blk[i * sp + j])));
       }
     }
     machine.exchange(std::move(shift_a));
@@ -133,12 +152,13 @@ MatmulResult CannonAlgorithm::run(const Matrix& a, const Matrix& b,
     for (std::size_t i = 0; i < sp; ++i) {
       for (std::size_t j = 0; j < sp; ++j) {
         const ProcId pid = torus.rank(i, j);
-        a_blk[i * sp + j] = std::move(machine.receive(phys(pid), kTagShiftA).blocks.front());
-        b_blk[i * sp + j] = std::move(machine.receive(phys(pid), kTagShiftB).blocks.front());
+        a_blk[i * sp + j] = unguard(std::move(machine.receive(phys(pid), kTagShiftA).blocks.front()));
+        b_blk[i * sp + j] = unguard(std::move(machine.receive(phys(pid), kTagShiftB).blocks.front()));
       }
     }
   }
   machine.synchronize();
+  machine.assert_clean_run();
 
   MatmulResult result;
   result.c = gather_blocks(c_blk, grid);

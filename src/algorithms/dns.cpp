@@ -287,6 +287,7 @@ MatmulResult DnsAlgorithm::run(const Matrix& a, const Matrix& b, std::size_t p,
     }
   }
   machine.synchronize();
+  machine.assert_clean_run();
 
   MatmulResult result;
   result.c = std::move(c);

@@ -183,6 +183,7 @@ MatmulResult FoxAlgorithm::run(const Matrix& a, const Matrix& b, std::size_t p,
     }
   }
   machine.synchronize();
+  machine.assert_clean_run();
 
   MatmulResult result;
   result.c = gather_blocks(c_blk, grid);

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "matrix/checksum.hpp"
 #include "sim/collectives.hpp"
 #include "sim/sim_machine.hpp"
 #include "topology/hypercube.hpp"
@@ -56,6 +57,38 @@ MatmulResult GkAlgorithm::run(const Matrix& a, const Matrix& b, std::size_t p,
   effective.ports = broadcast_ == Broadcast::kAllPort ? PortModel::kAllPort
                                                       : PortModel::kOnePort;
   SimMachine machine(topo, effective);
+
+  // ABFT: blocks crossing the network carry row/column checksums, verified
+  // (optionally corrected) on receipt. Checksum linearity lets augmented
+  // blocks flow through the stage-3 reduction and be verified once at the
+  // root. Only the real-message (binomial / fully-connected) paths are
+  // guarded; the modeled variants move no actual data.
+  const AbftMode abft = params.faults ? params.faults->abft : AbftMode::kOff;
+  const auto guard = [abft](Matrix blk) {
+    return abft == AbftMode::kOff ? std::move(blk) : with_checksums(blk);
+  };
+  const auto unguard = [abft, &machine](Matrix blk) {
+    if (abft != AbftMode::kOff) {
+      const ChecksumVerdict v =
+          verify_checksums(blk, abft == AbftMode::kCorrect);
+      if (!v.consistent) machine.note_abft(true, v.corrected);
+      blk = strip_checksums(blk);
+    }
+    return blk;
+  };
+  // Per-hop repair for the tree collectives: single-element ABFT can only
+  // fix one corruption per block, so blocks relayed through several tree
+  // hops must be verified at every hop — otherwise two corruptions compound
+  // (or a corrupted partial is summed into a neighbour's) before the final
+  // unguard sees them.
+  const OnReceive hop_check =
+      abft == AbftMode::kOff
+          ? OnReceive{}
+          : OnReceive{[abft, &machine](Matrix& blk) {
+              const ChecksumVerdict v =
+                  verify_checksums(blk, abft == AbftMode::kCorrect);
+              if (!v.consistent) machine.note_abft(true, v.corrected);
+            }};
 
   // Rank layout (i, j, k) -> i s^2 + j s + k: every axis line is a subcube.
   const auto rank = [s](std::size_t i, std::size_t j, std::size_t k) {
@@ -120,14 +153,14 @@ MatmulResult GkAlgorithm::run(const Matrix& a, const Matrix& b, std::size_t p,
         for (std::size_t t = 1; t < s; ++t) {
           const ProcId src = target_is_k ? rank(0, other, t) : rank(0, t, other);
           const ProcId dst = target_is_k ? rank(t, other, t) : rank(t, t, other);
-          msgs.emplace_back(src, dst, tag, std::move(blk[src]));
+          msgs.emplace_back(src, dst, tag, guard(std::move(blk[src])));
         }
       }
       machine.exchange(std::move(msgs));
       for (std::size_t other = 0; other < s; ++other) {
         for (std::size_t t = 1; t < s; ++t) {
           const ProcId dst = target_is_k ? rank(t, other, t) : rank(t, t, other);
-          blk[dst] = std::move(machine.receive(dst, tag).blocks.front());
+          blk[dst] = unguard(std::move(machine.receive(dst, tag).blocks.front()));
         }
       }
       return;
@@ -141,7 +174,7 @@ MatmulResult GkAlgorithm::run(const Matrix& a, const Matrix& b, std::size_t p,
           const ProcId src = target_is_k ? rank(cur, other, t) : rank(cur, t, other);
           const ProcId dst = target_is_k ? rank(cur | dbit, other, t)
                                          : rank(cur | dbit, t, other);
-          msgs.emplace_back(src, dst, tag, std::move(blk[src]));
+          msgs.emplace_back(src, dst, tag, guard(std::move(blk[src])));
         }
       }
       if (msgs.empty()) continue;
@@ -151,7 +184,7 @@ MatmulResult GkAlgorithm::run(const Matrix& a, const Matrix& b, std::size_t p,
           if ((t & dbit) == 0) continue;
           const std::size_t cur = (t & (dbit - 1)) | dbit;
           const ProcId dst = target_is_k ? rank(cur, other, t) : rank(cur, t, other);
-          blk[dst] = std::move(machine.receive(dst, tag).blocks.front());
+          blk[dst] = unguard(std::move(machine.receive(dst, tag).blocks.front()));
         }
       }
     }
@@ -178,7 +211,9 @@ MatmulResult GkAlgorithm::run(const Matrix& a, const Matrix& b, std::size_t p,
                                      modeled_phase_time);
         } else {
           copies = broadcast_binomial(machine, group, i, kTagBcastA,
-                                      std::move(a_blk[group[i]]));
+                                      guard(std::move(a_blk[group[i]])),
+                                      hop_check);
+          for (auto& cp : copies) cp = unguard(std::move(cp));
         }
         for (std::size_t k = 0; k < s; ++k) a_blk[group[k]] = std::move(copies[k]);
       }
@@ -195,7 +230,9 @@ MatmulResult GkAlgorithm::run(const Matrix& a, const Matrix& b, std::size_t p,
                                      modeled_phase_time);
         } else {
           copies = broadcast_binomial(machine, group, i, kTagBcastB,
-                                      std::move(b_blk[group[i]]));
+                                      guard(std::move(b_blk[group[i]])),
+                                      hop_check);
+          for (auto& cp : copies) cp = unguard(std::move(cp));
         }
         for (std::size_t j = 0; j < s; ++j) b_blk[group[j]] = std::move(copies[j]);
       }
@@ -232,12 +269,15 @@ MatmulResult GkAlgorithm::run(const Matrix& a, const Matrix& b, std::size_t p,
         for (auto& part : contribs) sum += part;
         machine.charge_group_comm(group, modeled_phase_time);
       } else {
-        sum = reduce_binomial(machine, group, 0, kTagReduce, std::move(contribs));
+        for (auto& part : contribs) part = guard(std::move(part));
+        sum = unguard(reduce_binomial(machine, group, 0, kTagReduce,
+                                      std::move(contribs), 0.0, hop_check));
       }
       c.paste(sum, j * bn, k * bn);
     }
   }
   machine.synchronize();
+  machine.assert_clean_run();
 
   MatmulResult result;
   result.c = std::move(c);

@@ -164,6 +164,7 @@ MatmulResult SimpleAlgorithm::run(const Matrix& a, const Matrix& b,
     }
   }
   machine.synchronize();
+  machine.assert_clean_run();
 
   MatmulResult result;
   result.c = std::move(c);

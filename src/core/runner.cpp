@@ -1,7 +1,11 @@
 #include "core/runner.hpp"
 
+#include <algorithm>
+
+#include "core/selector.hpp"
 #include "core/validate.hpp"
 #include "matrix/generate.hpp"
+#include "sim/fault.hpp"
 #include "util/error.hpp"
 
 namespace hpmm {
@@ -88,6 +92,77 @@ std::optional<std::size_t> crossover_order(
     ++j;
   }
   return std::nullopt;
+}
+
+ResilientRun run_resilient(const Matrix& a, const Matrix& b, std::size_t p,
+                           const MachineParams& params,
+                           const std::string& algorithm,
+                           const AlgorithmRegistry& registry) {
+  require(p >= 1, "run_resilient: need at least one processor");
+  const std::size_t n = a.rows();
+
+  ResilientRun run;
+  run.procs = p;
+  run.algorithm = algorithm;
+  if (run.algorithm.empty()) {
+    const Selection sel = select_algorithm(n, p, params, true, registry);
+    require(!sel.best.empty(),
+            "run_resilient: no formulation applicable at the requested (n, p)");
+    run.algorithm = sel.best;
+  }
+
+  MachineParams current = params;
+  // Each retry loses at least one processor, so p attempts bound the loop.
+  for (std::size_t attempt = 0; attempt <= p; ++attempt) {
+    try {
+      run.result =
+          registry.implementation(run.algorithm).run(a, b, run.procs, current);
+      return run;
+    } catch (const ProcessorFailure& failure) {
+      // The attempt is abandoned: every processor's progress up to the
+      // failure instant is sunk cost.
+      run.wasted_time += failure.at_time();
+
+      DegradationEvent event;
+      event.failed_pid = failure.pid();
+      event.failed_at = failure.at_time();
+      event.procs_before = run.procs;
+
+      const std::size_t survivors = run.procs - 1;
+      const DegradedSelection deg =
+          select_degraded(n, survivors, params, true, registry);
+      event.procs_after = deg.p;
+      event.algorithm = deg.selection.best;
+
+      // The replacement run executes on the surviving part of the machine:
+      // the fired fail-stop is consumed, and pending faults pinned to
+      // processors outside the new configuration no longer apply.
+      if (current.faults) {
+        auto plan = std::make_shared<FaultPlan>(*current.faults);
+        auto& fs = plan->failstops;
+        fs.erase(std::remove_if(fs.begin(), fs.end(),
+                                [&](const FailStopSpec& spec) {
+                                  return spec.pid == failure.pid() ||
+                                         spec.pid >= deg.p;
+                                }),
+                 fs.end());
+        auto& st = plan->stragglers;
+        st.erase(std::remove_if(st.begin(), st.end(),
+                                [&](const StragglerSpec& spec) {
+                                  return spec.pid >= deg.p;
+                                }),
+                 st.end());
+        current.faults = std::move(plan);
+      }
+
+      run.procs = deg.p;
+      run.algorithm = deg.selection.best;
+      run.degradations.push_back(std::move(event));
+    }
+  }
+  // p + 1 attempts with a strictly shrinking machine cannot all fail.
+  throw InternalError(
+      "run_resilient: degradation failed to converge to a completed run");
 }
 
 }  // namespace hpmm

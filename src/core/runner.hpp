@@ -39,4 +39,32 @@ std::optional<std::size_t> crossover_order(
     const std::vector<EfficiencyPoint>& a, const std::vector<EfficiencyPoint>& b,
     bool use_simulated = false);
 
+/// One processor loss absorbed during a resilient run.
+struct DegradationEvent {
+  std::uint32_t failed_pid = 0;  ///< processor that fail-stopped
+  double failed_at = 0.0;        ///< virtual time of the failure
+  std::size_t procs_before = 0;  ///< configuration the attempt ran on
+  std::size_t procs_after = 0;   ///< configuration of the replacement run
+  std::string algorithm;         ///< formulation chosen for the replacement
+};
+
+/// Outcome of run_resilient: the completed product plus the recovery story.
+struct ResilientRun {
+  MatmulResult result;
+  std::string algorithm;    ///< formulation that completed the run
+  std::size_t procs = 0;    ///< processors the completing run used
+  double wasted_time = 0.0; ///< virtual time sunk into abandoned attempts
+  std::vector<DegradationEvent> degradations;
+};
+
+/// Run `algorithm` (or, when empty, the selector's choice) under `params`,
+/// absorbing fail-stop failures instead of aborting: each ProcessorFailure
+/// abandons the attempt, removes the dead processor, re-plans onto the
+/// largest feasible surviving configuration (select_degraded) and restarts.
+/// The virtual time lost to abandoned attempts accumulates in wasted_time.
+ResilientRun run_resilient(
+    const Matrix& a, const Matrix& b, std::size_t p,
+    const MachineParams& params, const std::string& algorithm = "",
+    const AlgorithmRegistry& registry = default_registry());
+
 }  // namespace hpmm

@@ -59,4 +59,26 @@ Selection select_among_table1(std::size_t n, std::size_t p,
                      default_registry());
 }
 
+DegradedSelection select_degraded(std::size_t n, std::size_t survivors,
+                                  const MachineParams& params,
+                                  bool require_simulatable,
+                                  const AlgorithmRegistry& registry) {
+  require(survivors >= 1,
+          "select_degraded: no surviving processors to re-plan onto");
+  for (std::size_t p = survivors; p >= 1; --p) {
+    Selection sel =
+        select_algorithm(n, p, params, require_simulatable, registry);
+    if (!sel.best.empty()) {
+      DegradedSelection deg;
+      deg.p = p;
+      deg.selection = std::move(sel);
+      return deg;
+    }
+  }
+  // p == 1 always admits the simple formulation, so this is unreachable for
+  // valid inputs; keep a hard error rather than a silent fallback.
+  throw PreconditionError(
+      "select_degraded: no formulation applicable on the surviving machine");
+}
+
 }  // namespace hpmm

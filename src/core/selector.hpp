@@ -41,4 +41,23 @@ Selection select_among_table1(std::size_t n, std::size_t p,
                               const MachineParams& params,
                               bool require_simulatable = true);
 
+/// A re-plan after processor loss: the largest feasible configuration on the
+/// surviving machine.
+struct DegradedSelection {
+  std::size_t p = 0;    ///< processors the plan actually uses (<= survivors)
+  Selection selection;  ///< the winning formulation at that p
+};
+
+/// Graceful degradation: given `survivors` working processors, find the
+/// largest p' <= survivors for which some registered formulation is
+/// applicable (divisibility constraints included when `require_simulatable`)
+/// and select the fastest one there. Formulations rarely accept arbitrary p,
+/// so losing one processor usually steps p' down to the next perfect square,
+/// power of eight, etc. Throws PreconditionError when no configuration at
+/// all is feasible (survivors == 0).
+DegradedSelection select_degraded(
+    std::size_t n, std::size_t survivors, const MachineParams& params,
+    bool require_simulatable = true,
+    const AlgorithmRegistry& registry = default_registry());
+
 }  // namespace hpmm

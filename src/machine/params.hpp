@@ -1,9 +1,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 namespace hpmm {
+
+struct FaultPlan;  // sim/fault.hpp — optional non-ideal machine behaviour
 
 /// How many ports of a processor may communicate at once (Section 7).
 enum class PortModel : std::uint8_t {
@@ -37,6 +40,10 @@ struct MachineParams {
   /// Record per-processor event timelines during simulated runs (returned
   /// via MatmulResult::trace; see sim/trace.hpp).
   bool trace = false;
+  /// Fault-injection plan (sim/fault.hpp). Null — or a plan whose active()
+  /// is false — reproduces the paper's ideal failure-free machine exactly
+  /// (bit-identical simulated times).
+  std::shared_ptr<const FaultPlan> faults;
   std::string label = "custom";
 
   /// Time for an m-word message traversing `hops` links.

@@ -1,0 +1,110 @@
+#include "matrix/checksum.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace hpmm {
+namespace {
+
+double default_tolerance(const Matrix& aug) {
+  double max_abs = 0.0;
+  for (double v : aug.data()) max_abs = std::max(max_abs, std::abs(v));
+  const double extent =
+      static_cast<double>(std::max(aug.rows(), aug.cols()));
+  // Sums accumulate one rounding error per term; a bit-flip perturbation is
+  // a large fraction of the element's magnitude, far above this.
+  return (max_abs + 1.0) * extent * 1e-12;
+}
+
+}  // namespace
+
+Matrix with_checksums(const Matrix& m) {
+  require(!m.empty(), "with_checksums: empty matrix");
+  const std::size_t r = m.rows(), c = m.cols();
+  Matrix out(r + 1, c + 1);
+  for (std::size_t i = 0; i < r; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < c; ++j) {
+      out(i, j) = m(i, j);
+      row_sum += m(i, j);
+    }
+    out(i, c) = row_sum;
+  }
+  for (std::size_t j = 0; j <= c; ++j) {
+    double col_sum = 0.0;
+    for (std::size_t i = 0; i < r; ++i) col_sum += out(i, j);
+    out(r, j) = col_sum;
+  }
+  return out;
+}
+
+ChecksumVerdict verify_checksums(Matrix& augmented, bool correct, double tol) {
+  require(augmented.rows() >= 2 && augmented.cols() >= 2,
+          "verify_checksums: not an augmented block");
+  const std::size_t r = augmented.rows() - 1;  // payload rows
+  const std::size_t c = augmented.cols() - 1;  // payload cols
+  if (tol < 0.0) tol = default_tolerance(augmented);
+
+  // Row i's constraint (i <= r): sum of its first c entries equals its last
+  // entry. Column j's constraint (j <= c): sum of its first r entries equals
+  // its last. A single corrupted element violates exactly one of each.
+  std::size_t bad_rows = 0, bad_cols = 0, bad_row = 0, bad_col = 0;
+  for (std::size_t i = 0; i <= r; ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < c; ++j) sum += augmented(i, j);
+    if (std::abs(sum - augmented(i, c)) > tol) {
+      ++bad_rows;
+      bad_row = i;
+    }
+  }
+  for (std::size_t j = 0; j <= c; ++j) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < r; ++i) sum += augmented(i, j);
+    if (std::abs(sum - augmented(r, j)) > tol) {
+      ++bad_cols;
+      bad_col = j;
+    }
+  }
+
+  ChecksumVerdict v;
+  if (bad_rows == 0 && bad_cols == 0) return v;
+  v.consistent = false;
+  if (bad_rows != 1 || bad_cols != 1) return v;  // multi-element damage
+  v.correctable = true;
+  v.row = bad_row;
+  v.col = bad_col;
+  if (!correct) return v;
+
+  // Recompute the damaged element from an undamaged constraint through it.
+  if (bad_row < r && bad_col < c) {
+    double others = 0.0;
+    for (std::size_t j = 0; j < c; ++j) {
+      if (j != bad_col) others += augmented(bad_row, j);
+    }
+    augmented(bad_row, bad_col) = augmented(bad_row, c) - others;
+  } else if (bad_row < r) {  // the row-checksum entry itself
+    double sum = 0.0;
+    for (std::size_t j = 0; j < c; ++j) sum += augmented(bad_row, j);
+    augmented(bad_row, c) = sum;
+  } else if (bad_col < c) {  // the column-checksum entry itself
+    double sum = 0.0;
+    for (std::size_t i = 0; i < r; ++i) sum += augmented(i, bad_col);
+    augmented(r, bad_col) = sum;
+  } else {  // the grand-total corner
+    double sum = 0.0;
+    for (std::size_t j = 0; j < c; ++j) sum += augmented(r, j);
+    augmented(r, c) = sum;
+  }
+  v.corrected = true;
+  return v;
+}
+
+Matrix strip_checksums(const Matrix& augmented) {
+  require(augmented.rows() >= 2 && augmented.cols() >= 2,
+          "strip_checksums: not an augmented block");
+  return augmented.slice(0, 0, augmented.rows() - 1, augmented.cols() - 1);
+}
+
+}  // namespace hpmm

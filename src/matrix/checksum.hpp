@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+
+#include "matrix/matrix.hpp"
+
+namespace hpmm {
+
+/// Algorithm-based fault tolerance (Huang & Abraham style) for matrix blocks
+/// in transit: an r x c block is augmented to (r+1) x (c+1) with a checksum
+/// row (column sums), a checksum column (row sums) and the grand total in
+/// the corner. A single corrupted element (i, j) then shows up as exactly
+/// one inconsistent row sum i and one inconsistent column sum j, which both
+/// locates it and — since the correct value is the row sum minus the other
+/// row elements — allows correction.
+///
+/// Checksums are linear: with_checksums(A) + with_checksums(B) ==
+/// with_checksums(A + B), so augmented blocks can be summed in reduction
+/// trees and verified once at the root.
+
+/// Augmented (rows+1) x (cols+1) copy of `m` with row/column checksums.
+Matrix with_checksums(const Matrix& m);
+
+/// Outcome of verifying (and possibly repairing) an augmented block.
+struct ChecksumVerdict {
+  bool consistent = true;   ///< no mismatch found
+  bool correctable = false; ///< mismatch localized to a single element
+  bool corrected = false;   ///< the element was repaired in place
+  std::size_t row = 0;      ///< corrupted element's row (when correctable)
+  std::size_t col = 0;      ///< corrupted element's column (when correctable)
+};
+
+/// Verify the checksums of an augmented block; when `correct` is set and the
+/// mismatch is localized to a single element (including elements of the
+/// checksum row/column themselves), repair it in place. `tol` absorbs
+/// floating-point rounding in the sums — the default scales with the block's
+/// magnitude and is safely below any bit-flip perturbation.
+ChecksumVerdict verify_checksums(Matrix& augmented, bool correct,
+                                 double tol = -1.0);
+
+/// Strip the checksum row and column, returning the inner payload block.
+Matrix strip_checksums(const Matrix& augmented);
+
+}  // namespace hpmm

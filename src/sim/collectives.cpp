@@ -29,7 +29,8 @@ std::size_t vrank_to_pos(std::size_t vrank, std::size_t root_pos, std::size_t g)
 std::vector<Matrix> broadcast_binomial(SimMachine& machine,
                                        std::span<const ProcId> group,
                                        std::size_t root_pos, int tag,
-                                       Matrix payload) {
+                                       Matrix payload,
+                                       const OnReceive& on_receive) {
   const std::size_t g = group.size();
   require(g > 0, "broadcast_binomial: empty group");
   require(root_pos < g, "broadcast_binomial: root out of range");
@@ -59,6 +60,7 @@ std::vector<Matrix> broadcast_binomial(SimMachine& machine,
       if (peer >= g) continue;
       const std::size_t to = vrank_to_pos(peer, root_pos, g);
       result[to] = std::move(machine.receive(group[to], tag).blocks.front());
+      if (on_receive) on_receive(result[to]);
     }
   }
   return result;
@@ -67,7 +69,8 @@ std::vector<Matrix> broadcast_binomial(SimMachine& machine,
 Matrix reduce_binomial(SimMachine& machine, std::span<const ProcId> group,
                        std::size_t root_pos, int tag,
                        std::vector<Matrix> contributions,
-                       double add_cost_per_word) {
+                       double add_cost_per_word,
+                       const OnReceive& on_receive) {
   const std::size_t g = group.size();
   require(g > 0, "reduce_binomial: empty group");
   require(root_pos < g, "reduce_binomial: root out of range");
@@ -92,6 +95,7 @@ Matrix reduce_binomial(SimMachine& machine, std::span<const ProcId> group,
     for (std::size_t to : receivers) {
       Message m = machine.receive(group[to], tag);
       Matrix& partial = m.blocks.front();
+      if (on_receive) on_receive(partial);
       contributions[to] += partial;
       if (add_cost_per_word > 0.0) {
         machine.compute(group[to],

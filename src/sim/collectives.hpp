@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -26,13 +27,20 @@ namespace hpmm {
 /// binomial/recursive-doubling patterns communicate only across physical
 /// hypercube links.
 
+/// Per-hop receive hook: invoked on every block as it comes off the wire,
+/// before it is forwarded or combined. ABFT-guarded algorithms use this to
+/// verify (and repair) checksums at each tree hop, so one corrupted
+/// transmission never compounds with another further down the tree.
+using OnReceive = std::function<void(Matrix&)>;
+
 /// One-to-all broadcast of `payload` from group[root_pos] to every group
 /// member via a binomial tree. Returns one copy per member, indexed by
 /// position.
 std::vector<Matrix> broadcast_binomial(SimMachine& machine,
                                        std::span<const ProcId> group,
                                        std::size_t root_pos, int tag,
-                                       Matrix payload);
+                                       Matrix payload,
+                                       const OnReceive& on_receive = {});
 
 /// All-to-one reduction: element-wise sum of `contributions` (one per
 /// position) delivered to group[root_pos] via a binomial tree. Each combine
@@ -42,7 +50,8 @@ std::vector<Matrix> broadcast_binomial(SimMachine& machine,
 Matrix reduce_binomial(SimMachine& machine, std::span<const ProcId> group,
                        std::size_t root_pos, int tag,
                        std::vector<Matrix> contributions,
-                       double add_cost_per_word = 0.0);
+                       double add_cost_per_word = 0.0,
+                       const OnReceive& on_receive = {});
 
 /// All-to-all broadcast over a ring: every member contributes one block and
 /// receives every block. Result[pos][i] is the contribution of position i.

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/fault.hpp"
+
+namespace hpmm {
+
+/// Outcome of delivering one message over a lossy link under the
+/// ack/timeout/retransmit protocol, in virtual time.
+///
+/// Protocol model (see DESIGN.md "Fault model & resilience"): the sender
+/// transmits (cost = the message's base cost), then expects an
+/// acknowledgement. Acks are piggybacked/small and charged zero time. If the
+/// transmission was dropped, the sender notices after a timeout of
+/// rto_factor x base cost (doubling by rto_backoff per retry — exponential
+/// backoff) and retransmits. The receiver de-duplicates by message identity,
+/// so network-duplicated copies are counted and discarded, never delivered
+/// twice.
+///
+/// Sender timeline for r retransmissions (c = base cost, T = departure):
+///   busy  [T, T+c], wait [T+c, T+c+rto), busy [.., +c], ...
+///   span  = (r+1) * c + sum_{k=0}^{r-1} rto * backoff^k
+/// The delivering attempt's payload arrives at T + span + delay.
+struct ReliableOutcome {
+  unsigned attempts = 1;      ///< transmissions performed (1 = no retry)
+  bool delivered = true;      ///< false only in unreliable mode
+  bool duplicated = false;    ///< network delivered an extra copy
+  bool corrupted = false;     ///< delivered payload carries a flipped word
+  unsigned corrupt_attempt = 0;  ///< attempt whose corruption survived
+  double delay = 0.0;         ///< in-flight delay of the delivering attempt
+  double busy = 0.0;          ///< sender transmission time, attempts * cost
+  double wait = 0.0;          ///< sender timeout time between attempts
+
+  unsigned retransmissions() const noexcept { return attempts - 1; }
+  /// Total sender-side elapsed time; the payload arrives at
+  /// departure + span() + delay.
+  double span() const noexcept { return busy + wait; }
+};
+
+/// Walk the retry schedule for one message whose per-attempt fates come from
+/// `injector`. `base_cost` is the fault-free cost of one transmission
+/// (topology, contention and straggler factors included). With
+/// plan.reliable == false a single attempt is made and a drop means the
+/// message is simply lost (delivered = false, duplicates are delivered).
+///
+/// Throws InternalError when plan.max_retries consecutive transmissions are
+/// all dropped — with any realistic drop probability this indicates a
+/// mis-configured plan rather than bad luck.
+ReliableOutcome reliable_delivery(const FaultInjector& injector,
+                                  const Message& m, std::uint64_t round,
+                                  double base_cost);
+
+}  // namespace hpmm

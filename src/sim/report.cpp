@@ -11,6 +11,7 @@ std::string RunReport::summary() const {
                   " S=" + format_number(speedup()) +
                   " E=" + format_number(efficiency()) +
                   " T_o=" + format_number(total_overhead());
+  if (faults.any()) s += " faults[" + faults.summary() + "]";
   return s;
 }
 

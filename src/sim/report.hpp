@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "machine/params.hpp"
+#include "sim/fault.hpp"
 
 namespace hpmm {
 
@@ -17,6 +18,7 @@ struct ProcStats {
   std::uint64_t flops = 0;    ///< charged multiply-add operations
   std::uint64_t messages_sent = 0;
   std::uint64_t words_sent = 0;
+  std::uint64_t retransmissions = 0;    ///< extra sends forced by drops
   std::uint64_t peak_words_stored = 0;  ///< high-water mark of registered storage
   std::uint64_t words_stored = 0;       ///< currently registered storage
 };
@@ -37,6 +39,9 @@ struct RunReport {
   std::uint64_t total_messages = 0;
   std::uint64_t total_words = 0;
   std::uint64_t max_peak_words = 0;
+
+  /// Fault events observed during the run (all zero on an ideal machine).
+  FaultStats faults;
 
   std::vector<ProcStats> procs;  ///< per-processor detail (optional to keep)
 

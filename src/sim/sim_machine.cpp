@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/reliable.hpp"
 #include "topology/routing.hpp"
 #include "util/error.hpp"
 
@@ -14,6 +15,18 @@ SimMachine::SimMachine(std::shared_ptr<const Topology> topology,
   stats_.resize(topology_->size());
   inbox_.resize(topology_->size());
   tracing_ = params_.trace;
+  // The fault path only exists when a plan can actually fire; an inactive
+  // plan keeps the machine on the exact ideal code path (bit-identical
+  // times), which tests/algorithms/resilience_test.cpp pins down.
+  if (params_.faults && params_.faults->active()) {
+    injector_ = std::make_unique<FaultInjector>(params_.faults);
+    for (const auto& s : params_.faults->stragglers) {
+      require(s.pid < procs(), "FaultPlan: straggler pid out of range");
+    }
+    for (const auto& f : params_.faults->failstops) {
+      require(f.pid < procs(), "FaultPlan: fail-stop pid out of range");
+    }
+  }
 }
 
 void SimMachine::record(ProcId pid, TraceEvent::Kind kind, double start,
@@ -26,9 +39,14 @@ void SimMachine::compute(ProcId pid, double flops) {
   require(pid < procs(), "SimMachine::compute: pid out of range");
   require(flops >= 0.0, "SimMachine::compute: negative flops");
   auto& st = stats_[pid];
-  record(pid, TraceEvent::Kind::kCompute, st.clock, st.clock + flops);
-  st.clock += flops;  // t_c = 1 multiply-add unit
-  st.compute_time += flops;
+  double duration = flops;  // t_c = 1 multiply-add unit
+  if (injector_) {
+    check_alive(pid);
+    duration = flops * injector_->slowdown(pid);  // straggler runs slower
+  }
+  record(pid, TraceEvent::Kind::kCompute, st.clock, st.clock + duration);
+  st.clock += duration;
+  st.compute_time += duration;
   st.flops += static_cast<std::uint64_t>(flops);
 }
 
@@ -54,12 +72,17 @@ double SimMachine::message_cost(const Message& m,
 }
 
 void SimMachine::exchange(std::vector<Message> messages) {
+  ++exchange_round_;  // identifies this round in fault-fate hashing
   // Validate port-model constraints.
   std::vector<unsigned> sends(procs(), 0), recvs(procs(), 0);
   for (const auto& m : messages) {
     require(m.src < procs() && m.dst < procs(),
             "SimMachine::exchange: endpoint out of range");
     require(m.src != m.dst, "SimMachine::exchange: self-message");
+    if (injector_) {
+      check_alive(m.src);
+      check_alive(m.dst);
+    }
     ++sends[m.src];
     ++recvs[m.dst];
   }
@@ -95,15 +118,57 @@ void SimMachine::exchange(std::vector<Message> messages) {
 
   // Senders are busy for the full duration of their transfers. Under the
   // all-port model multiple transfers from one processor run concurrently,
-  // so the busy time is the max (not the sum) of their costs.
+  // so the busy time is the max (not the sum) of their costs. With an
+  // active fault plan each message additionally walks the reliable-delivery
+  // retry schedule (sim/reliable.hpp): timeouts extend the sender's elapsed
+  // span beyond its busy time, and the arrival moves to the successful
+  // attempt (plus any in-flight delay).
   std::vector<double> send_busy(procs(), 0.0);
+  std::vector<double> send_span(procs(), 0.0);
   std::vector<double> arrival_max(procs(), 0.0);
+  std::vector<bool> deliver(messages.size(), true);
+  std::vector<bool> deliver_dup(messages.size(), false);
   for (std::size_t i = 0; i < messages.size(); ++i) {
-    const auto& m = messages[i];
-    const double cost = message_cost(m, load_factor[i]);
-    const double arrival = stats_[m.src].clock + cost;
-    send_busy[m.src] = std::max(send_busy[m.src], cost);
-    arrival_max[m.dst] = std::max(arrival_max[m.dst], arrival);
+    auto& m = messages[i];
+    double cost = message_cost(m, load_factor[i]);
+    double busy = cost, span = cost, arrival_delay = 0.0;
+    if (injector_) {
+      cost *= injector_->slowdown(m.src);  // a straggler's sends run slower
+      const ReliableOutcome out =
+          reliable_delivery(*injector_, m, exchange_round_, cost);
+      busy = out.busy;
+      span = out.span();
+      arrival_delay = out.delay;
+      deliver[i] = out.delivered;
+      auto& fs = fault_stats_;
+      fs.transmissions_dropped += out.attempts - 1 + (out.delivered ? 0 : 1);
+      fs.retransmissions += out.retransmissions();
+      stats_[m.src].retransmissions += out.retransmissions();
+      if (out.delay > 0.0) ++fs.deliveries_delayed;
+      if (!out.delivered) ++fs.messages_lost;
+      if (out.duplicated) {
+        // The reliable protocol de-duplicates at the receiver; without it
+        // the extra copy really lands in the inbox.
+        if (injector_->plan().reliable) {
+          ++fs.duplicates_suppressed;
+        } else {
+          deliver_dup[i] = out.delivered;
+          if (out.delivered) ++fs.duplicates_delivered;
+        }
+      }
+      if (out.delivered && out.corrupted) {
+        corrupt_message_word(
+            m, injector_->corrupt_word_index(m, exchange_round_,
+                                             out.corrupt_attempt));
+        ++fs.elements_corrupted;
+      }
+    }
+    if (deliver[i]) {
+      arrival_max[m.dst] = std::max(
+          arrival_max[m.dst], stats_[m.src].clock + span + arrival_delay);
+    }
+    send_busy[m.src] = std::max(send_busy[m.src], busy);
+    send_span[m.src] = std::max(send_span[m.src], span);
     stats_[m.src].messages_sent += 1;
     stats_[m.src].words_sent += m.words();
   }
@@ -113,6 +178,13 @@ void SimMachine::exchange(std::vector<Message> messages) {
     record(pid, TraceEvent::Kind::kSend, st.clock, busy_until);
     st.comm_time += send_busy[pid];
     double next = busy_until;
+    if (send_span[pid] > send_busy[pid]) {
+      // Timeout-and-retransmit overhead beyond the pure transfer time.
+      const double span_until = st.clock + send_span[pid];
+      record(pid, TraceEvent::Kind::kRetry, next, span_until);
+      st.idle_time += span_until - next;
+      next = span_until;
+    }
     if (arrival_max[pid] > next) {
       record(pid, TraceEvent::Kind::kWait, next, arrival_max[pid]);
       st.idle_time += arrival_max[pid] - next;
@@ -121,9 +193,11 @@ void SimMachine::exchange(std::vector<Message> messages) {
     st.clock = next;
   }
   // Deliver payloads.
-  for (auto& m : messages) {
-    const ProcId dst = m.dst;
-    inbox_[dst].push_back(std::move(m));
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    if (!deliver[i]) continue;
+    const ProcId dst = messages[i].dst;
+    if (deliver_dup[i]) inbox_[dst].push_back(messages[i]);
+    inbox_[dst].push_back(std::move(messages[i]));
   }
 }
 
@@ -150,6 +224,30 @@ std::size_t SimMachine::pending_messages() const noexcept {
   std::size_t n = 0;
   for (const auto& box : inbox_) n += box.size();
   return n;
+}
+
+void SimMachine::assert_clean_run() const {
+  for (ProcId pid = 0; pid < procs(); ++pid) {
+    if (inbox_[pid].empty()) continue;
+    const Message& m = inbox_[pid].front();
+    throw InternalError(
+        "SimMachine::assert_clean_run: leftover message with tag " +
+        std::to_string(m.tag) + " pending at destination processor " +
+        std::to_string(pid) + " (from " + std::to_string(m.src) + ", " +
+        std::to_string(pending_messages()) + " pending in total)");
+  }
+}
+
+void SimMachine::note_abft(bool detected, bool corrected) {
+  if (detected) ++fault_stats_.abft_detected;
+  if (corrected) ++fault_stats_.abft_corrected;
+}
+
+void SimMachine::check_alive(ProcId pid) const {
+  const auto fail_at = injector_->fail_time(pid);
+  if (fail_at && stats_[pid].clock >= *fail_at) {
+    throw ProcessorFailure(pid, *fail_at);
+  }
 }
 
 double SimMachine::synchronize() {
@@ -230,6 +328,7 @@ RunReport SimMachine::report(std::string algorithm, std::size_t n,
     r.total_words += st.words_sent;
     r.max_peak_words = std::max(r.max_peak_words, st.peak_words_stored);
   }
+  r.faults = fault_stats_;
   if (keep_proc_stats) r.procs = stats_;
   return r;
 }
@@ -238,6 +337,8 @@ void SimMachine::reset() {
   for (auto& st : stats_) st = ProcStats{};
   for (auto& box : inbox_) box.clear();
   trace_events_.clear();
+  fault_stats_ = FaultStats{};
+  exchange_round_ = 0;
 }
 
 }  // namespace hpmm

@@ -7,6 +7,7 @@
 
 #include "machine/params.hpp"
 #include "matrix/kernels.hpp"
+#include "sim/fault.hpp"
 #include "sim/message.hpp"
 #include "sim/report.hpp"
 #include "sim/trace.hpp"
@@ -37,6 +38,17 @@ namespace hpmm {
 /// Real data (matrix blocks) moves with every message, so the numerical
 /// result of a simulated algorithm can be checked exactly; time is the
 /// paper's analytical model, applied message by message.
+///
+/// When MachineParams::faults carries an active FaultPlan, exchange()
+/// additionally consults a deterministic FaultInjector: transmissions may be
+/// dropped (and retried per the plan's reliable-messaging policy, the
+/// timeouts and retransmissions charged in virtual time), duplicated
+/// (suppressed by receiver-side de-duplication), delayed in flight, or have
+/// one payload word bit-flipped; stragglers run compute and sends slower by
+/// a clock-rate factor; fail-stopped processors raise ProcessorFailure from
+/// any compute/exchange they would participate in. With no plan — or an
+/// all-zero one — none of these paths execute and simulated times are
+/// bit-identical to the ideal machine's.
 class SimMachine {
  public:
   SimMachine(std::shared_ptr<const Topology> topology, MachineParams params);
@@ -67,6 +79,11 @@ class SimMachine {
   /// Number of undelivered messages across all inboxes (0 after a clean run).
   std::size_t pending_messages() const noexcept;
 
+  /// The "clean run" invariant: every delivered message was received. Throws
+  /// InternalError naming the first leftover message's tag and destination —
+  /// algorithms call this before assembling their report.
+  void assert_clean_run() const;
+
   /// Advance every processor to the maximum clock (a barrier); the gaps are
   /// recorded as idle time. Returns the barrier time.
   double synchronize();
@@ -84,6 +101,18 @@ class SimMachine {
 
   double clock(ProcId pid) const;
   const ProcStats& stats(ProcId pid) const;
+
+  /// Fault events observed so far (all zero without an active FaultPlan).
+  const FaultStats& fault_stats() const noexcept { return fault_stats_; }
+
+  /// Record an ABFT checksum verification outcome (called by algorithms
+  /// running with FaultPlan::abft enabled; see matrix/checksum.hpp).
+  void note_abft(bool detected, bool corrected);
+
+  /// The injector driving this machine's faults, or null when ideal.
+  const FaultInjector* fault_injector() const noexcept {
+    return injector_.get();
+  }
 
   /// T_p: the maximum clock over all processors.
   double time() const noexcept;
@@ -108,6 +137,8 @@ class SimMachine {
   double message_cost(const Message& m, unsigned contention_load) const;
   void record(ProcId pid, TraceEvent::Kind kind, double start, double end,
               std::uint64_t words = 0);
+  /// Throws ProcessorFailure if pid's clock has reached its fail-stop time.
+  void check_alive(ProcId pid) const;
 
   std::shared_ptr<const Topology> topology_;
   MachineParams params_;
@@ -115,6 +146,10 @@ class SimMachine {
   std::vector<std::deque<Message>> inbox_;
   bool tracing_ = false;
   std::vector<TraceEvent> trace_events_;
+  /// Non-null only when params_.faults is an active plan; see fault.hpp.
+  std::unique_ptr<FaultInjector> injector_;
+  FaultStats fault_stats_;
+  std::uint64_t exchange_round_ = 0;
 };
 
 }  // namespace hpmm

@@ -14,6 +14,7 @@ const char* to_string(TraceEvent::Kind kind) noexcept {
     case TraceEvent::Kind::kSend: return "send";
     case TraceEvent::Kind::kWait: return "wait";
     case TraceEvent::Kind::kModeledComm: return "modeled-comm";
+    case TraceEvent::Kind::kRetry: return "retry";
   }
   return "?";
 }
@@ -70,10 +71,10 @@ void Trace::print_gantt(std::ostream& os, std::size_t width,
   const std::size_t shown = std::min(procs_, max_procs);
   os << "Gantt (" << shown << (shown < procs_ ? " of " : " / ")
      << procs_ << " procs, 0 .. " << format_number(t_end, 4)
-     << " units)  #=compute >=send .=wait ~=modeled-comm\n";
+     << " units)  #=compute >=send .=wait ~=modeled-comm !=retry\n";
   for (ProcId pid = 0; pid < shown; ++pid) {
     // Per-bin dominant activity.
-    std::vector<std::array<double, 4>> bins(width, {0.0, 0.0, 0.0, 0.0});
+    std::vector<std::array<double, 5>> bins(width, {0.0, 0.0, 0.0, 0.0, 0.0});
     for (const auto& e : events_) {
       if (e.pid != pid || e.duration() <= 0.0) continue;
       const auto kind_idx = static_cast<std::size_t>(e.kind);
@@ -86,12 +87,12 @@ void Trace::print_gantt(std::ostream& os, std::size_t width,
         if (hi > lo) bins[b][kind_idx] += hi - lo;
       }
     }
-    static constexpr char kGlyph[] = {'#', '>', '.', '~'};
+    static constexpr char kGlyph[] = {'#', '>', '.', '~', '!'};
     std::string row(width, ' ');
     for (std::size_t b = 0; b < width; ++b) {
       double best = 0.0;
       int best_idx = -1;
-      for (int k = 0; k < 4; ++k) {
+      for (int k = 0; k < 5; ++k) {
         if (bins[b][static_cast<std::size_t>(k)] > best) {
           best = bins[b][static_cast<std::size_t>(k)];
           best_idx = k;

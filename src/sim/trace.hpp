@@ -17,6 +17,7 @@ struct TraceEvent {
     kSend,         ///< busy transmitting
     kWait,         ///< idle waiting for an arrival or barrier
     kModeledComm,  ///< a modeled collective's charged span
+    kRetry,        ///< timeout + retransmission forced by a dropped message
   };
   ProcId pid = 0;
   Kind kind = Kind::kCompute;

@@ -1,17 +1,22 @@
 #include "tools/commands.hpp"
 
 #include <cmath>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/crossover.hpp"
 #include "analysis/isoefficiency.hpp"
 #include "analysis/region_map.hpp"
 #include "core/registry.hpp"
+#include "core/runner.hpp"
 #include "core/selector.hpp"
 #include "core/experiments.hpp"
 #include "core/validate.hpp"
 #include "matrix/generate.hpp"
+#include "matrix/kernels.hpp"
+#include "sim/fault.hpp"
 #include "util/error.hpp"
 #include "util/table.hpp"
 
@@ -34,6 +39,40 @@ std::string applicability_text(const std::string& name) {
     return "p = 2^(3q) <= n^3, p^(1/3) | n";
   }
   return "?";
+}
+
+/// Parse "pid:value[,pid:value...]" (straggler and fail-stop scenario
+/// flags). An empty string yields an empty list.
+std::vector<std::pair<std::uint32_t, double>> parse_pid_values(
+    const std::string& text, const std::string& flag) {
+  std::vector<std::pair<std::uint32_t, double>> out;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t comma = text.find(',', start);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string item = text.substr(start, comma - start);
+    const std::size_t colon = item.find(':');
+    require(colon != std::string::npos && colon > 0 && colon + 1 < item.size(),
+            flag + ": expected pid:value[,pid:value...], got '" + item + "'");
+    try {
+      out.emplace_back(
+          static_cast<std::uint32_t>(std::stoul(item.substr(0, colon))),
+          std::stod(item.substr(colon + 1)));
+    } catch (const std::exception&) {
+      throw PreconditionError(flag + ": malformed entry '" + item + "'");
+    }
+    start = comma + 1;
+  }
+  return out;
+}
+
+AbftMode abft_from_args(const CliArgs& args) {
+  const std::string mode = args.get("abft", "off");
+  if (mode == "off") return AbftMode::kOff;
+  if (mode == "detect") return AbftMode::kDetect;
+  if (mode == "correct") return AbftMode::kCorrect;
+  throw PreconditionError("inject: --abft must be off, detect or correct, got '" +
+                          mode + "'");
 }
 
 void print_table(const CliArgs& args, const Table& table, std::ostream& os) {
@@ -262,6 +301,113 @@ int cmd_reproduce(const CliArgs& args, std::ostream& os) {
   return 0;
 }
 
+int cmd_inject(const CliArgs& args, std::ostream& os) {
+  if (args.has("help")) {
+    os << "usage: hpmm inject --algorithm=<name> --n=<order> --p=<procs> "
+          "[scenario flags]\n"
+          "simulate one multiplication on a faulty virtual machine, verify "
+          "the product\nand report the resilience overhead.\n"
+          "scenario flags:\n"
+          "  --seed=<u64>        fault-plan seed; same seed => same faults "
+          "(default 1)\n"
+          "  --drop=<prob>       per-transmission message drop probability\n"
+          "  --dup=<prob>        duplicate-delivery probability\n"
+          "  --delay=<prob>      delayed-delivery probability\n"
+          "  --delay-factor=<x>  extra latency of a delayed message, in "
+          "message times (default 1)\n"
+          "  --corrupt=<prob>    in-flight single-bit payload corruption "
+          "probability\n"
+          "  --abft=off|detect|correct\n"
+          "                      checksum-guard blocks in transit "
+          "(Huang-Abraham row/column sums)\n"
+          "  --stragglers=pid:factor[,pid:factor...]\n"
+          "                      slow those processors' compute by the "
+          "factor\n"
+          "  --failstop=pid:time[,pid:time...]\n"
+          "                      fail-stop a processor at a virtual time; "
+          "the run re-plans onto\n"
+          "                      the largest feasible surviving "
+          "configuration instead of aborting\n"
+          "  --reliable=0|1      ack/timeout/retransmit protocol (default "
+          "1; 0 makes drops fatal)\n"
+          "  --retries=<k> --rto=<x> --backoff=<x>\n"
+          "                      retransmission budget, timeout in message "
+          "times, backoff factor\n"
+          "  --data-seed=<u64>   seed for the random input matrices\n"
+          "machine selection: --machine=ncube2|future|cm2|cm5|ideal or "
+          "--ts=.. --tw=..\n";
+    return 0;
+  }
+  const std::string algorithm = args.get("algorithm", "cannon");
+  const auto n = static_cast<std::size_t>(args.get_int("n", 64));
+  const auto p = static_cast<std::size_t>(args.get_int("p", 16));
+  const auto& reg = default_registry();
+  require(reg.contains(algorithm),
+          "inject: unknown algorithm '" + algorithm + "'");
+
+  auto plan = std::make_shared<FaultPlan>();
+  plan->seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  plan->drop_prob = args.get_double("drop", 0.0);
+  plan->duplicate_prob = args.get_double("dup", 0.0);
+  plan->delay_prob = args.get_double("delay", 0.0);
+  plan->delay_factor = args.get_double("delay-factor", 1.0);
+  plan->corrupt_prob = args.get_double("corrupt", 0.0);
+  plan->abft = abft_from_args(args);
+  plan->reliable = args.get_bool("reliable", true);
+  plan->rto_factor = args.get_double("rto", 2.0);
+  plan->rto_backoff = args.get_double("backoff", 2.0);
+  plan->max_retries = static_cast<std::uint32_t>(args.get_int("retries", 12));
+  for (const auto& [pid, factor] :
+       parse_pid_values(args.get("stragglers", ""), "inject: --stragglers")) {
+    plan->stragglers.push_back({pid, factor});
+  }
+  for (const auto& [pid, time] :
+       parse_pid_values(args.get("failstop", ""), "inject: --failstop")) {
+    plan->failstops.push_back({pid, time});
+  }
+
+  MachineParams mp = machine_from_args(args);
+  mp.faults = plan;
+
+  reg.implementation(algorithm).check_applicable(n, p);
+  Rng rng(static_cast<std::uint64_t>(args.get_int("data-seed", 42)));
+  const Matrix a = random_matrix(n, n, rng);
+  const Matrix b = random_matrix(n, n, rng);
+
+  const ResilientRun run = run_resilient(a, b, p, mp, algorithm);
+
+  const Matrix reference = multiply(a, b);
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      max_err = std::max(max_err, std::abs(run.result.c(i, j) - reference(i, j)));
+    }
+  }
+  const bool ok = max_err <= product_tolerance(n);
+
+  os << "inject: " << algorithm << " n=" << n << " p=" << p << " ("
+     << mp.label << ")\n"
+     << "  plan            = " << plan->summary() << "\n";
+  for (const auto& ev : run.degradations) {
+    os << "  degradation     = processor " << ev.failed_pid
+       << " fail-stopped at t=" << format_number(ev.failed_at, 6)
+       << "; re-planned " << ev.procs_before << " -> " << ev.procs_after
+       << " procs (" << ev.algorithm << ")\n";
+  }
+  os << "  completed on    = " << run.algorithm << " with " << run.procs
+     << " procs\n"
+     << "  T_p (simulated) = "
+     << format_number(run.result.report.t_parallel, 6) << "\n";
+  if (run.wasted_time > 0.0) {
+    os << "  wasted (fails)  = " << format_number(run.wasted_time, 6) << "\n";
+  }
+  const FaultStats& fs = run.result.report.faults;
+  if (fs.any()) os << "  faults          = " << fs.summary() << "\n";
+  os << "  product check   = " << (ok ? "ok" : "MISMATCH") << " (max error "
+     << format_number(max_err, 2) << ")\n";
+  return ok ? 0 : 1;
+}
+
 int dispatch(const CliArgs& args, std::ostream& os, std::ostream& err) {
   const auto usage = [&err]() {
     err << "usage: hpmm <command> [--options]\n"
@@ -274,6 +420,7 @@ int dispatch(const CliArgs& args, std::ostream& os, std::ostream& err) {
            "  crossover  equal-overhead curve for a pair (--a, --b)\n"
            "  trace      simulate with tracing, print the Gantt chart\n"
            "  reproduce  check the paper's claims against this build\n"
+           "  inject     simulate under injected faults (see inject --help)\n"
            "machine selection: --machine=ncube2|future|cm2|cm5|ideal or "
            "--ts=.. --tw=..\n"
            "output: --format=aligned|csv|markdown\n";
@@ -291,9 +438,13 @@ int dispatch(const CliArgs& args, std::ostream& os, std::ostream& err) {
     if (cmd == "crossover") return cmd_crossover(args, os);
     if (cmd == "trace") return cmd_trace(args, os);
     if (cmd == "reproduce") return cmd_reproduce(args, os);
+    if (cmd == "inject") return cmd_inject(args, os);
   } catch (const PreconditionError& e) {
     err << "error: " << e.what() << "\n";
     return 1;
+  } catch (const InternalError& e) {
+    err << "internal error (please report): " << e.what() << "\n";
+    return 2;
   }
   return usage();
 }

@@ -45,6 +45,13 @@ int cmd_trace(const CliArgs& args, std::ostream& os);
 /// when any claim fails to reproduce.
 int cmd_reproduce(const CliArgs& args, std::ostream& os);
 
+/// `hpmm inject --algorithm=.. --n=.. --p=.. [scenario flags]` — simulate one
+/// multiplication on a faulty machine (message drops, duplicates, delays,
+/// bit corruption, stragglers, fail-stops) with reliable messaging and
+/// optional ABFT checksums, absorbing fail-stops by re-planning onto the
+/// surviving processors. `--help` lists the scenario flags.
+int cmd_inject(const CliArgs& args, std::ostream& os);
+
 /// Dispatch on args.positionals()[0]; prints usage and returns 2 for an
 /// unknown or missing subcommand.
 int dispatch(const CliArgs& args, std::ostream& os, std::ostream& err);

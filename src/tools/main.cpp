@@ -1,11 +1,28 @@
 // The `hpmm` command-line tool: the paper's algorithm library, selector and
 // analysis machinery behind one binary. Run without arguments for usage.
 
+#include <exception>
 #include <iostream>
 
 #include "tools/commands.hpp"
+#include "util/error.hpp"
 
 int main(int argc, char** argv) {
-  const hpmm::CliArgs args(argc, argv);
-  return hpmm::tools::dispatch(args, std::cout, std::cerr);
+  // dispatch() translates PreconditionError/InternalError from the commands
+  // it knows about; this is the last line of defence for anything escaping
+  // it (argument parsing, stream failures, unforeseen exceptions), keeping
+  // the exit-code contract: 1 = caller error, 2 = bug in hpmm.
+  try {
+    const hpmm::CliArgs args(argc, argv);
+    return hpmm::tools::dispatch(args, std::cout, std::cerr);
+  } catch (const hpmm::PreconditionError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  } catch (const hpmm::InternalError& e) {
+    std::cerr << "internal error (please report): " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "internal error (please report): " << e.what() << "\n";
+    return 2;
+  }
 }

@@ -1,0 +1,231 @@
+// End-to-end resilience acceptance tests: algorithms running over a faulty
+// SimMachine must either mask every injected fault (reliable messaging,
+// ABFT-correct) or surface it honestly (detect-only counters), and an
+// all-zero FaultPlan must leave simulated times bit-identical to the ideal
+// machine — the fault path costs nothing when disabled.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "core/registry.hpp"
+#include "matrix/generate.hpp"
+#include "matrix/kernels.hpp"
+#include "sim/fault.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace hpmm {
+namespace {
+
+MachineParams test_params() {
+  MachineParams m;
+  m.t_s = 10.0;
+  m.t_w = 2.0;
+  return m;
+}
+
+/// Matrices with small positive integer entries: products and checksums are
+/// exactly representable, so "exact product" means bitwise equality; and no
+/// payload word is 0.0 (a mantissa flip of 0.0 is an undetectable denormal).
+Matrix int_matrix(std::size_t n, Rng& rng) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      m(i, j) = std::floor(rng.uniform(1.0, 9.0));
+    }
+  }
+  return m;
+}
+
+MatmulResult run(const std::string& algorithm, const Matrix& a,
+                 const Matrix& b, std::size_t p,
+                 std::shared_ptr<const FaultPlan> plan) {
+  MachineParams mp = test_params();
+  mp.faults = std::move(plan);
+  return default_registry().implementation(algorithm).run(a, b, p, mp);
+}
+
+void expect_exact_product(const Matrix& c, const Matrix& reference) {
+  ASSERT_EQ(c.rows(), reference.rows());
+  ASSERT_EQ(c.cols(), reference.cols());
+  for (std::size_t i = 0; i < c.rows(); ++i) {
+    for (std::size_t j = 0; j < c.cols(); ++j) {
+      ASSERT_DOUBLE_EQ(c(i, j), reference(i, j))
+          << "at (" << i << ", " << j << ")";
+    }
+  }
+}
+
+TEST(Resilience, AllZeroPlanIsBitIdenticalToNoPlan) {
+  // The acceptance regression: attaching a default (all-zero) FaultPlan must
+  // not perturb the simulated time of any formulation by a single bit.
+  struct Case {
+    const char* name;
+    std::size_t n, p;
+  };
+  const Case cases[] = {
+      {"simple", 16, 16}, {"cannon", 16, 16}, {"fox", 16, 16},
+      {"berntsen", 16, 8}, {"dns", 8, 128},   {"gk", 16, 8},
+  };
+  Rng rng(404);
+  for (const auto& c : cases) {
+    const Matrix a = random_matrix(c.n, c.n, rng);
+    const Matrix b = random_matrix(c.n, c.n, rng);
+    const MatmulResult ideal = run(c.name, a, b, c.p, nullptr);
+    const MatmulResult zeroed =
+        run(c.name, a, b, c.p, std::make_shared<FaultPlan>());
+    EXPECT_EQ(ideal.report.t_parallel, zeroed.report.t_parallel) << c.name;
+    EXPECT_EQ(ideal.report.total_messages, zeroed.report.total_messages)
+        << c.name;
+    EXPECT_EQ(ideal.report.total_words, zeroed.report.total_words) << c.name;
+    EXPECT_FALSE(zeroed.report.faults.any()) << c.name;
+    expect_exact_product(zeroed.c, ideal.c);
+  }
+}
+
+TEST(Resilience, CannonExactUnderDropsAndStraggler) {
+  // The ISSUE scenario: 1%-class message loss plus one 2x straggler. The
+  // reliable protocol must mask both — exact product, but visible
+  // retransmission counters and a slower clock.
+  const std::size_t n = 32, p = 16;
+  Rng rng(7);
+  const Matrix a = int_matrix(n, rng);
+  const Matrix b = int_matrix(n, rng);
+  const Matrix reference = multiply(a, b);
+
+  auto plan = std::make_shared<FaultPlan>();
+  plan->seed = 1;
+  plan->drop_prob = 0.01;
+  plan->stragglers.push_back({3, 2.0});
+
+  const MatmulResult faulty = run("cannon", a, b, p, plan);
+  expect_exact_product(faulty.c, reference);
+  EXPECT_GT(faulty.report.faults.retransmissions, 0u);
+  EXPECT_EQ(faulty.report.faults.messages_lost, 0u);
+
+  const MatmulResult ideal = run("cannon", a, b, p, nullptr);
+  expect_exact_product(ideal.c, reference);
+  EXPECT_GT(faulty.report.t_parallel, ideal.report.t_parallel);
+}
+
+TEST(Resilience, GkExactUnderDropsAndStraggler) {
+  const std::size_t n = 32, p = 64;
+  Rng rng(8);
+  const Matrix a = int_matrix(n, rng);
+  const Matrix b = int_matrix(n, rng);
+  const Matrix reference = multiply(a, b);
+
+  auto plan = std::make_shared<FaultPlan>();
+  plan->seed = 2;
+  plan->drop_prob = 0.05;
+  plan->stragglers.push_back({1, 2.0});
+
+  const MatmulResult faulty = run("gk", a, b, p, plan);
+  expect_exact_product(faulty.c, reference);
+  EXPECT_GT(faulty.report.faults.retransmissions, 0u);
+
+  const MatmulResult ideal = run("gk", a, b, p, nullptr);
+  EXPECT_GT(faulty.report.t_parallel, ideal.report.t_parallel);
+}
+
+TEST(Resilience, DuplicatesAndDelaysDoNotChangeTheProduct) {
+  const std::size_t n = 32, p = 16;
+  Rng rng(9);
+  const Matrix a = int_matrix(n, rng);
+  const Matrix b = int_matrix(n, rng);
+
+  auto plan = std::make_shared<FaultPlan>();
+  plan->seed = 4;
+  plan->duplicate_prob = 0.2;
+  plan->delay_prob = 0.3;
+  plan->delay_factor = 1.5;
+
+  const MatmulResult faulty = run("cannon", a, b, p, plan);
+  expect_exact_product(faulty.c, multiply(a, b));
+  EXPECT_GT(faulty.report.faults.duplicates_suppressed, 0u);
+  EXPECT_GT(faulty.report.faults.deliveries_delayed, 0u);
+}
+
+TEST(Resilience, CorruptionWithAbftCorrectIsExact) {
+  const std::size_t n = 32;
+  Rng rng(10);
+  const Matrix a = int_matrix(n, rng);
+  const Matrix b = int_matrix(n, rng);
+  const Matrix reference = multiply(a, b);
+
+  for (const auto& [name, p] :
+       std::vector<std::pair<std::string, std::size_t>>{{"cannon", 16},
+                                                        {"gk", 64}}) {
+    auto plan = std::make_shared<FaultPlan>();
+    plan->seed = 6;
+    plan->corrupt_prob = 0.1;
+    plan->abft = AbftMode::kCorrect;
+    const MatmulResult r = run(name, a, b, p, plan);
+    EXPECT_GT(r.report.faults.elements_corrupted, 0u) << name;
+    EXPECT_GT(r.report.faults.abft_corrected, 0u) << name;
+    expect_exact_product(r.c, reference);
+  }
+}
+
+TEST(Resilience, CorruptionWithDetectOnlyCountsButDoesNotRepair) {
+  const std::size_t n = 32, p = 16;
+  Rng rng(11);
+  const Matrix a = int_matrix(n, rng);
+  const Matrix b = int_matrix(n, rng);
+
+  auto plan = std::make_shared<FaultPlan>();
+  plan->seed = 6;
+  plan->corrupt_prob = 0.1;
+  plan->abft = AbftMode::kDetect;
+
+  const MatmulResult r = run("cannon", a, b, p, plan);
+  EXPECT_GT(r.report.faults.abft_detected, 0u);
+  EXPECT_EQ(r.report.faults.abft_corrected, 0u);
+}
+
+TEST(Resilience, FaultyRunsAreReproducible) {
+  const std::size_t n = 32, p = 16;
+  Rng rng(12);
+  const Matrix a = int_matrix(n, rng);
+  const Matrix b = int_matrix(n, rng);
+
+  auto plan = std::make_shared<FaultPlan>();
+  plan->seed = 13;
+  plan->drop_prob = 0.05;
+  plan->duplicate_prob = 0.05;
+  plan->delay_prob = 0.1;
+
+  const MatmulResult r1 = run("cannon", a, b, p, plan);
+  const MatmulResult r2 = run("cannon", a, b, p, plan);
+  EXPECT_EQ(r1.report.t_parallel, r2.report.t_parallel);
+  EXPECT_EQ(r1.report.faults.retransmissions, r2.report.faults.retransmissions);
+  EXPECT_EQ(r1.report.faults.deliveries_delayed,
+            r2.report.faults.deliveries_delayed);
+  EXPECT_EQ(r1.report.faults.duplicates_suppressed,
+            r2.report.faults.duplicates_suppressed);
+  expect_exact_product(r1.c, r2.c);
+}
+
+TEST(Resilience, FailStopPropagatesAsProcessorFailure) {
+  const std::size_t n = 32, p = 16;
+  Rng rng(13);
+  const Matrix a = int_matrix(n, rng);
+  const Matrix b = int_matrix(n, rng);
+
+  auto plan = std::make_shared<FaultPlan>();
+  plan->failstops.push_back({5, 100.0});
+
+  try {
+    (void)run("cannon", a, b, p, plan);
+    FAIL() << "expected ProcessorFailure";
+  } catch (const ProcessorFailure& failure) {
+    EXPECT_EQ(failure.pid(), 5u);
+    EXPECT_DOUBLE_EQ(failure.at_time(), 100.0);
+  }
+}
+
+}  // namespace
+}  // namespace hpmm

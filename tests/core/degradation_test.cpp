@@ -1,0 +1,155 @@
+// Graceful degradation: select_degraded re-plans onto the largest feasible
+// surviving configuration, and run_resilient completes the multiplication
+// through fail-stop failures instead of aborting.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/runner.hpp"
+#include "core/selector.hpp"
+#include "matrix/generate.hpp"
+#include "matrix/kernels.hpp"
+#include "sim/fault.hpp"
+#include "util/error.hpp"
+
+namespace hpmm {
+namespace {
+
+MachineParams test_params() {
+  MachineParams m;
+  m.t_s = 10.0;
+  m.t_w = 2.0;
+  return m;
+}
+
+TEST(SelectDegraded, FindsLargestFeasibleConfiguration) {
+  // 15 survivors of an n=32 machine: no formulation takes p=15 (not a
+  // square, not 2^(3q), ...), so the plan steps down until one fits.
+  const DegradedSelection deg = select_degraded(32, 15, test_params());
+  EXPECT_LT(deg.p, 15u);
+  EXPECT_GE(deg.p, 1u);
+  EXPECT_FALSE(deg.selection.best.empty());
+  // Nothing between deg.p and 15 was feasible.
+  for (std::size_t q = deg.p + 1; q <= 15; ++q) {
+    EXPECT_TRUE(select_algorithm(32, q, test_params()).best.empty())
+        << "p=" << q << " was feasible but skipped";
+  }
+}
+
+TEST(SelectDegraded, KeepsFullCountWhenFeasible) {
+  const DegradedSelection deg = select_degraded(32, 16, test_params());
+  EXPECT_EQ(deg.p, 16u);  // 16 is a perfect square: cannon and friends fit
+}
+
+TEST(SelectDegraded, SingleSurvivorStillPlans) {
+  const DegradedSelection deg = select_degraded(32, 1, test_params());
+  EXPECT_EQ(deg.p, 1u);
+  EXPECT_FALSE(deg.selection.best.empty());
+}
+
+TEST(SelectDegraded, ZeroSurvivorsIsAnError) {
+  EXPECT_THROW(select_degraded(32, 0, test_params()), PreconditionError);
+}
+
+TEST(RunResilient, CompletesWithoutFaultsUnchanged) {
+  Rng rng(21);
+  const Matrix a = random_matrix(16, 16, rng);
+  const Matrix b = random_matrix(16, 16, rng);
+  const ResilientRun run = run_resilient(a, b, 16, test_params(), "cannon");
+  EXPECT_EQ(run.algorithm, "cannon");
+  EXPECT_EQ(run.procs, 16u);
+  EXPECT_TRUE(run.degradations.empty());
+  EXPECT_DOUBLE_EQ(run.wasted_time, 0.0);
+}
+
+TEST(RunResilient, AbsorbsOneFailStop) {
+  const std::size_t n = 32, p = 16;
+  Rng rng(22);
+  const Matrix a = random_matrix(n, n, rng);
+  const Matrix b = random_matrix(n, n, rng);
+  const Matrix reference = multiply(a, b);
+
+  MachineParams mp = test_params();
+  auto plan = std::make_shared<FaultPlan>();
+  plan->failstops.push_back({5, 200.0});
+  mp.faults = plan;
+
+  const ResilientRun run = run_resilient(a, b, p, mp, "cannon");
+  ASSERT_EQ(run.degradations.size(), 1u);
+  EXPECT_EQ(run.degradations[0].failed_pid, 5u);
+  EXPECT_DOUBLE_EQ(run.degradations[0].failed_at, 200.0);
+  EXPECT_EQ(run.degradations[0].procs_before, 16u);
+  EXPECT_LT(run.procs, 16u);
+  EXPECT_DOUBLE_EQ(run.wasted_time, 200.0);
+
+  // The completed product is still right.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(run.result.c(i, j), reference(i, j), 1e-9);
+    }
+  }
+}
+
+TEST(RunResilient, AbsorbsCascadingFailStops) {
+  // A second fail-stop scheduled on a processor that survives the first
+  // re-plan fires during the replacement run and triggers another round.
+  const std::size_t n = 32, p = 16;
+  Rng rng(23);
+  const Matrix a = random_matrix(n, n, rng);
+  const Matrix b = random_matrix(n, n, rng);
+
+  MachineParams mp = test_params();
+  auto plan = std::make_shared<FaultPlan>();
+  plan->failstops.push_back({5, 200.0});
+  plan->failstops.push_back({0, 400.0});
+  mp.faults = plan;
+
+  const ResilientRun run = run_resilient(a, b, p, mp, "cannon");
+  EXPECT_EQ(run.degradations.size(), 2u);
+  EXPECT_GT(run.wasted_time, 200.0);
+  const Matrix reference = multiply(a, b);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(run.result.c(i, j), reference(i, j), 1e-9);
+    }
+  }
+}
+
+TEST(RunResilient, SelectsAlgorithmWhenUnspecified) {
+  Rng rng(24);
+  const Matrix a = random_matrix(16, 16, rng);
+  const Matrix b = random_matrix(16, 16, rng);
+  const ResilientRun run = run_resilient(a, b, 16, test_params());
+  EXPECT_FALSE(run.algorithm.empty());
+  EXPECT_EQ(run.procs, 16u);
+}
+
+TEST(RunResilient, DegradationRemovesOtherFaultsOutsideNewConfiguration) {
+  // Fail-stops pinned to processors beyond the shrunken machine must not
+  // make the re-plan's machine construction fail.
+  const std::size_t n = 32, p = 16;
+  Rng rng(25);
+  const Matrix a = random_matrix(n, n, rng);
+  const Matrix b = random_matrix(n, n, rng);
+
+  MachineParams mp = test_params();
+  auto plan = std::make_shared<FaultPlan>();
+  plan->failstops.push_back({3, 100.0});
+  plan->failstops.push_back({15, 1e9});  // outside any smaller configuration
+  plan->stragglers.push_back({14, 2.0});
+  mp.faults = plan;
+
+  const ResilientRun run = run_resilient(a, b, p, mp, "cannon");
+  ASSERT_GE(run.degradations.size(), 1u);
+  EXPECT_EQ(run.degradations[0].failed_pid, 3u);
+  const Matrix reference = multiply(a, b);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(run.result.c(i, j), reference(i, j), 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hpmm

@@ -1,0 +1,151 @@
+#include "matrix/checksum.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matrix/generate.hpp"
+#include "util/error.hpp"
+
+namespace hpmm {
+namespace {
+
+Matrix counting_matrix(std::size_t r, std::size_t c) {
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) {
+      m(i, j) = static_cast<double>(i * c + j + 1);
+    }
+  }
+  return m;
+}
+
+TEST(Checksum, AugmentedShapeAndSums) {
+  const Matrix m = counting_matrix(3, 4);
+  const Matrix aug = with_checksums(m);
+  ASSERT_EQ(aug.rows(), 4u);
+  ASSERT_EQ(aug.cols(), 5u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(aug(i, j), m(i, j));
+      row += m(i, j);
+    }
+    EXPECT_DOUBLE_EQ(aug(i, 4), row);
+  }
+  for (std::size_t j = 0; j < 4; ++j) {
+    double col = 0.0;
+    for (std::size_t i = 0; i < 3; ++i) col += m(i, j);
+    EXPECT_DOUBLE_EQ(aug(3, j), col);
+  }
+  // Corner: grand total via either path.
+  double total = 0.0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) total += m(i, j);
+  }
+  EXPECT_DOUBLE_EQ(aug(3, 4), total);
+}
+
+TEST(Checksum, RoundTripStripsToOriginal) {
+  const Matrix m = counting_matrix(5, 2);
+  const Matrix back = strip_checksums(with_checksums(m));
+  ASSERT_EQ(back.rows(), 5u);
+  ASSERT_EQ(back.cols(), 2u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) EXPECT_DOUBLE_EQ(back(i, j), m(i, j));
+  }
+}
+
+TEST(Checksum, IntactBlockIsConsistent) {
+  Matrix aug = with_checksums(counting_matrix(4, 4));
+  const ChecksumVerdict v = verify_checksums(aug, /*correct=*/true);
+  EXPECT_TRUE(v.consistent);
+  EXPECT_FALSE(v.corrected);
+}
+
+TEST(Checksum, DetectsAndLocatesSingleCorruption) {
+  Matrix aug = with_checksums(counting_matrix(4, 4));
+  aug(2, 1) += 7.0;
+  const ChecksumVerdict v = verify_checksums(aug, /*correct=*/false);
+  EXPECT_FALSE(v.consistent);
+  EXPECT_TRUE(v.correctable);
+  EXPECT_FALSE(v.corrected);
+  EXPECT_EQ(v.row, 2u);
+  EXPECT_EQ(v.col, 1u);
+}
+
+TEST(Checksum, CorrectsInnerElementExactly) {
+  // Integer-valued data: recomputation from the row sum is bit-exact.
+  const Matrix original = counting_matrix(4, 4);
+  Matrix aug = with_checksums(original);
+  aug(2, 1) = -999.0;
+  const ChecksumVerdict v = verify_checksums(aug, /*correct=*/true);
+  EXPECT_TRUE(v.corrected);
+  EXPECT_DOUBLE_EQ(aug(2, 1), original(2, 1));
+  // The repaired block is consistent again.
+  const ChecksumVerdict again = verify_checksums(aug, false);
+  EXPECT_TRUE(again.consistent);
+}
+
+TEST(Checksum, CorrectsChecksumRowAndColumnEntries) {
+  const Matrix original = counting_matrix(3, 3);
+  {
+    Matrix aug = with_checksums(original);
+    const double good = aug(1, 3);
+    aug(1, 3) += 5.0;  // row-checksum entry
+    EXPECT_TRUE(verify_checksums(aug, true).corrected);
+    EXPECT_DOUBLE_EQ(aug(1, 3), good);
+  }
+  {
+    Matrix aug = with_checksums(original);
+    const double good = aug(3, 2);
+    aug(3, 2) -= 3.0;  // column-checksum entry
+    EXPECT_TRUE(verify_checksums(aug, true).corrected);
+    EXPECT_DOUBLE_EQ(aug(3, 2), good);
+  }
+  {
+    Matrix aug = with_checksums(original);
+    const double good = aug(3, 3);
+    aug(3, 3) *= 2.0;  // grand-total corner
+    EXPECT_TRUE(verify_checksums(aug, true).corrected);
+    EXPECT_DOUBLE_EQ(aug(3, 3), good);
+  }
+}
+
+TEST(Checksum, MultiElementDamageDetectedNotCorrectable) {
+  Matrix aug = with_checksums(counting_matrix(4, 4));
+  aug(0, 0) += 1.0;
+  aug(2, 3) += 1.0;
+  const ChecksumVerdict v = verify_checksums(aug, /*correct=*/true);
+  EXPECT_FALSE(v.consistent);
+  EXPECT_FALSE(v.correctable);
+  EXPECT_FALSE(v.corrected);
+}
+
+TEST(Checksum, LinearityThroughSums) {
+  // with_checksums(A) + with_checksums(B) == with_checksums(A + B): augmented
+  // blocks can be summed in a reduction tree and verified once at the root.
+  Rng rng(2024);
+  const Matrix a = random_matrix(6, 6, rng);
+  const Matrix b = random_matrix(6, 6, rng);
+  Matrix lhs = with_checksums(a);
+  lhs += with_checksums(b);
+  Matrix ab = a;
+  ab += b;
+  const Matrix rhs = with_checksums(ab);
+  for (std::size_t i = 0; i < 7; ++i) {
+    for (std::size_t j = 0; j < 7; ++j) {
+      EXPECT_NEAR(lhs(i, j), rhs(i, j), 1e-9);
+    }
+  }
+  // And the sum still verifies as consistent.
+  EXPECT_TRUE(verify_checksums(lhs, false).consistent);
+}
+
+TEST(Checksum, RejectsDegenerateInputs) {
+  EXPECT_THROW(with_checksums(Matrix()), PreconditionError);
+  Matrix tiny(1, 1);
+  EXPECT_THROW(verify_checksums(tiny, false), PreconditionError);
+  EXPECT_THROW(strip_checksums(Matrix(1, 5)), PreconditionError);
+}
+
+}  // namespace
+}  // namespace hpmm

@@ -164,5 +164,84 @@ TEST(Cli, UnknownMachineIsHandledByDispatch) {
   EXPECT_NE(r.err.find("unknown machine"), std::string::npos);
 }
 
+TEST(Cli, UsageListsInject) {
+  const auto r = run({"hpmm"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("inject"), std::string::npos);
+}
+
+TEST(Cli, InjectHelpDocumentsScenarioFlags) {
+  const auto r = run({"hpmm", "inject", "--help"});
+  EXPECT_EQ(r.code, 0);
+  for (const char* flag : {"--drop", "--dup", "--delay", "--corrupt",
+                           "--abft", "--stragglers", "--failstop",
+                           "--reliable", "--retries", "--seed"}) {
+    EXPECT_NE(r.out.find(flag), std::string::npos) << flag;
+  }
+}
+
+TEST(Cli, InjectCleanPlanRuns) {
+  const auto r = run({"hpmm", "inject", "--algorithm=cannon", "--n=16",
+                      "--p=16"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("product check   = ok"), std::string::npos);
+}
+
+TEST(Cli, InjectDropScenarioMasksLossAndCountsRetransmissions) {
+  const auto r = run({"hpmm", "inject", "--algorithm=cannon", "--n=32",
+                      "--p=16", "--drop=0.01", "--stragglers=3:2",
+                      "--seed=1"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("product check   = ok"), std::string::npos);
+  EXPECT_NE(r.out.find("rexmit="), std::string::npos);
+}
+
+TEST(Cli, InjectFailStopDegradesInsteadOfAborting) {
+  const auto r = run({"hpmm", "inject", "--algorithm=cannon", "--n=32",
+                      "--p=16", "--failstop=5:1000"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("degradation"), std::string::npos);
+  EXPECT_NE(r.out.find("re-planned 16 -> "), std::string::npos);
+  EXPECT_NE(r.out.find("product check   = ok"), std::string::npos);
+}
+
+TEST(Cli, InjectCorruptionDetectOnlyExposesMismatch) {
+  const auto r = run({"hpmm", "inject", "--algorithm=gk", "--n=32", "--p=8",
+                      "--corrupt=0.05", "--abft=detect", "--seed=1"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.out.find("MISMATCH"), std::string::npos);
+}
+
+TEST(Cli, InjectCorruptionWithCorrectionPasses) {
+  const auto r = run({"hpmm", "inject", "--algorithm=gk", "--n=32", "--p=8",
+                      "--corrupt=0.05", "--abft=correct", "--seed=1"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("abft-corrected="), std::string::npos);
+}
+
+TEST(Cli, InjectRejectsMalformedScenarioFlags) {
+  EXPECT_EQ(run({"hpmm", "inject", "--abft=sometimes"}).code, 1);
+  EXPECT_EQ(run({"hpmm", "inject", "--stragglers=3"}).code, 1);
+  EXPECT_EQ(run({"hpmm", "inject", "--failstop=a:b"}).code, 1);
+  EXPECT_EQ(run({"hpmm", "inject", "--drop=1.5"}).code, 1);
+}
+
+TEST(Cli, InvalidShapeExitsWithCallerError) {
+  // Satellite: a PreconditionError from an invalid (n, p) maps to exit 1.
+  const auto r = run({"hpmm", "run", "--algorithm=cannon", "--n=16",
+                      "--p=10"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("error:"), std::string::npos);
+}
+
+TEST(Cli, ExhaustedRetryBudgetIsAnInternalError) {
+  // drop=1 with a tiny retry budget exhausts the reliable protocol, which is
+  // an InternalError (bug-or-misconfiguration), mapped to exit 2.
+  const auto r = run({"hpmm", "inject", "--algorithm=cannon", "--n=16",
+                      "--p=16", "--drop=1", "--retries=2"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("internal error"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace hpmm::tools
