@@ -12,6 +12,7 @@
 #include "sim/collectives.hpp"
 #include "sim/sim_machine.hpp"
 #include "topology/hypercube.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -38,11 +39,35 @@ void BM_Blocked(benchmark::State& s) { BM_SerialKernel(s, Kernel::kBlocked); }
 void BM_TransposedB(benchmark::State& s) {
   BM_SerialKernel(s, Kernel::kTransposedB);
 }
+void BM_Packed(benchmark::State& s) { BM_SerialKernel(s, Kernel::kPacked); }
 
-BENCHMARK(BM_NaiveIjk)->Arg(64)->Arg(128)->Arg(256);
-BENCHMARK(BM_CacheIkj)->Arg(64)->Arg(128)->Arg(256);
+// n=512 on the two ends of the zoo gives the headline packed-vs-naive ratio.
+BENCHMARK(BM_NaiveIjk)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+BENCHMARK(BM_CacheIkj)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
 BENCHMARK(BM_Blocked)->Arg(64)->Arg(128)->Arg(256);
 BENCHMARK(BM_TransposedB)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_Packed)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+// Thread-scaling sweep: same packed kernel, row panels split over a pool.
+// Arg is the thread count; self-speedup is GFLOP/s(T) / GFLOP/s(1).
+void BM_PackedThreads(benchmark::State& state) {
+  const std::size_t n = 512;
+  const auto threads = static_cast<unsigned>(state.range(0));
+  ThreadPool pool(threads);
+  Rng rng(1);
+  const Matrix a = random_matrix(n, n, rng);
+  const Matrix b = random_matrix(n, n, rng);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    c.fill(0.0);
+    multiply_add(a, b, c, Kernel::kPacked, &pool);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(matmul_flops(n, n, n)));
+}
+// Real time, not main-thread CPU time: the workers' cycles must count.
+BENCHMARK(BM_PackedThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 void BM_Strassen(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -110,9 +110,12 @@ MatmulResult BerntsenAlgorithm::run(const Matrix& a, const Matrix& b,
 
   // side multiply-shift Cannon steps in every subcube.
   for (std::size_t step = 0; step < side; ++step) {
+    std::vector<SimMachine::ComputeTask> phase;
+    phase.reserve(p);
     for (ProcId pid = 0; pid < p; ++pid) {
-      machine.compute_multiply_add(pid, a_blk[pid], b_blk[pid], c_blk[pid]);
+      phase.push_back({pid, &c_blk[pid], {{&a_blk[pid], &b_blk[pid]}}});
     }
+    machine.compute_multiply_add_batch(phase);
     if (step + 1 == side) break;
     std::vector<Message> shift_a, shift_b;
     for (std::size_t s = 0; s < slabs; ++s) {

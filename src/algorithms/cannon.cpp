@@ -127,13 +127,17 @@ MatmulResult CannonAlgorithm::run(const Matrix& a, const Matrix& b,
     c_blk[idx] = Matrix(grid.block_rows(), grid.block_cols());
   }
   for (std::size_t step = 0; step < sp; ++step) {
+    std::vector<SimMachine::ComputeTask> phase;
+    phase.reserve(p);
     for (std::size_t i = 0; i < sp; ++i) {
       for (std::size_t j = 0; j < sp; ++j) {
         const ProcId pid = torus.rank(i, j);
-        machine.compute_multiply_add(phys(pid), a_blk[i * sp + j], b_blk[i * sp + j],
-                                     c_blk[i * sp + j]);
+        phase.push_back({phys(pid),
+                         &c_blk[i * sp + j],
+                         {{&a_blk[i * sp + j], &b_blk[i * sp + j]}}});
       }
     }
+    machine.compute_multiply_add_batch(phase);
     if (step + 1 == sp) break;
     std::vector<Message> shift_a, shift_b;
     shift_a.reserve(p);

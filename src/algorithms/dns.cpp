@@ -238,9 +238,12 @@ MatmulResult DnsAlgorithm::run(const Matrix& a, const Matrix& b, std::size_t p,
   }
 
   for (std::size_t step = 0; step < m; ++step) {
+    std::vector<SimMachine::ComputeTask> phase;
+    phase.reserve(p);
     for (ProcId pid = 0; pid < p; ++pid) {
-      machine.compute_multiply_add(pid, a_elem[pid], b_elem[pid], c_elem[pid]);
+      phase.push_back({pid, &c_elem[pid], {{&a_elem[pid], &b_elem[pid]}}});
     }
+    machine.compute_multiply_add_batch(phase);
     if (step + 1 == m) break;
     std::vector<Message> shift_a, shift_b;
     for_all_superprocs([&](std::size_t i, std::size_t j, std::size_t k) {

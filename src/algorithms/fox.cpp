@@ -158,12 +158,16 @@ MatmulResult FoxAlgorithm::run(const Matrix& a, const Matrix& b, std::size_t p,
     // simulated time decomposes as sqrt(p) x (broadcast + multiply + roll).
     machine.synchronize();
     // Multiply the broadcast A block with the resident B block.
+    std::vector<SimMachine::ComputeTask> phase;
+    phase.reserve(p);
     for (std::size_t i = 0; i < sp; ++i) {
       for (std::size_t j = 0; j < sp; ++j) {
-        machine.compute_multiply_add(rank(i, j), received[rank(i, j)],
-                                     b_blk[i * sp + j], c_blk[i * sp + j]);
+        phase.push_back({rank(i, j),
+                         &c_blk[i * sp + j],
+                         {{&received[rank(i, j)], &b_blk[i * sp + j]}}});
       }
     }
+    machine.compute_multiply_add_batch(phase);
     // Roll B one step north (last iteration needs no roll).
     if (t + 1 == sp || sp == 1) continue;
     std::vector<Message> shift;

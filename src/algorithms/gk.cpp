@@ -243,9 +243,14 @@ MatmulResult GkAlgorithm::run(const Matrix& a, const Matrix& b, std::size_t p,
   // --- Stage 2: every processor multiplies its bn x bn block pair
   // (n^3/p multiply-add units).
   std::vector<Matrix> c_blk(p);
+  std::vector<SimMachine::ComputeTask> phase;
+  phase.reserve(p);
   for (ProcId pid = 0; pid < p; ++pid) {
     c_blk[pid] = Matrix(bn, bn);
-    machine.compute_multiply_add(pid, a_blk[pid], b_blk[pid], c_blk[pid]);
+    phase.push_back({pid, &c_blk[pid], {{&a_blk[pid], &b_blk[pid]}}});
+  }
+  machine.compute_multiply_add_batch(phase);
+  for (ProcId pid = 0; pid < p; ++pid) {
     machine.note_alloc(pid, c_blk[pid].size());
   }
 

@@ -152,15 +152,27 @@ MatmulResult SimpleAlgorithm::run(const Matrix& a, const Matrix& b,
   // Local phase: C(i,j) = sum_k A(i,k) * B(k,j) — sqrt(p) block multiplies,
   // n^3/p multiply-add units in total per processor.
   Matrix c(n, n);
+  std::vector<Matrix> c_block(p);
+  std::vector<SimMachine::ComputeTask> phase;
+  phase.reserve(p);
   for (std::size_t i = 0; i < sp; ++i) {
     for (std::size_t j = 0; j < sp; ++j) {
       const ProcId pid = rank(i, j);
-      Matrix c_block(grid.block_rows(), grid.block_cols());
+      c_block[pid] = Matrix(grid.block_rows(), grid.block_cols());
+      SimMachine::ComputeTask task{pid, &c_block[pid], {}};
+      task.products.reserve(sp);
       for (std::size_t k = 0; k < sp; ++k) {
-        machine.compute_multiply_add(pid, row_a[pid][k], col_b[pid][k], c_block);
+        task.products.emplace_back(&row_a[pid][k], &col_b[pid][k]);
       }
+      phase.push_back(std::move(task));
+    }
+  }
+  machine.compute_multiply_add_batch(phase);
+  for (std::size_t i = 0; i < sp; ++i) {
+    for (std::size_t j = 0; j < sp; ++j) {
+      const ProcId pid = rank(i, j);
       machine.note_alloc(pid, bw);
-      grid.insert(c, c_block, i, j);
+      grid.insert(c, c_block[pid], i, j);
     }
   }
   machine.synchronize();

@@ -1,6 +1,7 @@
 #include "machine/params.hpp"
 
 #include "util/error.hpp"
+#include "util/table.hpp"
 
 namespace hpmm {
 
@@ -10,10 +11,17 @@ MachineParams MachineParams::with_cpu_speedup(double k) const {
   out.t_s = t_s * k;
   out.t_w = t_w * k;
   out.t_h = t_h * k;
-  out.label = label + " (cpu x" + std::to_string(k) + ")";
+  out.label = label + " (cpu x" + format_number(k) + ")";
   return out;
 }
 
+// Note on word size: the simulator charges t_w per *element* moved, and the
+// matrices hold 8-byte doubles — so per_word_time must be quoted for the
+// same word the message payloads use. A figure measured per 4-byte word
+// (like the paper's CM-5 numbers) understates double traffic by 2x unless
+// the caller doubles it first; cm5_measured() below deliberately keeps the
+// paper's own per-4-byte-word figure because Eq. 18's constants (and our
+// regression tests against them) were derived from it.
 MachineParams MachineParams::from_physical(double flop_time, double startup_time,
                                            double per_word_time,
                                            std::string label) {
@@ -53,7 +61,10 @@ MachineParams simd_cm2() {
 
 MachineParams cm5_measured() {
   // Section 9: 1.53 us per multiply-add, 380 us message startup, 1.8 us per
-  // 4-byte word, as observed by the paper's implementation.
+  // 4-byte word, as observed by the paper's implementation. Eq. 18 uses
+  // these constants as-is (t_s = 380/1.53 = 248.37, t_w = 1.8/1.53 = 1.176),
+  // so we keep the per-4-byte-word figure even though the simulator moves
+  // 8-byte doubles; see the from_physical word-size note.
   MachineParams m = MachineParams::from_physical(1.53, 380.0, 1.8,
                                                  "CM-5 (measured, Section 9)");
   return m;

@@ -4,6 +4,8 @@
 #include <memory>
 #include <string>
 
+#include "matrix/kernels.hpp"
+
 namespace hpmm {
 
 struct FaultPlan;  // sim/fault.hpp — optional non-ideal machine behaviour
@@ -44,6 +46,11 @@ struct MachineParams {
   /// is false — reproduces the paper's ideal failure-free machine exactly
   /// (bit-identical simulated times).
   std::shared_ptr<const FaultPlan> faults;
+  /// Host execution policy for the real local numerics behind compute
+  /// charges (kernel choice + host thread count). Wall-clock only: the
+  /// simulated times and counters are bit-identical for every setting
+  /// (see DESIGN.md "Local compute substrate").
+  ExecPolicy exec;
   std::string label = "custom";
 
   /// Time for an m-word message traversing `hops` links.

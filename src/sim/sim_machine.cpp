@@ -5,6 +5,7 @@
 #include "sim/reliable.hpp"
 #include "topology/routing.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace hpmm {
 
@@ -12,6 +13,10 @@ SimMachine::SimMachine(std::shared_ptr<const Topology> topology,
                        MachineParams params)
     : topology_(std::move(topology)), params_(std::move(params)) {
   require(topology_ != nullptr, "SimMachine: topology must not be null");
+  require(params_.exec.threads >= 1, "SimMachine: exec.threads must be >= 1");
+  if (params_.exec.threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(params_.exec.threads);
+  }
   stats_.resize(topology_->size());
   inbox_.resize(topology_->size());
   tracing_ = params_.trace;
@@ -50,11 +55,49 @@ void SimMachine::compute(ProcId pid, double flops) {
   st.flops += static_cast<std::uint64_t>(flops);
 }
 
+SimMachine::~SimMachine() = default;
+SimMachine::SimMachine(SimMachine&&) noexcept = default;
+SimMachine& SimMachine::operator=(SimMachine&&) noexcept = default;
+
+void SimMachine::compute_multiply_add(ProcId pid, const Matrix& a,
+                                      const Matrix& b, Matrix& c) {
+  compute_multiply_add(pid, a, b, c, params_.exec.kernel);
+}
+
 void SimMachine::compute_multiply_add(ProcId pid, const Matrix& a,
                                       const Matrix& b, Matrix& c,
                                       Kernel kernel) {
-  multiply_add(a, b, c, kernel);
+  multiply_add(a, b, c, kernel, pool_.get());
   compute(pid, static_cast<double>(matmul_flops(a.rows(), a.cols(), b.cols())));
+}
+
+void SimMachine::compute_multiply_add_batch(
+    const std::vector<ComputeTask>& tasks) {
+  const Kernel kernel = params_.exec.kernel;
+  for (const auto& t : tasks) {
+    require(t.c != nullptr, "compute_multiply_add_batch: null output matrix");
+    require(t.pid < procs(), "compute_multiply_add_batch: pid out of range");
+  }
+  // Numerics first: tasks touch disjoint outputs, so they run concurrently
+  // across the pool. A single task instead threads inside the kernel.
+  const auto run_task = [&](const ComputeTask& t, ThreadPool* pool) {
+    for (const auto& [a, b] : t.products) multiply_add(*a, *b, *t.c, kernel, pool);
+  };
+  if (pool_ != nullptr && tasks.size() > 1) {
+    pool_->parallel_for(tasks.size(),
+                        [&](std::size_t i) { run_task(tasks[i], nullptr); });
+  } else {
+    for (const auto& t : tasks) run_task(t, pool_.get());
+  }
+  // Virtual-time accounting: serial and order-preserving — one charge per
+  // product, exactly like the equivalent compute_multiply_add sequence
+  // (same clocks, same trace events, ProcessorFailure at the same point).
+  for (const auto& t : tasks) {
+    for (const auto& [a, b] : t.products) {
+      compute(t.pid,
+              static_cast<double>(matmul_flops(a->rows(), a->cols(), b->cols())));
+    }
+  }
 }
 
 double SimMachine::message_cost(const Message& m,

@@ -3,6 +3,7 @@
 #include <deque>
 #include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "machine/params.hpp"
@@ -52,6 +53,9 @@ namespace hpmm {
 class SimMachine {
  public:
   SimMachine(std::shared_ptr<const Topology> topology, MachineParams params);
+  ~SimMachine();  // out of line: ThreadPool is forward-declared here
+  SimMachine(SimMachine&&) noexcept;
+  SimMachine& operator=(SimMachine&&) noexcept;
 
   std::size_t procs() const noexcept { return topology_->size(); }
   const Topology& topology() const noexcept { return *topology_; }
@@ -60,10 +64,36 @@ class SimMachine {
   /// Charge `flops` multiply-add units of useful computation to pid.
   void compute(ProcId pid, double flops);
 
-  /// Convenience: run C += A * B on pid's data and charge its exact
-  /// multiply-add count.
+  /// Convenience: run C += A * B on pid's data with the machine's
+  /// ExecPolicy kernel (threading inside the kernel when exec.threads > 1)
+  /// and charge its exact multiply-add count.
   void compute_multiply_add(ProcId pid, const Matrix& a, const Matrix& b,
-                            Matrix& c, Kernel kernel = Kernel::kCacheIkj);
+                            Matrix& c);
+
+  /// As above with an explicit kernel override.
+  void compute_multiply_add(ProcId pid, const Matrix& a, const Matrix& b,
+                            Matrix& c, Kernel kernel);
+
+  /// One virtual processor's deferred local compute phase:
+  /// C += sum_i A_i * B_i, the products applied in order (the summation
+  /// order is part of the numerical contract).
+  struct ComputeTask {
+    ProcId pid = 0;
+    Matrix* c = nullptr;
+    std::vector<std::pair<const Matrix*, const Matrix*>> products;
+  };
+
+  /// Run a whole compute phase — one task per virtual processor, outputs
+  /// disjoint — and charge each pid exactly as the equivalent sequence of
+  /// compute_multiply_add calls would, in task order. The real numerics run
+  /// concurrently on the host thread pool when exec.threads > 1 (virtual
+  /// processors are independent between communication rounds), but the
+  /// virtual-time accounting is serial and order-preserving, so simulated
+  /// clocks, counters, traces and results are bit-identical for every
+  /// thread count. ProcessorFailure surfaces exactly where the serial loop
+  /// would raise it; numerics of later tasks may already have run by then,
+  /// which is unobservable because a failed attempt's outputs are discarded.
+  void compute_multiply_add_batch(const std::vector<ComputeTask>& tasks);
 
   /// One synchronous communication round. Port-model constraints are
   /// validated; payloads are delivered to the destinations' inboxes.
@@ -142,6 +172,8 @@ class SimMachine {
 
   std::shared_ptr<const Topology> topology_;
   MachineParams params_;
+  /// Host threads for local numerics; non-null only when exec.threads > 1.
+  std::unique_ptr<ThreadPool> pool_;
   std::vector<ProcStats> stats_;
   std::vector<std::deque<Message>> inbox_;
   bool tracing_ = false;

@@ -90,7 +90,9 @@ void print_table(const CliArgs& args, const Table& table, std::ostream& os) {
 
 }  // namespace
 
-MachineParams machine_from_args(const CliArgs& args) {
+namespace {
+
+MachineParams base_machine_from_args(const CliArgs& args) {
   const std::string name = args.get("machine", "");
   if (name == "ncube2") return machines::ncube2();
   if (name == "future") return machines::future_hypercube();
@@ -108,6 +110,22 @@ MachineParams machine_from_args(const CliArgs& args) {
     return mp;
   }
   return machines::ncube2();
+}
+
+}  // namespace
+
+MachineParams machine_from_args(const CliArgs& args) {
+  MachineParams mp = base_machine_from_args(args);
+  // Execution policy: wall-clock only, never part of the cost model. Every
+  // kernel/threads setting yields bit-identical simulated times and results.
+  if (args.has("kernel")) {
+    mp.exec.kernel = kernel_from_string(args.get("kernel", ""));
+  }
+  const std::int64_t threads = args.get_int("threads", 1);
+  require(threads >= 1, "--threads: must be >= 1, got " +
+                            std::to_string(threads));
+  mp.exec.threads = static_cast<unsigned>(threads);
+  return mp;
 }
 
 int cmd_list(const CliArgs& args, std::ostream& os) {
@@ -335,7 +353,9 @@ int cmd_inject(const CliArgs& args, std::ostream& os) {
           "times, backoff factor\n"
           "  --data-seed=<u64>   seed for the random input matrices\n"
           "machine selection: --machine=ncube2|future|cm2|cm5|ideal or "
-          "--ts=.. --tw=..\n";
+          "--ts=.. --tw=..\n"
+          "local compute: --kernel=<name> --threads=<n> (host wall-clock "
+          "only)\n";
     return 0;
   }
   const std::string algorithm = args.get("algorithm", "cannon");
@@ -423,6 +443,10 @@ int dispatch(const CliArgs& args, std::ostream& os, std::ostream& err) {
            "  inject     simulate under injected faults (see inject --help)\n"
            "machine selection: --machine=ncube2|future|cm2|cm5|ideal or "
            "--ts=.. --tw=..\n"
+           "local compute: --kernel=naive-ijk|cache-ikj|blocked|transposed-b|"
+           "packed --threads=N\n"
+           "               (host wall-clock only; simulated times are "
+           "unaffected)\n"
            "output: --format=aligned|csv|markdown\n";
     return 2;
   };

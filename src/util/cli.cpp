@@ -1,5 +1,7 @@
 #include "util/cli.hpp"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 #include "util/error.hpp"
@@ -9,15 +11,21 @@ namespace hpmm {
 CliArgs::CliArgs(int argc, const char* const* argv) {
   require(argc >= 1, "CliArgs: argc must be >= 1");
   program_ = argv[0];
+  bool flags_done = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg.rfind("--", 0) == 0) {
+    if (!flags_done && arg == "--") {
+      // Conventional end-of-flags marker: everything after it is positional.
+      flags_done = true;
+      continue;
+    }
+    if (!flags_done && arg.rfind("--", 0) == 0) {
       const auto eq = arg.find('=');
-      if (eq == std::string::npos) {
-        values_[arg.substr(2)] = "true";
-      } else {
-        values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
-      }
+      std::string key =
+          eq == std::string::npos ? arg.substr(2) : arg.substr(2, eq - 2);
+      require(!key.empty(), "CliArgs: empty flag name in '" + arg + "'");
+      values_[std::move(key)] =
+          eq == std::string::npos ? "true" : arg.substr(eq + 1);
     } else {
       positionals_.push_back(std::move(arg));
     }
@@ -33,12 +41,33 @@ std::string CliArgs::get(const std::string& key, const std::string& fallback) co
 
 std::int64_t CliArgs::get_int(const std::string& key, std::int64_t fallback) const {
   const auto it = values_.find(key);
-  return it == values_.end() ? fallback : std::strtoll(it->second.c_str(), nullptr, 10);
+  if (it == values_.end()) return fallback;
+  const std::string& text = it->second;
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  // The whole token must parse: strtoll stopping early (garbage, trailing
+  // junk, empty string) must fail loudly, not silently produce 0.
+  require(!text.empty() && end == text.c_str() + text.size(),
+          "--" + key + ": expected an integer, got '" + text + "'");
+  require(errno != ERANGE,
+          "--" + key + ": integer out of range: '" + text + "'");
+  return value;
 }
 
 double CliArgs::get_double(const std::string& key, double fallback) const {
   const auto it = values_.find(key);
-  return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+  if (it == values_.end()) return fallback;
+  const std::string& text = it->second;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  require(!text.empty() && end == text.c_str() + text.size(),
+          "--" + key + ": expected a number, got '" + text + "'");
+  // Overflow to +-inf is an error; gradual underflow to 0/denormal is fine.
+  require(errno != ERANGE || std::abs(value) != HUGE_VAL,
+          "--" + key + ": number out of range: '" + text + "'");
+  return value;
 }
 
 bool CliArgs::get_bool(const std::string& key, bool fallback) const {

@@ -1,0 +1,91 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace hpmm {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  require(threads >= 1, "ThreadPool: need at least one thread");
+  workers_.reserve(threads - 1);
+  for (unsigned i = 1; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+unsigned ThreadPool::hardware_threads() noexcept {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::drain(const std::function<void(std::size_t)>& body) {
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count_) return;
+    try {
+      body(i);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* body = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock,
+                       [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      body = body_;
+    }
+    drain(*body);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++workers_parked_;
+    }
+    batch_done_.notify_one();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  if (workers_.empty() || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    body_ = &body;
+    count_ = count;
+    next_.store(0, std::memory_order_relaxed);
+    workers_parked_ = 0;
+    first_error_ = nullptr;
+    ++epoch_;
+  }
+  work_ready_.notify_all();
+  drain(body);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    batch_done_.wait(lock, [&] { return workers_parked_ == workers_.size(); });
+    body_ = nullptr;
+  }
+  if (first_error_) std::rethrow_exception(std::exchange(first_error_, nullptr));
+}
+
+}  // namespace hpmm

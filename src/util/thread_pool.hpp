@@ -1,0 +1,74 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hpmm {
+
+/// Reusable fork-join worker pool for host-side numerics (the packed matmul
+/// kernel's row panels, SimMachine's per-virtual-processor compute batches).
+///
+/// A pool of size N runs parallel_for bodies on N threads: N-1 persistent
+/// workers plus the calling thread, which always participates. Work items
+/// are claimed with an atomic counter, so any partition of the index space
+/// is safe; callers that need determinism make each index own a disjoint
+/// slice of the output (then results are bit-identical for every pool size,
+/// including 1).
+///
+/// The pool never touches simulated time: it exists purely to make the
+/// wall-clock side of a simulation faster. All members are called from the
+/// owning thread; parallel_for is not reentrant.
+class ThreadPool {
+ public:
+  /// A pool of `threads` total threads (>= 1). threads == 1 spawns no
+  /// workers: parallel_for degenerates to a serial loop on the caller.
+  explicit ThreadPool(unsigned threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Joins the workers.
+  ~ThreadPool();
+
+  /// Total threads that service a parallel_for, caller included.
+  unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size()) + 1;
+  }
+
+  /// Run body(i) exactly once for every i in [0, count), distributed over
+  /// the pool; blocks until all indices are done. If any invocation throws,
+  /// the first exception is rethrown on the caller after the batch drains.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& body);
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static unsigned hardware_threads() noexcept;
+
+ private:
+  void worker_loop();
+  void drain(const std::function<void(std::size_t)>& body);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable batch_done_;
+  const std::function<void(std::size_t)>* body_ = nullptr;  // guarded by mutex_
+  std::size_t count_ = 0;                                   // guarded by mutex_
+  std::uint64_t epoch_ = 0;                                 // guarded by mutex_
+  std::size_t workers_parked_ = 0;                          // guarded by mutex_
+  bool stop_ = false;                                       // guarded by mutex_
+
+  std::atomic<std::size_t> next_{0};
+  std::mutex error_mutex_;
+  std::exception_ptr first_error_;  // guarded by error_mutex_
+};
+
+}  // namespace hpmm

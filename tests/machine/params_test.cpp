@@ -45,6 +45,15 @@ TEST(MachineParams, CpuSpeedupScalesRelativeCosts) {
   EXPECT_THROW(m.with_cpu_speedup(0.0), PreconditionError);
 }
 
+TEST(MachineParams, CpuSpeedupLabelIsCompact) {
+  MachineParams m;
+  m.label = "base";
+  // std::to_string used to render "cpu x2.000000"; the label now uses the
+  // compact number format.
+  EXPECT_EQ(m.with_cpu_speedup(2.0).label, "base (cpu x2)");
+  EXPECT_EQ(m.with_cpu_speedup(2.5).label, "base (cpu x2.5)");
+}
+
 TEST(MachineParams, FromPhysicalNormalises) {
   // Section 9 CM-5 measurements.
   const auto m = MachineParams::from_physical(1.53, 380.0, 1.8, "cm5");
@@ -61,6 +70,11 @@ TEST(MachinePresets, PaperParameterSets) {
   EXPECT_DOUBLE_EQ(machines::simd_cm2().t_w, 3.0);
   EXPECT_NEAR(machines::cm5_measured().t_s, 248.37, 0.01);
   EXPECT_NEAR(machines::cm5_measured().t_w, 1.176, 0.001);
+  // Eq. 18's constants are these exact ratios of the Section 9 measurements
+  // (1.53 us per multiply-add, 380 us startup, 1.8 us per 4-byte word); the
+  // per-4-byte-word convention is deliberate — see machine/params.cpp.
+  EXPECT_DOUBLE_EQ(machines::cm5_measured().t_s, 380.0 / 1.53);
+  EXPECT_DOUBLE_EQ(machines::cm5_measured().t_w, 1.8 / 1.53);
   EXPECT_DOUBLE_EQ(machines::ideal().t_s, 0.0);
   EXPECT_DOUBLE_EQ(machines::ideal().t_w, 0.0);
 }

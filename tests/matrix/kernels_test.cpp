@@ -4,6 +4,7 @@
 
 #include "matrix/generate.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace hpmm {
 namespace {
@@ -64,6 +65,16 @@ TEST(Kernels, ToStringNames) {
   EXPECT_EQ(to_string(Kernel::kCacheIkj), "cache-ikj");
   EXPECT_EQ(to_string(Kernel::kBlocked), "blocked");
   EXPECT_EQ(to_string(Kernel::kTransposedB), "transposed-b");
+  EXPECT_EQ(to_string(Kernel::kPacked), "packed");
+}
+
+TEST(Kernels, FromStringRoundTrips) {
+  for (Kernel k : {Kernel::kNaiveIjk, Kernel::kCacheIkj, Kernel::kBlocked,
+                   Kernel::kTransposedB, Kernel::kPacked}) {
+    EXPECT_EQ(kernel_from_string(to_string(k)), k);
+  }
+  EXPECT_THROW(kernel_from_string("bogus"), PreconditionError);
+  EXPECT_THROW(kernel_from_string(""), PreconditionError);
 }
 
 /// All kernels must agree with the naive reference on random inputs,
@@ -85,11 +96,75 @@ TEST_P(KernelAgreement, MatchesNaive) {
 INSTANTIATE_TEST_SUITE_P(
     AllKernelsAndSizes, KernelAgreement,
     ::testing::Combine(::testing::Values(Kernel::kCacheIkj, Kernel::kBlocked,
-                                         Kernel::kTransposedB),
+                                         Kernel::kTransposedB,
+                                         Kernel::kPacked),
                        ::testing::Values(std::size_t{1}, std::size_t{7},
                                          std::size_t{31}, std::size_t{32},
                                          std::size_t{33}, std::size_t{64},
                                          std::size_t{100})));
+
+// The packed kernel accumulates every C element in plain increasing-k order
+// regardless of tile sizes or threading, so results are bit-identical — not
+// merely close — across tunings and thread counts.
+TEST(PackedKernel, BitIdenticalAcrossTunings) {
+  const PackedTuning saved = packed_tuning();
+  Rng rng(23);
+  const Matrix a = random_matrix(97, 83, rng);
+  const Matrix b = random_matrix(83, 61, rng);
+  set_packed_tuning({64, 32});
+  const Matrix small_tiles = multiply(a, b, Kernel::kPacked);
+  set_packed_tuning({256, 128});
+  const Matrix large_tiles = multiply(a, b, Kernel::kPacked);
+  set_packed_tuning(saved);
+  ASSERT_EQ(small_tiles.rows(), large_tiles.rows());
+  for (std::size_t i = 0; i < small_tiles.rows(); ++i) {
+    for (std::size_t j = 0; j < small_tiles.cols(); ++j) {
+      ASSERT_EQ(small_tiles(i, j), large_tiles(i, j)) << i << "," << j;
+    }
+  }
+}
+
+TEST(PackedKernel, BitIdenticalSerialVsThreaded) {
+  const PackedTuning saved = packed_tuning();
+  set_packed_tuning({32, 8});  // many row strips even at this size
+  Rng rng(29);
+  const Matrix a = random_matrix(120, 70, rng);
+  const Matrix b = random_matrix(70, 90, rng);
+  const Matrix serial = multiply(a, b, Kernel::kPacked);
+  ThreadPool pool(4);
+  const Matrix threaded = multiply(a, b, Kernel::kPacked, &pool);
+  set_packed_tuning(saved);
+  for (std::size_t i = 0; i < serial.rows(); ++i) {
+    for (std::size_t j = 0; j < serial.cols(); ++j) {
+      ASSERT_EQ(serial(i, j), threaded(i, j)) << i << "," << j;
+    }
+  }
+}
+
+TEST(PackedKernel, RectangularAndOddShapes) {
+  Rng rng(31);
+  const std::tuple<std::size_t, std::size_t, std::size_t> shapes[] = {
+      {1, 1, 1}, {3, 9, 5}, {4, 8, 8}, {5, 4, 9}, {33, 17, 41}};
+  for (const auto& [m, k, n] : shapes) {
+    const Matrix a = random_matrix(m, k, rng);
+    const Matrix b = random_matrix(k, n, rng);
+    const Matrix expect = multiply(a, b, Kernel::kNaiveIjk);
+    const Matrix got = multiply(a, b, Kernel::kPacked);
+    EXPECT_TRUE(approx_equal(expect, got, 1e-12 * static_cast<double>(k + 1)))
+        << m << "x" << k << "x" << n;
+  }
+}
+
+TEST(PackedKernel, AutotuneReturnsCandidateTiles) {
+  const PackedTuning t = autotune_packed(64);
+  EXPECT_GE(t.kc, 1u);
+  EXPECT_GE(t.mc, 1u);
+}
+
+TEST(PackedKernel, SetTuningValidates) {
+  EXPECT_THROW(set_packed_tuning({0, 64}), PreconditionError);
+  EXPECT_THROW(set_packed_tuning({64, 0}), PreconditionError);
+}
 
 }  // namespace
 }  // namespace hpmm

@@ -90,6 +90,84 @@ TEST(ReliableDelivery, NoBackoffKeepsTimeoutsFlat) {
   EXPECT_DOUBLE_EQ(out.wait, 30.0 + 30.0);
 }
 
+/// Span formula from reliable.hpp, for r retransmissions at base cost c:
+///   span = (r+1)*c + sum_{k=0}^{r-1} rto_factor * backoff^k * c
+/// pinned here for r = 0, 1 and r = max_retries (the largest r that can
+/// succeed), together with the attempt indexing the counters expose.
+TEST(ReliableDelivery, SpanFormulaAcrossDropCounts) {
+  auto plan = make_plan();
+  plan->seed = 41;
+  plan->drop_prob = 0.5;
+  plan->rto_factor = 2.0;
+  plan->rto_backoff = 3.0;
+  plan->max_retries = 3;
+  const FaultInjector inj(plan);
+  const Message m(0, 1, 1, payload(4));
+  const double c = 10.0;
+  for (const unsigned r : {0u, 1u, 3u}) {  // 3 == max_retries still succeeds
+    const std::uint64_t round = round_with_drops(inj, m, r);
+    const ReliableOutcome out = reliable_delivery(inj, m, round, c);
+    EXPECT_EQ(out.attempts, r + 1) << "r=" << r;
+    EXPECT_EQ(out.retransmissions(), r) << "r=" << r;
+    EXPECT_TRUE(out.delivered);
+    double expected_wait = 0.0, rto = plan->rto_factor * c;
+    for (unsigned k = 0; k < r; ++k) {
+      expected_wait += rto;
+      rto *= plan->rto_backoff;
+    }
+    EXPECT_DOUBLE_EQ(out.busy, (r + 1) * c) << "r=" << r;
+    EXPECT_DOUBLE_EQ(out.wait, expected_wait) << "r=" << r;
+    EXPECT_DOUBLE_EQ(out.span(), (r + 1) * c + expected_wait) << "r=" << r;
+    // The delivering attempt is the last one, 0-indexed.
+    EXPECT_EQ(out.corrupt_attempt, r) << "r=" << r;
+  }
+}
+
+TEST(ReliableDelivery, OneDropPastTheBudgetThrows) {
+  auto plan = make_plan();
+  plan->seed = 41;
+  plan->drop_prob = 0.5;
+  plan->max_retries = 2;
+  const FaultInjector inj(plan);
+  const Message m(0, 1, 1, payload(4));
+  // A round whose first 3 attempts drop needs 3 retries; budget is 2.
+  const std::uint64_t round = round_with_drops(inj, m, 3);
+  EXPECT_THROW(reliable_delivery(inj, m, round, 10.0), InternalError);
+}
+
+TEST(ReliableDelivery, ZeroRetryBudgetBoundary) {
+  // max_retries = 0: a clean first attempt succeeds, any drop is fatal.
+  auto clean = make_plan();
+  clean->max_retries = 0;
+  const FaultInjector clean_inj(clean);
+  const Message m(0, 1, 1, payload(4));
+  const ReliableOutcome out = reliable_delivery(clean_inj, m, 1, 10.0);
+  EXPECT_EQ(out.attempts, 1u);
+  EXPECT_TRUE(out.delivered);
+  EXPECT_DOUBLE_EQ(out.span(), 10.0);
+
+  auto lossy = make_plan();
+  lossy->drop_prob = 1.0;
+  lossy->max_retries = 0;
+  const FaultInjector lossy_inj(lossy);
+  EXPECT_THROW(reliable_delivery(lossy_inj, m, 1, 10.0), InternalError);
+}
+
+TEST(ReliableDelivery, UnreliableModeLeavesCorruptAttemptAtZero) {
+  auto plan = make_plan();
+  plan->seed = 47;
+  plan->drop_prob = 0.5;
+  plan->corrupt_prob = 0.5;
+  plan->reliable = false;
+  const FaultInjector inj(plan);
+  const Message m(0, 1, 1, payload(4));
+  for (std::uint64_t round = 1; round <= 20; ++round) {
+    const ReliableOutcome out = reliable_delivery(inj, m, round, 10.0);
+    EXPECT_EQ(out.attempts, 1u);
+    EXPECT_EQ(out.corrupt_attempt, 0u);  // only attempt 0 exists
+  }
+}
+
 TEST(ReliableDelivery, ExhaustedRetryBudgetIsAnInternalError) {
   auto plan = make_plan();
   plan->drop_prob = 1.0;

@@ -243,5 +243,50 @@ TEST(Cli, ExhaustedRetryBudgetIsAnInternalError) {
   EXPECT_NE(r.err.find("internal error"), std::string::npos);
 }
 
+TEST(Cli, GarbageNumericFlagExitsOneNamingTheFlag) {
+  // --p=abc used to silently parse as p=0; it must fail loudly instead.
+  const auto r = run({"hpmm", "run", "--p=abc"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--p"), std::string::npos);
+  EXPECT_NE(r.err.find("abc"), std::string::npos);
+  EXPECT_EQ(run({"hpmm", "run", "--n=64x"}).code, 1);
+  EXPECT_EQ(run({"hpmm", "inject", "--drop=oops"}).code, 1);
+}
+
+TEST(Cli, KernelAndThreadsFlags) {
+  const auto r = run({"hpmm", "run", "--algorithm=cannon", "--n=32", "--p=16",
+                      "--kernel=packed", "--threads=2"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("product check   = ok"), std::string::npos);
+}
+
+TEST(Cli, UnknownKernelExitsOne) {
+  const auto r = run({"hpmm", "run", "--kernel=bogus"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("unknown kernel"), std::string::npos);
+}
+
+TEST(Cli, NonPositiveThreadsExitsOne) {
+  const auto r = run({"hpmm", "run", "--threads=0"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--threads"), std::string::npos);
+  EXPECT_EQ(run({"hpmm", "run", "--threads=-2"}).code, 1);
+}
+
+TEST(Cli, ThreadedFaultyRunMatchesSerial) {
+  // The acceptance scenario end to end through the CLI: identical simulated
+  // output for --threads=1 and --threads=4 on a faulty run.
+  const auto serial =
+      run({"hpmm", "inject", "--algorithm=cannon", "--n=32", "--p=16",
+           "--drop=0.02", "--stragglers=3:2", "--threads=1"});
+  const auto threaded =
+      run({"hpmm", "inject", "--algorithm=cannon", "--n=32", "--p=16",
+           "--drop=0.02", "--stragglers=3:2", "--threads=4",
+           "--kernel=packed"});
+  EXPECT_EQ(serial.code, 0);
+  EXPECT_EQ(threaded.code, 0);
+  EXPECT_EQ(serial.out, threaded.out);  // byte-for-byte identical report
+}
+
 }  // namespace
 }  // namespace hpmm::tools

@@ -1,0 +1,77 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace hpmm {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.parallel_for(kCount, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, SingleThreadDegeneratesToSerial) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::vector<std::size_t> order;
+  pool.parallel_for(8, [&](std::size_t i) { order.push_back(i); });
+  // With no workers the caller runs the batch in index order.
+  std::vector<std::size_t> expected(8);
+  std::iota(expected.begin(), expected.end(), std::size_t{0});
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(3);
+  std::atomic<std::size_t> total{0};
+  for (int batch = 0; batch < 50; ++batch) {
+    pool.parallel_for(17, [&](std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 50u * 17u);
+}
+
+TEST(ThreadPool, ZeroCountIsANoOp) {
+  ThreadPool pool(2);
+  std::atomic<int> hits{0};
+  pool.parallel_for(0, [&](std::size_t) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 0);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](std::size_t i) {
+                                   if (i % 7 == 3) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+  // The pool stays usable after a failed batch.
+  std::atomic<int> hits{0};
+  pool.parallel_for(10, [&](std::size_t) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 10);
+}
+
+TEST(ThreadPool, RejectsZeroThreads) {
+  EXPECT_THROW(ThreadPool pool(0), PreconditionError);
+}
+
+TEST(ThreadPool, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::hardware_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace hpmm
