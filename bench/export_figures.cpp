@@ -32,6 +32,7 @@ int region_code(Region r) {
     case Region::kBerntsen: return 2;
     case Region::kCannon: return 3;
     case Region::kDns: return 4;
+    case Region::kCannon25: return 5;
   }
   return 0;
 }

@@ -55,6 +55,34 @@ inline void run_region_figure(const MachineParams& mp, const char* figure) {
   std::cout << "\nFor a curve \"X vs Y\", X has the smaller overhead below the\n"
                "curve (smaller n), Y above it. The last three columns are the\n"
                "applicability boundaries p = n^{3/2}, n^2, n^3.\n";
+
+  // Beyond the paper: overlay the 2.5D replicated-Cannon envelope (best
+  // feasible c >= 2) on the same plane. The classic map above is unchanged;
+  // region 'e' marks where spending memory on replication beats all four
+  // paper algorithms (CLI: `hpmm regions --with-25d=1`).
+  std::cout << "\n--- Extended map: + 2.5D Cannon replication envelope (e) ---\n\n";
+  const RegionMap ext(mp, 1.0, 1e9, 72, 1.0, 1e5, 36, /*include_25d=*/true);
+  ext.print_ascii(std::cout);
+  std::cout << "\nRegion shares (extended): a(GK)="
+            << format_number(ext.fraction(Region::kGk), 3)
+            << " b(Berntsen)=" << format_number(ext.fraction(Region::kBerntsen), 3)
+            << " c(Cannon)=" << format_number(ext.fraction(Region::kCannon), 3)
+            << " d(DNS)=" << format_number(ext.fraction(Region::kDns), 3)
+            << " e(2.5D)=" << format_number(ext.fraction(Region::kCannon25), 3)
+            << " x(none)=" << format_number(ext.fraction(Region::kNone), 3) << "\n";
+
+  const Cannon25DModel c25_2(mp, 2);
+  Table t25({"p", "2.5D(c=2) vs Cannon", "2.5D(c=2) vs GK"});
+  for (double p = 64.0; p <= 1e9; p *= 64.0) {
+    const auto fmt = [](std::optional<double> v) {
+      return v ? format_number(*v, 4) : std::string("-");
+    };
+    t25.begin_row()
+        .add(format_si(p, 3))
+        .add(fmt(n_equal_overhead(c25_2, cannon, p)))
+        .add(fmt(n_equal_overhead(c25_2, gk, p)));
+  }
+  t25.print_aligned(std::cout);
 }
 
 }  // namespace hpmm::bench

@@ -2,6 +2,7 @@
 
 #include "algorithms/berntsen.hpp"
 #include "algorithms/cannon.hpp"
+#include "algorithms/cannon_25d.hpp"
 #include "algorithms/dns.hpp"
 #include "algorithms/fox.hpp"
 #include "algorithms/gk.hpp"
@@ -30,6 +31,7 @@ std::vector<std::unique_ptr<ParallelMatmul>> all_algorithms() {
   std::vector<std::unique_ptr<ParallelMatmul>> out;
   out.push_back(std::make_unique<SimpleAlgorithm>());
   out.push_back(std::make_unique<CannonAlgorithm>());
+  out.push_back(std::make_unique<Cannon25DAlgorithm>());
   out.push_back(std::make_unique<FoxAlgorithm>());
   out.push_back(std::make_unique<BerntsenAlgorithm>());
   out.push_back(std::make_unique<DnsAlgorithm>());

@@ -49,6 +49,21 @@ double CannonModel::memory_per_proc(double n, double p) const {
   return 3.0 * n * n / p;
 }
 
+// ---- 2.5D memory-replicated Cannon -----------------------------------------
+
+double Cannon25DModel::comm_time(double n, double p) const {
+  if (p <= 1.0) return 0.0;
+  const double m = c_ * n * n / p;  // resident block, (n/q)^2 words
+  const double rounds =
+      3.0 * log2p(c_) + 2.0 * std::sqrt(p / (c_ * c_ * c_));
+  return rounds * (t_s() + t_w() * m);
+}
+
+double Cannon25DModel::memory_per_proc(double n, double p) const {
+  // The replicated A, B and partial-C blocks: Theta(c n^2/p).
+  return 3.0 * c_ * n * n / p;
+}
+
 // ---- Fox (Eq. 4, pipelined) ------------------------------------------------
 
 double FoxModel::comm_time(double n, double p) const {
@@ -193,6 +208,7 @@ std::vector<std::unique_ptr<PerfModel>> all_models(const MachineParams& params) 
   out.push_back(std::make_unique<SimpleModel>(params));
   out.push_back(std::make_unique<SimpleRingModel>(params));
   out.push_back(std::make_unique<CannonModel>(params));
+  out.push_back(std::make_unique<Cannon25DModel>(params));
   out.push_back(std::make_unique<FoxModel>(params));
   out.push_back(std::make_unique<BerntsenModel>(params));
   out.push_back(std::make_unique<DnsModel>(params));

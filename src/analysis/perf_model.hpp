@@ -103,6 +103,33 @@ class CannonModel final : public PerfModel {
   double memory_per_proc(double n, double p) const override;
 };
 
+/// 2.5D memory-replicated Cannon (Ballard-Demmel-Holtz-Lipshitz) with
+/// replication factor c on a sqrt(p/c) x sqrt(p/c) x c grid:
+///   T_p = n^3/p + (3 log2 c + 2 sqrt(p/c^3)) (t_s + t_w c n^2/p),
+/// i.e. 2 log2 c broadcast rounds + 2 sqrt(p/c^3) per-layer Cannon rounds
+/// (alignment + shifts) + log2 c reduction rounds, each moving the
+/// c n^2/p-word resident block. Degenerates to Cannon's Eq. 3 at c = 1;
+/// memory rises to Theta(c n^2/p) per processor and the per-layer bandwidth
+/// term drops to 2 t_w n^2/sqrt(pc). Exact for the simulated cannon25d
+/// under one-port cut-through routing.
+class Cannon25DModel final : public PerfModel {
+ public:
+  explicit Cannon25DModel(MachineParams params, std::size_t c = 2)
+      : PerfModel(std::move(params)), c_(static_cast<double>(c)) {}
+  std::string name() const override { return "cannon25d"; }
+  double comm_time(double n, double p) const override;
+  /// q <= n per layer: p = c q^2 <= c n^2.
+  double max_procs(double n) const override { return c_ * n * n; }
+  /// c <= p^{1/3}, i.e. p >= c^3.
+  double min_procs(double n) const override { (void)n; return c_ * c_ * c_; }
+  double memory_per_proc(double n, double p) const override;
+
+  double replication() const noexcept { return c_; }
+
+ private:
+  double c_;
+};
+
 /// Fox's algorithm, pipelined variant of Eq. 4:
 /// T_p = n^3/p + 2 t_w n^2/sqrt(p) + t_s p.
 class FoxModel final : public PerfModel {

@@ -16,11 +16,33 @@ std::string to_string(Region r) {
     case Region::kBerntsen: return "berntsen";
     case Region::kCannon: return "cannon";
     case Region::kDns: return "dns";
+    case Region::kCannon25: return "cannon25d";
   }
   return "?";
 }
 
-Region RegionMap::best_at(const MachineParams& params, double n, double p) {
+/// Smallest overhead the 2.5D formulation reaches at (n, p) over its
+/// replication envelope c = 2, 4, 8, ... with c^3 <= p; nullopt-like
+/// negative value when no replicated configuration applies. c = 1 is
+/// deliberately excluded: it duplicates plain Cannon, so Region::kCannon25
+/// means "replication strictly helps here".
+static double best_cannon25_overhead(const MachineParams& params, double n,
+                                     double p) {
+  double best = -1.0;
+  for (std::size_t c = 2; static_cast<double>(c) * static_cast<double>(c) *
+                              static_cast<double>(c) <=
+                          p;
+       c *= 2) {
+    const Cannon25DModel model(params, c);
+    if (!model.applicable(n, p)) continue;
+    const double to = model.t_overhead(n, p);
+    if (best < 0.0 || to < best) best = to;
+  }
+  return best;
+}
+
+Region RegionMap::best_at(const MachineParams& params, double n, double p,
+                          bool include_25d) {
   const BerntsenModel berntsen(params);
   const CannonModel cannon(params);
   const GkModel gk(params);
@@ -45,26 +67,34 @@ Region RegionMap::best_at(const MachineParams& params, double n, double p) {
       best_to = to;
     }
   }
+  if (include_25d) {
+    const double to = best_cannon25_overhead(params, n, p);
+    if (to >= 0.0 && (best == Region::kNone || to < best_to)) {
+      best = Region::kCannon25;
+    }
+  }
   return best;
 }
 
 RegionMap::RegionMap(const MachineParams& params, double p_min, double p_max,
                      std::size_t p_cells, double n_min, double n_max,
-                     std::size_t n_cells)
+                     std::size_t n_cells, bool include_25d)
     : params_(params),
       p_min_(p_min),
       p_max_(p_max),
       n_min_(n_min),
       n_max_(n_max),
       p_cells_(p_cells),
-      n_cells_(n_cells) {
+      n_cells_(n_cells),
+      include_25d_(include_25d) {
   require(p_min >= 1.0 && p_max > p_min, "RegionMap: bad p range");
   require(n_min >= 1.0 && n_max > n_min, "RegionMap: bad n range");
   require(p_cells >= 2 && n_cells >= 2, "RegionMap: need at least a 2x2 grid");
   cells_.resize(p_cells_ * n_cells_);
   for (std::size_t row = 0; row < n_cells_; ++row) {
     for (std::size_t col = 0; col < p_cells_; ++col) {
-      cells_[row * p_cells_ + col] = best_at(params_, n_at(row), p_at(col));
+      cells_[row * p_cells_ + col] =
+          best_at(params_, n_at(row), p_at(col), include_25d_);
     }
   }
 }
@@ -166,7 +196,8 @@ void MachineSpaceMap::print_ascii(std::ostream& os) const {
 }
 
 void RegionMap::print_ascii(std::ostream& os) const {
-  os << "n up, p right; a=GK b=Berntsen c=Cannon d=DNS x=none  [" << params_.label
+  os << "n up, p right; a=GK b=Berntsen c=Cannon d=DNS "
+     << (include_25d_ ? "e=2.5D " : "") << "x=none  [" << params_.label
      << "]\n";
   for (std::size_t row = n_cells_; row-- > 0;) {
     os << format_number(n_at(row), 3);

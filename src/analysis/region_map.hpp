@@ -15,7 +15,9 @@ enum class Region : char {
   kGk = 'a',        ///< GK algorithm best
   kBerntsen = 'b',  ///< Berntsen's algorithm best
   kCannon = 'c',    ///< Cannon's algorithm best
-  kDns = 'd'        ///< DNS algorithm best
+  kDns = 'd',       ///< DNS algorithm best
+  kCannon25 = 'e'   ///< 2.5D Cannon best for some replication c > 1
+                    ///< (extended maps only; absent from the paper's figures)
 };
 
 char to_char(Region r) noexcept;
@@ -27,12 +29,17 @@ std::string to_string(Region r);
 class RegionMap {
  public:
   /// Grid: p in [p_min, p_max], n in [n_min, n_max], log-spaced.
+  /// With include_25d the comparison additionally admits the 2.5D
+  /// memory-replicated Cannon formulation (the envelope over replication
+  /// factors c = 2, 4, 8, ... with c^3 <= p), labelled Region::kCannon25.
+  /// The default reproduces the paper's four-way Figures 1-3 exactly.
   RegionMap(const MachineParams& params, double p_min, double p_max,
             std::size_t p_cells, double n_min, double n_max,
-            std::size_t n_cells);
+            std::size_t n_cells, bool include_25d = false);
 
   /// The winner at one point (usable without building a grid).
-  static Region best_at(const MachineParams& params, double n, double p);
+  static Region best_at(const MachineParams& params, double n, double p,
+                        bool include_25d = false);
 
   std::size_t p_cells() const noexcept { return p_cells_; }
   std::size_t n_cells() const noexcept { return n_cells_; }
@@ -51,6 +58,7 @@ class RegionMap {
   MachineParams params_;
   double p_min_, p_max_, n_min_, n_max_;
   std::size_t p_cells_, n_cells_;
+  bool include_25d_ = false;
   std::vector<Region> cells_;  // row-major, row 0 = smallest n
 };
 

@@ -4,6 +4,7 @@
 
 #include "algorithms/berntsen.hpp"
 #include "algorithms/cannon.hpp"
+#include "algorithms/cannon_25d.hpp"
 #include "algorithms/dns.hpp"
 #include "algorithms/fox.hpp"
 #include "algorithms/gk.hpp"
@@ -43,6 +44,12 @@ AlgorithmRegistry::AlgorithmRegistry() {
   // demonstrating Section 4.4's mesh == hypercube observation.
   add(std::make_unique<CannonAlgorithm>(CannonAlgorithm::Mapping::kHypercubeGray),
       [](const MachineParams& mp) { return std::make_unique<CannonModel>(mp); });
+  // 2.5D memory-replicated Cannon at the default replication c = 2; other
+  // replication factors are reachable via the CLI's --c or by constructing
+  // Cannon25DAlgorithm/Cannon25DModel directly.
+  add(std::make_unique<Cannon25DAlgorithm>(), [](const MachineParams& mp) {
+    return std::make_unique<Cannon25DModel>(mp);
+  });
   add(std::make_unique<FoxAlgorithm>(), [](const MachineParams& mp) {
     return std::make_unique<FoxModel>(mp);
   });

@@ -46,7 +46,7 @@ Selection select_algorithm(std::size_t n, std::size_t p,
   // One-port hypercube formulations only — the all-port and fully-connected
   // variants assume different hardware and are selected explicitly.
   static const std::vector<std::string> kNames = {
-      "simple", "cannon", "fox", "berntsen", "dns", "gk", "gk-jh"};
+      "simple", "cannon", "cannon25d", "fox", "berntsen", "dns", "gk", "gk-jh"};
   return select_from(kNames, n, p, params, require_simulatable, registry);
 }
 

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "algorithms/cannon_25d.hpp"
 #include "analysis/crossover.hpp"
 #include "analysis/isoefficiency.hpp"
 #include "analysis/region_map.hpp"
@@ -28,6 +29,9 @@ std::string applicability_text(const std::string& name) {
   if (name == "berntsen") return "p = 2^(3q) <= n^(3/2), p^(2/3) | n";
   if (name == "cannon") return "p square <= n^2, sqrt(p) | n";
   if (name == "cannon-gray") return "as cannon, sqrt(p) = 2^k";
+  if (name == "cannon25d") {
+    return "p = c q^2 <= c n^2, c = 2^k <= p^(1/3), c | q, q | n (--c)";
+  }
   if (name == "fox") return "as cannon, sqrt(p) = 2^k";
   if (name == "fox-pipe") return "as cannon";
   if (name == "simple") return "as cannon, sqrt(p) = 2^k";
@@ -112,6 +116,44 @@ MachineParams base_machine_from_args(const CliArgs& args) {
   return machines::ncube2();
 }
 
+/// Replication factor for cannon25d: --c, default 2. Range checks beyond
+/// positivity are deferred to the algorithm/model preconditions so error
+/// messages name the flag consistently.
+std::size_t replication_from_args(const CliArgs& args) {
+  const std::int64_t c = args.get_int("c", 2);
+  require(c >= 1, "--c: must be >= 1, got " + std::to_string(c));
+  return static_cast<std::size_t>(c);
+}
+
+/// Implementation + model pair for one --algorithm, honouring --c for
+/// cannon25d (the registry entry is fixed at c = 2; any other replication
+/// factor needs a bespoke instance).
+struct AlgorithmChoice {
+  const ParallelMatmul* impl = nullptr;
+  std::unique_ptr<ParallelMatmul> owned_impl;  // set when impl is bespoke
+  std::unique_ptr<PerfModel> model;
+};
+
+AlgorithmChoice algorithm_from_args(const CliArgs& args,
+                                    const std::string& algorithm,
+                                    const MachineParams& mp,
+                                    const std::string& command) {
+  AlgorithmChoice choice;
+  if (algorithm == "cannon25d" && args.has("c")) {
+    const std::size_t c = replication_from_args(args);
+    choice.owned_impl = std::make_unique<Cannon25DAlgorithm>(c);
+    choice.impl = choice.owned_impl.get();
+    choice.model = std::make_unique<Cannon25DModel>(mp, c);
+    return choice;
+  }
+  const auto& reg = default_registry();
+  require(reg.contains(algorithm),
+          command + ": unknown algorithm '" + algorithm + "'");
+  choice.impl = &reg.implementation(algorithm);
+  choice.model = reg.model(algorithm, mp);
+  return choice;
+}
+
 }  // namespace
 
 MachineParams machine_from_args(const CliArgs& args) {
@@ -183,11 +225,9 @@ int cmd_run(const CliArgs& args, std::ostream& os) {
   const auto n = static_cast<std::size_t>(args.get_int("n", 64));
   const auto p = static_cast<std::size_t>(args.get_int("p", 64));
   const MachineParams mp = machine_from_args(args);
-  const auto& reg = default_registry();
-  require(reg.contains(algorithm), "run: unknown algorithm '" + algorithm + "'");
-  const auto model = reg.model(algorithm, mp);
+  const AlgorithmChoice choice = algorithm_from_args(args, algorithm, mp, "run");
   const auto pt = validate_algorithm(
-      reg.implementation(algorithm), *model, n, p,
+      *choice.impl, *choice.model, n, p,
       static_cast<std::uint64_t>(args.get_int("seed", 42)));
   os << algorithm << ": n=" << n << " p=" << p << " (" << mp.label << ")\n"
      << "  T_p (simulated) = " << format_number(pt.sim_t_parallel, 6) << "\n"
@@ -208,9 +248,7 @@ int cmd_iso(const CliArgs& args, std::ostream& os) {
   const std::string algorithm = args.get("algorithm", "gk");
   const double efficiency = args.get_double("efficiency", 0.7);
   const MachineParams mp = machine_from_args(args);
-  const auto& reg = default_registry();
-  require(reg.contains(algorithm), "iso: unknown algorithm '" + algorithm + "'");
-  const auto model = reg.model(algorithm, mp);
+  const auto model = algorithm_from_args(args, algorithm, mp, "iso").model;
   Table t({"p", "n needed", "W = n^3", "W/p"});
   std::vector<double> ps;
   for (double p = args.get_double("pmin", 8);
@@ -247,12 +285,15 @@ int cmd_regions(const CliArgs& args, std::ostream& os) {
     return 0;
   }
   const MachineParams mp = machine_from_args(args);
+  // --with-25d extends the paper's four-way comparison with the 2.5D
+  // formulation's replication envelope (region letter 'e').
   const RegionMap map(mp, args.get_double("pmin", 1.0),
                       args.get_double("pmax", 1e9),
                       static_cast<std::size_t>(args.get_int("pcells", 72)),
                       args.get_double("nmin", 1.0),
                       args.get_double("nmax", 1e5),
-                      static_cast<std::size_t>(args.get_int("ncells", 36)));
+                      static_cast<std::size_t>(args.get_int("ncells", 36)),
+                      args.get_bool("with-25d", false));
   map.print_ascii(os);
   return 0;
 }
@@ -261,11 +302,8 @@ int cmd_crossover(const CliArgs& args, std::ostream& os) {
   const std::string a = args.get("a", "gk");
   const std::string b = args.get("b", "cannon");
   const MachineParams mp = machine_from_args(args);
-  const auto& reg = default_registry();
-  require(reg.contains(a), "crossover: unknown algorithm '" + a + "'");
-  require(reg.contains(b), "crossover: unknown algorithm '" + b + "'");
-  const auto model_a = reg.model(a, mp);
-  const auto model_b = reg.model(b, mp);
+  const auto model_a = algorithm_from_args(args, a, mp, "crossover").model;
+  const auto model_b = algorithm_from_args(args, b, mp, "crossover").model;
   Table t({"p", "n_EqualTo(" + a + " vs " + b + ")"});
   for (double p = args.get_double("pmin", 4);
        p <= args.get_double("pmax", 1e9); p *= 8) {
@@ -285,10 +323,9 @@ int cmd_trace(const CliArgs& args, std::ostream& os) {
   const auto p = static_cast<std::size_t>(args.get_int("p", 8));
   MachineParams mp = machine_from_args(args);
   mp.trace = true;
-  const auto& reg = default_registry();
-  require(reg.contains(algorithm),
-          "trace: unknown algorithm '" + algorithm + "'");
-  const ParallelMatmul& impl = reg.implementation(algorithm);
+  const AlgorithmChoice choice =
+      algorithm_from_args(args, algorithm, mp, "trace");
+  const ParallelMatmul& impl = *choice.impl;
   impl.check_applicable(n, p);
   Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 5)));
   const Matrix a = random_matrix(n, n, rng);
@@ -436,13 +473,15 @@ int dispatch(const CliArgs& args, std::ostream& os, std::ostream& err) {
            "  select     pick the best formulation for --n, --p\n"
            "  run        simulate one multiplication (--algorithm, --n, --p)\n"
            "  iso        isoefficiency curve (--algorithm, --efficiency)\n"
-           "  regions    ASCII best-algorithm map (Figures 1-3)\n"
+           "  regions    ASCII best-algorithm map (Figures 1-3; --with-25d=1 "
+           "adds the 2.5D regions)\n"
            "  crossover  equal-overhead curve for a pair (--a, --b)\n"
            "  trace      simulate with tracing, print the Gantt chart\n"
            "  reproduce  check the paper's claims against this build\n"
            "  inject     simulate under injected faults (see inject --help)\n"
            "machine selection: --machine=ncube2|future|cm2|cm5|ideal or "
            "--ts=.. --tw=..\n"
+           "cannon25d: --c=<replication factor> (power of two, default 2)\n"
            "local compute: --kernel=naive-ijk|cache-ikj|blocked|transposed-b|"
            "packed --threads=N\n"
            "               (host wall-clock only; simulated times are "

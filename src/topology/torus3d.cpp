@@ -1,0 +1,83 @@
+#include "topology/torus3d.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace hpmm {
+namespace {
+
+unsigned ring_distance(std::size_t a, std::size_t b, std::size_t len) {
+  const std::size_t d = a > b ? a - b : b - a;
+  return static_cast<unsigned>(std::min(d, len - d));
+}
+
+}  // namespace
+
+Torus3D::Torus3D(std::size_t rows, std::size_t cols, std::size_t layers)
+    : rows_(rows), cols_(cols), layers_(layers) {
+  require(rows > 0 && cols > 0 && layers > 0,
+          "Torus3D: dimensions must be positive");
+}
+
+unsigned Torus3D::hops(ProcId src, ProcId dst) const {
+  const auto [sr, sc, sl] = coords(src);
+  const auto [dr, dc, dl] = coords(dst);
+  return ring_distance(sr, dr, rows_) + ring_distance(sc, dc, cols_) +
+         ring_distance(sl, dl, layers_);
+}
+
+std::vector<ProcId> Torus3D::neighbors(ProcId node) const {
+  const auto [r, c, l] = coords(node);
+  std::vector<ProcId> out{
+      rank((r + rows_ - 1) % rows_, c, l), rank((r + 1) % rows_, c, l),
+      rank(r, (c + cols_ - 1) % cols_, l), rank(r, (c + 1) % cols_, l),
+      rank(r, c, (l + layers_ - 1) % layers_), rank(r, c, (l + 1) % layers_)};
+  // Degenerate (length-1 or length-2) rings yield duplicates; deduplicate.
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  out.erase(std::remove(out.begin(), out.end(), node), out.end());
+  return out;
+}
+
+std::string Torus3D::name() const {
+  return "torus3d(" + std::to_string(rows_) + "x" + std::to_string(cols_) +
+         "x" + std::to_string(layers_) + ")";
+}
+
+std::array<std::size_t, 3> Torus3D::coords(ProcId node) const {
+  require(node < size(), "Torus3D::coords: node out of range");
+  const std::size_t layer_size = rows_ * cols_;
+  const std::size_t in_layer = node % layer_size;
+  return {in_layer / cols_, in_layer % cols_, node / layer_size};
+}
+
+ProcId Torus3D::rank(std::size_t row, std::size_t col, std::size_t layer) const {
+  require(row < rows_ && col < cols_ && layer < layers_,
+          "Torus3D::rank: coords out of range");
+  return static_cast<ProcId>(layer * rows_ * cols_ + row * cols_ + col);
+}
+
+ProcId Torus3D::west(ProcId node, std::size_t steps) const {
+  const auto [r, c, l] = coords(node);
+  return rank(r, (c + cols_ - steps % cols_) % cols_, l);
+}
+
+ProcId Torus3D::north(ProcId node, std::size_t steps) const {
+  const auto [r, c, l] = coords(node);
+  return rank((r + rows_ - steps % rows_) % rows_, c, l);
+}
+
+ProcId Torus3D::up(ProcId node, std::size_t steps) const {
+  const auto [r, c, l] = coords(node);
+  return rank(r, c, (l + steps) % layers_);
+}
+
+std::vector<ProcId> Torus3D::fiber(std::size_t row, std::size_t col) const {
+  std::vector<ProcId> out;
+  out.reserve(layers_);
+  for (std::size_t l = 0; l < layers_; ++l) out.push_back(rank(row, col, l));
+  return out;
+}
+
+}  // namespace hpmm

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <array>
+
+#include "topology/topology.hpp"
+
+namespace hpmm {
+
+/// 3-D wrap-around processor grid of shape rows x cols x layers — the
+/// sqrt(p/c) x sqrt(p/c) x c arrangement of the 2.5D memory-replicated
+/// Cannon formulation. Each layer is a rows x cols torus (the Cannon mesh);
+/// the `layers` processors sharing a mesh position form a replication fiber
+/// along which operand broadcasts and the final C reduction run.
+///
+/// Ranks are layer-major: rank(i, j, l) = l * rows * cols + i * cols + j, so
+/// every layer occupies a contiguous rank range and fibers stride by the
+/// layer size.
+class Torus3D final : public Topology {
+ public:
+  Torus3D(std::size_t rows, std::size_t cols, std::size_t layers);
+
+  std::size_t grid_rows() const noexcept { return rows_; }
+  std::size_t grid_cols() const noexcept { return cols_; }
+  std::size_t grid_layers() const noexcept { return layers_; }
+
+  std::size_t size() const noexcept override { return rows_ * cols_ * layers_; }
+  unsigned hops(ProcId src, ProcId dst) const override;
+  unsigned ports_per_proc() const noexcept override { return 6; }
+  std::vector<ProcId> neighbors(ProcId node) const override;
+  std::string name() const override;
+
+  /// (row, col, layer) coordinates of a rank.
+  std::array<std::size_t, 3> coords(ProcId node) const;
+
+  /// Rank of (row, col, layer).
+  ProcId rank(std::size_t row, std::size_t col, std::size_t layer) const;
+
+  /// Rank `steps` west (column - steps) within the same layer, wrapping.
+  ProcId west(ProcId node, std::size_t steps = 1) const;
+  /// Rank `steps` north (row - steps) within the same layer, wrapping.
+  ProcId north(ProcId node, std::size_t steps = 1) const;
+  /// Rank `steps` up the replication fiber (layer + steps), wrapping.
+  ProcId up(ProcId node, std::size_t steps = 1) const;
+
+  /// The replication fiber through mesh position (row, col): the `layers`
+  /// ranks in layer order 0, 1, ..., layers-1.
+  std::vector<ProcId> fiber(std::size_t row, std::size_t col) const;
+
+ private:
+  std::size_t rows_, cols_, layers_;
+};
+
+}  // namespace hpmm

@@ -2,6 +2,7 @@
 
 #include "algorithms/berntsen.hpp"
 #include "algorithms/cannon.hpp"
+#include "algorithms/cannon_25d.hpp"
 #include "algorithms/dns.hpp"
 #include "algorithms/fox.hpp"
 #include "algorithms/gk.hpp"
@@ -102,10 +103,58 @@ TEST(Applicability, RunRejectsInapplicableCombos) {
   EXPECT_THROW(BerntsenAlgorithm().run(a, b, 512, mp), PreconditionError);
 }
 
+TEST(Applicability, Cannon25DGridAndReplicationConstraints) {
+  Cannon25DAlgorithm c2;  // c = 2
+  EXPECT_TRUE(c2.applicable(8, 8));      // 2 x (2x2): q = 2, c | q
+  EXPECT_TRUE(c2.applicable(16, 32));    // 2 x (4x4)
+  EXPECT_TRUE(c2.applicable(16, 128));   // 2 x (8x8)
+  EXPECT_FALSE(c2.applicable(16, 16));   // p/c = 8 not a perfect square
+  EXPECT_FALSE(c2.applicable(16, 2));    // c^3 = 8 > p
+  EXPECT_FALSE(c2.applicable(10, 32));   // q = 4 does not divide 10
+  EXPECT_FALSE(c2.applicable(2, 32));    // p > c n^2
+  EXPECT_THROW(c2.check_applicable(16, 16), PreconditionError);
+
+  Cannon25DAlgorithm c4(4);
+  EXPECT_TRUE(c4.applicable(16, 64));    // 4 x (4x4), c | q, c^3 = 64 <= p
+  EXPECT_FALSE(c4.applicable(16, 36));   // q = 3 not divisible by c = 4
+  EXPECT_FALSE(c4.applicable(16, 16));   // c^3 > p
+
+  Cannon25DAlgorithm c3(3);              // replication must be a power of two
+  EXPECT_FALSE(c3.applicable(18, 27));
+  EXPECT_THROW(c3.check_applicable(18, 27), PreconditionError);
+
+  // c = 1 degenerates to plain Cannon's grid (any perfect square p <= n^2).
+  Cannon25DAlgorithm c1(1);
+  EXPECT_TRUE(c1.applicable(12, 9));
+  EXPECT_FALSE(c1.applicable(12, 8));
+}
+
+TEST(Applicability, Cannon25DErrorsNameTheFlag) {
+  // The CLI exposes the replication factor as --c; precondition messages
+  // must point at it so a failed run is actionable.
+  Cannon25DAlgorithm c2;
+  try {
+    c2.check_applicable(16, 16);  // c q^2 != p
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("--c"), std::string::npos) << e.what();
+  }
+  Cannon25DAlgorithm c8(8);
+  try {
+    c8.check_applicable(64, 16);  // c^3 = 512 > p
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("--c"), std::string::npos) << e.what();
+  }
+}
+
 TEST(Applicability, EveryAlgorithmAcceptsSingleProcessorOrSaysWhy) {
   for (const auto& alg : all_algorithms()) {
     if (alg->name() == "dns") {
       EXPECT_FALSE(alg->applicable(8, 1));  // DNS needs p >= n^2
+    } else if (alg->name() == "cannon25d") {
+      EXPECT_FALSE(alg->applicable(8, 1));  // replication needs p >= c^3 = 8
+      EXPECT_TRUE(alg->applicable(8, 8));
     } else {
       EXPECT_TRUE(alg->applicable(8, 1)) << alg->name();
     }

@@ -160,7 +160,47 @@ TEST(PerfModel, Table1ModelsOrderAndCount) {
 }
 
 TEST(PerfModel, AllModelsCount) {
-  EXPECT_EQ(all_models(params(1, 1)).size(), 11u);
+  EXPECT_EQ(all_models(params(1, 1)).size(), 12u);
+}
+
+TEST(PerfModel, Cannon25DReducesToCannonAtC1) {
+  const MachineParams mp = params(150, 3);
+  const CannonModel cannon(mp);
+  const Cannon25DModel c25(mp, 1);
+  for (double p : {4.0, 64.0, 1024.0}) {
+    for (double n : {32.0, 256.0}) {
+      EXPECT_NEAR(c25.comm_time(n, p), cannon.comm_time(n, p),
+                  1e-9 * cannon.comm_time(n, p))
+          << "n=" << n << " p=" << p;
+      EXPECT_DOUBLE_EQ(c25.memory_per_proc(n, p), cannon.memory_per_proc(n, p));
+    }
+  }
+}
+
+TEST(PerfModel, Cannon25DClosedForm) {
+  // T_o/p = (3 log2 c + 2 sqrt(p/c^3)) (t_s + t_w c n^2/p).
+  const MachineParams mp = params(150, 3);
+  const Cannon25DModel m(mp, 4);
+  const double n = 256, p = 1024;
+  const double rounds = 3.0 * 2.0 + 2.0 * std::sqrt(1024.0 / 64.0);
+  const double words = 4.0 * n * n / p;
+  EXPECT_NEAR(m.comm_time(n, p), rounds * (150.0 + 3.0 * words), 1e-9);
+  EXPECT_DOUBLE_EQ(m.memory_per_proc(n, p), 3.0 * 4.0 * n * n / p);
+  EXPECT_DOUBLE_EQ(m.min_procs(n), 64.0);
+  EXPECT_DOUBLE_EQ(m.max_procs(n), 4.0 * n * n);
+}
+
+TEST(PerfModel, Cannon25DBandwidthTermBeatsCannonAtScale) {
+  // The per-layer bandwidth term is 2 t_w n^2/sqrt(pc) vs Cannon's
+  // 2 t_w n^2/sqrt(p); once p is large enough for the bandwidth side to
+  // dominate the 3 log2 c extra startup rounds, replication wins outright.
+  const MachineParams mp = params(150, 3);
+  const CannonModel cannon(mp);
+  const Cannon25DModel c2(mp, 2);
+  const double n = 4096;
+  EXPECT_LT(c2.comm_time(n, 65536), cannon.comm_time(n, 65536));
+  // At tiny p the extra broadcast/reduce rounds dominate and c = 1 is best.
+  EXPECT_GT(c2.comm_time(n, 16), cannon.comm_time(n, 16));
 }
 
 TEST(PerfModel, BerntsenHasSmallestOverheadWhereApplicable) {

@@ -4,6 +4,7 @@
 
 #include <sstream>
 
+#include "machine/params.hpp"
 #include "util/error.hpp"
 
 namespace hpmm {
@@ -119,6 +120,60 @@ TEST(RegionMap, ValidatesConstruction) {
                PreconditionError);
   EXPECT_THROW(RegionMap(params(1, 1), 1.0, 10.0, 1, 1.0, 10.0, 4),
                PreconditionError);
+}
+
+TEST(RegionMap, DefaultMapExcludes25D) {
+  // The paper's Figures 1-3 compare exactly four algorithms; the 2.5D
+  // envelope is opt-in so the reproduced maps stay byte-stable.
+  const RegionMap map(machines::ncube2(), 1.0, 1e9, 24, 1.0, 1e5, 12);
+  EXPECT_DOUBLE_EQ(map.fraction(Region::kCannon25), 0.0);
+  EXPECT_NE(RegionMap::best_at(machines::simd_cm2(), 100.0, 5000.0),
+            Region::kCannon25);
+}
+
+TEST(RegionMap, ExtendedMapOnlyEverUpgradesCells) {
+  // With include_25d the winner at each cell either stays what the default
+  // map picked or becomes 'e' — replication can only displace, not reshuffle.
+  const MachineParams mp = machines::simd_cm2();
+  const RegionMap base(mp, 1.0, 1e7, 30, 1.0, 1e4, 15);
+  const RegionMap ext(mp, 1.0, 1e7, 30, 1.0, 1e4, 15, /*include_25d=*/true);
+  std::size_t upgraded = 0;
+  for (std::size_t row = 0; row < base.n_cells(); ++row) {
+    for (std::size_t col = 0; col < base.p_cells(); ++col) {
+      if (ext.at(row, col) == Region::kCannon25) {
+        ++upgraded;
+      } else {
+        EXPECT_EQ(ext.at(row, col), base.at(row, col))
+            << "row=" << row << " col=" << col;
+      }
+    }
+  }
+  EXPECT_GT(upgraded, 0u);
+}
+
+TEST(RegionMap, Extended25DWinsOnLowStartupMachine) {
+  // Hand-checked point on the CM-2-like machine (t_s = 0.5, t_w = 3),
+  // n = 100, p = 5000: per-proc comm is ~919 for Cannon (2 sqrt(p) rounds),
+  // ~662 for c = 2 replication (3 + 2 sqrt(p/8) rounds of doubled blocks);
+  // Berntsen/DNS are out of range and GK's bandwidth term is ~3x larger.
+  EXPECT_EQ(RegionMap::best_at(machines::simd_cm2(), 100.0, 5000.0,
+                               /*include_25d=*/true),
+            Region::kCannon25);
+  // c = 1 is excluded from the envelope: at a point where replication does
+  // not pay (tiny p, huge n) the extended answer must equal the default one
+  // rather than relabel the existing winner as 'e'.
+  EXPECT_EQ(RegionMap::best_at(machines::ncube2(), 1000.0, 16.0,
+                               /*include_25d=*/true),
+            RegionMap::best_at(machines::ncube2(), 1000.0, 16.0));
+}
+
+TEST(RegionMap, ExtendedAsciiLegendMentions25D) {
+  const RegionMap ext(machines::simd_cm2(), 1.0, 1e6, 12, 1.0, 1e4, 8,
+                      /*include_25d=*/true);
+  std::ostringstream os;
+  ext.print_ascii(os);
+  EXPECT_NE(os.str().find("e=2.5D"), std::string::npos);
+  EXPECT_EQ(to_string(Region::kCannon25), "cannon25d");
 }
 
 TEST(MachineSpaceMap, DnsWinsAtLowStartupGkAtHighStartup) {

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <optional>
+#include <string>
+
 #include "util/error.hpp"
 
 namespace hpmm {
@@ -10,12 +14,35 @@ namespace {
 TEST(Registry, ContainsAllPaperFormulations) {
   const auto& reg = default_registry();
   for (const char* name : {"simple", "simple-ring", "cannon", "cannon-gray",
-                           "fox", "fox-pipe", "berntsen", "dns", "gk", "gk-jh",
-                           "gk-fc", "simple-allport", "gk-allport"}) {
+                           "cannon25d", "fox", "fox-pipe", "berntsen", "dns",
+                           "gk", "gk-jh", "gk-fc", "simple-allport",
+                           "gk-allport"}) {
     EXPECT_TRUE(reg.contains(name)) << name;
   }
   EXPECT_FALSE(reg.contains("strassen"));
-  EXPECT_EQ(reg.names().size(), 13u);
+  EXPECT_EQ(reg.names().size(), 14u);
+}
+
+TEST(Registry, CountMatchesDesignDoc) {
+  // DESIGN.md documents the registered-formulation count next to a
+  // machine-readable marker; a new registration must update both. The doc
+  // is read from the source tree (HPMM_SOURCE_DIR is set by tests/CMake).
+  std::ifstream design(std::string(HPMM_SOURCE_DIR) + "/DESIGN.md");
+  ASSERT_TRUE(design.is_open()) << "DESIGN.md not found in source tree";
+  std::string line;
+  std::optional<std::size_t> documented;
+  const std::string marker = "<!-- registry-count:";
+  while (std::getline(design, line)) {
+    const auto pos = line.find(marker);
+    if (pos == std::string::npos) continue;
+    documented = static_cast<std::size_t>(
+        std::stoul(line.substr(pos + marker.size())));
+    break;
+  }
+  ASSERT_TRUE(documented.has_value())
+      << "DESIGN.md lost its '<!-- registry-count: N -->' marker";
+  EXPECT_EQ(default_registry().names().size(), *documented)
+      << "registry and DESIGN.md disagree on the formulation count";
 }
 
 TEST(Registry, ImplementationNamesMatchKeys) {

@@ -1,0 +1,31 @@
+# Run a bench harness, capture its stdout, and require a byte-for-byte match
+# against the recorded golden file. Invoked by ctest as
+#   cmake -DBENCH=<exe> -DGOLDEN=<ref> -DOUT=<capture> -P golden_diff.cmake
+# To re-record after an intentional output change:
+#   <bench> > tests/golden/<name>.txt
+foreach(var BENCH GOLDEN OUT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "golden_diff.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+
+get_filename_component(out_dir "${OUT}" DIRECTORY)
+file(MAKE_DIRECTORY "${out_dir}")
+
+execute_process(
+  COMMAND "${BENCH}"
+  OUTPUT_FILE "${OUT}"
+  RESULT_VARIABLE run_rc)
+if(NOT run_rc EQUAL 0)
+  message(FATAL_ERROR "golden_diff: ${BENCH} exited with ${run_rc}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files "${GOLDEN}" "${OUT}"
+  RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR
+    "golden_diff: output of ${BENCH} differs from ${GOLDEN}\n"
+    "  captured: ${OUT}\n"
+    "  re-record with: <bench> > ${GOLDEN} if the change is intentional")
+endif()

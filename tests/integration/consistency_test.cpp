@@ -10,6 +10,7 @@
 #include "analysis/region_map.hpp"
 #include "analysis/sensitivity.hpp"
 #include "analysis/speedup.hpp"
+#include "core/registry.hpp"
 #include "core/selector.hpp"
 #include "util/rng.hpp"
 
@@ -46,6 +47,35 @@ TEST(Consistency, SelectorAgreesWithRegionMap) {
       }
     }
   }
+}
+
+TEST(Consistency, EveryRegistryImplStaysInsideItsModelRange) {
+  // For every registered formulation (the registry is the single source of
+  // truth — new entries are covered automatically): wherever the simulated
+  // implementation accepts an (n, p), its analytic model must accept the
+  // point too. The implementation adds divisibility/layout constraints on
+  // top of the model's Table 1 range, never the reverse.
+  const auto& reg = default_registry();
+  const MachineParams mp = params(150, 3);
+  // Structured grids: uniform random (n, p) virtually never satisfies the
+  // layout divisibility constraints, so sweep shapes each family can accept.
+  const std::size_t n_choices[] = {8, 12, 16, 24, 32, 48, 64, 96};
+  const std::size_t p_choices[] = {1,  4,   8,   9,   16,  25,   27,  32,
+                                   36, 64,  128, 256, 512, 1024, 2048, 4096};
+  std::size_t checked = 0;
+  for (const std::size_t n : n_choices) {
+    for (const std::size_t p : p_choices) {
+      for (const auto& name : reg.names()) {
+        if (!reg.implementation(name).applicable(n, p)) continue;
+        const auto model = reg.model(name, mp);
+        EXPECT_TRUE(model->applicable(static_cast<double>(n),
+                                      static_cast<double>(p)))
+            << name << " n=" << n << " p=" << p;
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 300u);  // the sweep must not be vacuous
 }
 
 TEST(Consistency, IsoSolverAgreesWithIsoefficientSpeedup) {

@@ -47,6 +47,11 @@ INSTANTIATE_TEST_SUITE_P(
         GridCase{"cannon", 16, 4, 0.999, 1.001},
         GridCase{"cannon", 16, 16, 0.999, 1.001},
         GridCase{"cannon", 32, 64, 0.999, 1.001},
+        // cannon25d (registry default c = 2) realises its closed form
+        // exactly: broadcasts, staggered alignment, s = q/c shifts, reduce.
+        GridCase{"cannon25d", 16, 8, 0.999, 1.001},
+        GridCase{"cannon25d", 16, 32, 0.999, 1.001},
+        GridCase{"cannon25d", 32, 128, 0.999, 1.001},
         GridCase{"gk", 16, 8, 0.999, 1.001},
         GridCase{"gk", 16, 64, 0.999, 1.001},
         GridCase{"gk", 24, 512, 0.999, 1.001},

@@ -40,7 +40,8 @@ TEST(Cli, UnknownCommandPrintsUsage) {
 TEST(Cli, ListShowsAllAlgorithms) {
   const auto r = run({"hpmm", "list"});
   EXPECT_EQ(r.code, 0);
-  for (const char* name : {"cannon", "gk", "berntsen", "dns", "fox-pipe"}) {
+  for (const char* name :
+       {"cannon", "cannon25d", "gk", "berntsen", "dns", "fox-pipe"}) {
     EXPECT_NE(r.out.find(name), std::string::npos) << name;
   }
 }
@@ -83,6 +84,43 @@ TEST(Cli, RunRejectsUnknownAlgorithm) {
   EXPECT_NE(r.err.find("unknown algorithm"), std::string::npos);
 }
 
+TEST(Cli, RunCannon25DWithReplicationFlag) {
+  const auto r = run({"hpmm", "run", "--algorithm=cannon25d", "--n=32",
+                      "--p=32", "--c=2"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("product check   = ok"), std::string::npos);
+  EXPECT_NE(r.out.find("ratio 1"), std::string::npos);  // closed form exact
+}
+
+TEST(Cli, RunCannon25DBadGridExitsOneNamingTheFlag) {
+  // p = 16 is not c q^2 for c = 2; the error must point at --c.
+  const auto r = run({"hpmm", "run", "--algorithm=cannon25d", "--n=16",
+                      "--p=16", "--c=2"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--c"), std::string::npos) << r.err;
+}
+
+TEST(Cli, RunCannon25DReplicationBeyondCubeRootExitsOne) {
+  // c = 8 on p = 16 violates c^3 <= p.
+  const auto r = run({"hpmm", "run", "--algorithm=cannon25d", "--n=64",
+                      "--p=16", "--c=8"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--c"), std::string::npos) << r.err;
+}
+
+TEST(Cli, RunBerntsenWrongProcessorCountExitsOne) {
+  const auto r = run({"hpmm", "run", "--algorithm=berntsen", "--n=64",
+                      "--p=16"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("2^(3q)"), std::string::npos) << r.err;
+}
+
+TEST(Cli, RunDnsBeyondConcurrencyLimitExitsOne) {
+  const auto r = run({"hpmm", "run", "--algorithm=dns", "--n=8", "--p=4096"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("at most n^3"), std::string::npos) << r.err;
+}
+
 TEST(Cli, IsoPrintsCurveAndFit) {
   const auto r = run({"hpmm", "iso", "--algorithm=cannon", "--efficiency=0.7",
                       "--pmax=1e7"});
@@ -110,6 +148,18 @@ TEST(Cli, RegionsMachineSpaceView) {
                       "--tscells=16", "--twcells=8"});
   EXPECT_EQ(r.code, 0);
   EXPECT_NE(r.out.find("t_w up"), std::string::npos);
+}
+
+TEST(Cli, RegionsWith25DOverlay) {
+  const auto r = run({"hpmm", "regions", "--machine=cm2", "--with-25d=1",
+                      "--pcells=24", "--ncells=12"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("e=2.5D"), std::string::npos);
+  // Default map must not mention the extended region.
+  const auto base = run({"hpmm", "regions", "--machine=cm2", "--pcells=24",
+                         "--ncells=12"});
+  EXPECT_EQ(base.code, 0);
+  EXPECT_EQ(base.out.find("e=2.5D"), std::string::npos);
 }
 
 TEST(Cli, CrossoverPrintsCurve) {

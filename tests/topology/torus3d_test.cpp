@@ -1,0 +1,88 @@
+#include "topology/torus3d.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace hpmm {
+namespace {
+
+TEST(Torus3D, GeometryAndName) {
+  Torus3D t(4, 4, 2);
+  EXPECT_EQ(t.size(), 32u);
+  EXPECT_EQ(t.grid_rows(), 4u);
+  EXPECT_EQ(t.grid_cols(), 4u);
+  EXPECT_EQ(t.grid_layers(), 2u);
+  EXPECT_EQ(t.ports_per_proc(), 6u);
+  EXPECT_EQ(t.name(), "torus3d(4x4x2)");
+  EXPECT_THROW(Torus3D(0, 4, 2), PreconditionError);
+}
+
+TEST(Torus3D, LayerMajorRanks) {
+  // rank(i, j, l) = l q^2 + i q + j: layers are contiguous, fibers stride
+  // by the layer size.
+  Torus3D t(4, 4, 2);
+  EXPECT_EQ(t.rank(0, 0, 0), 0u);
+  EXPECT_EQ(t.rank(1, 2, 0), 6u);
+  EXPECT_EQ(t.rank(1, 2, 1), 22u);
+  EXPECT_EQ(t.rank(3, 3, 1), 31u);
+}
+
+TEST(Torus3D, CoordsRankRoundTrip) {
+  Torus3D t(3, 4, 2);
+  for (ProcId r = 0; r < t.size(); ++r) {
+    const auto c = t.coords(r);
+    EXPECT_EQ(t.rank(c[0], c[1], c[2]), r);
+  }
+  EXPECT_THROW(t.coords(t.size()), PreconditionError);
+}
+
+TEST(Torus3D, WestNorthUpWrap) {
+  Torus3D t(4, 4, 4);
+  const ProcId origin = t.rank(0, 0, 0);
+  EXPECT_EQ(t.west(origin), t.rank(0, 3, 0));       // column wraps
+  EXPECT_EQ(t.north(origin), t.rank(3, 0, 0));      // row wraps
+  EXPECT_EQ(t.up(origin), t.rank(0, 0, 1));
+  EXPECT_EQ(t.up(origin, 4), origin);               // full loop
+  EXPECT_EQ(t.west(t.rank(2, 3, 1), 2), t.rank(2, 1, 1));
+  // Shifts never leave the layer.
+  for (ProcId r = 0; r < t.size(); ++r) {
+    EXPECT_EQ(t.coords(t.west(r))[2], t.coords(r)[2]);
+    EXPECT_EQ(t.coords(t.north(r))[2], t.coords(r)[2]);
+  }
+}
+
+TEST(Torus3D, FiberIsLayerOrdered) {
+  Torus3D t(4, 4, 4);
+  const auto fiber = t.fiber(2, 1);
+  ASSERT_EQ(fiber.size(), 4u);
+  for (std::size_t l = 0; l < 4; ++l) {
+    EXPECT_EQ(fiber[l], t.rank(2, 1, l));
+  }
+}
+
+TEST(Torus3D, HopsAreRingDistanceSums) {
+  Torus3D t(4, 4, 2);
+  EXPECT_EQ(t.hops(t.rank(0, 0, 0), t.rank(0, 0, 0)), 0u);
+  EXPECT_EQ(t.hops(t.rank(0, 0, 0), t.rank(0, 3, 0)), 1u);  // wrap, not 3
+  EXPECT_EQ(t.hops(t.rank(0, 0, 0), t.rank(2, 2, 1)), 5u);
+  EXPECT_EQ(t.hops(t.rank(1, 1, 0), t.rank(1, 1, 1)), 1u);
+}
+
+TEST(Torus3D, NeighborsDedupDegenerateRings) {
+  // A 4x4x1 torus has no fiber neighbours; a 2-long ring contributes one
+  // neighbour, not two.
+  Torus3D flat(4, 4, 1);
+  EXPECT_EQ(flat.neighbors(0).size(), 4u);
+  Torus3D thin(2, 2, 2);
+  const auto nb = thin.neighbors(0);
+  EXPECT_EQ(nb.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+  Torus3D full(4, 4, 4);
+  EXPECT_EQ(full.neighbors(full.rank(1, 2, 3)).size(), 6u);
+}
+
+}  // namespace
+}  // namespace hpmm
