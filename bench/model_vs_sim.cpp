@@ -4,6 +4,7 @@
 // simulation realises the equation exactly) and the numerical error of the
 // computed product against the serial algorithm.
 
+#include <chrono>
 #include <iostream>
 
 #include "core/registry.hpp"
@@ -39,10 +40,17 @@ int main() {
 
   const auto& reg = default_registry();
   Table t({"algorithm", "n", "p", "T_p sim", "T_p model", "sim/model",
-           "max |C - C_serial|", "product"});
+           "max |C - C_serial|", "product", "wall ms"});
   for (const auto& c : cases) {
     const auto model = reg.model(c.name, mp);
+    // Host wall clock alongside the virtual T_p: real seconds this process
+    // spent simulating the case (validation run + serial reference).
+    const auto wall_start = std::chrono::steady_clock::now();
     const auto pt = validate_algorithm(reg.implementation(c.name), *model, c.n, c.p);
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count();
     t.begin_row()
         .add(c.name)
         .add_int(static_cast<long long>(c.n))
@@ -51,7 +59,8 @@ int main() {
         .add_num(pt.model_t_parallel, 6)
         .add_num(pt.ratio(), 4)
         .add(format_number(pt.max_numeric_error, 2))
-        .add(pt.product_correct ? "ok" : "WRONG");
+        .add(pt.product_correct ? "ok" : "WRONG")
+        .add_num(wall_ms, 3);
   }
   t.print_aligned(std::cout);
   std::cout << "\nCannon, GK, GK-fc, DNS and the modeled all-port/JH variants\n"

@@ -76,6 +76,7 @@ MatmulResult BerntsenAlgorithm::run(const Matrix& a, const Matrix& b,
   // Cannon alignment within every subcube simultaneously: A block (i, j)
   // moves to column (j - i) mod side, B block (i, j) to row (i - j) mod side.
   if (side > 1) {
+    PhaseScope scope(machine, "align");
     std::vector<Message> align_a, align_b;
     for (std::size_t s = 0; s < slabs; ++s) {
       for (std::size_t i = 0; i < side; ++i) {
@@ -115,8 +116,12 @@ MatmulResult BerntsenAlgorithm::run(const Matrix& a, const Matrix& b,
     for (ProcId pid = 0; pid < p; ++pid) {
       phase.push_back({pid, &c_blk[pid], {{&a_blk[pid], &b_blk[pid]}}});
     }
-    machine.compute_multiply_add_batch(phase);
+    {
+      PhaseScope scope(machine, "multiply");
+      machine.compute_multiply_add_batch(phase);
+    }
     if (step + 1 == side) break;
+    PhaseScope scope(machine, "shift");
     std::vector<Message> shift_a, shift_b;
     for (std::size_t s = 0; s < slabs; ++s) {
       for (std::size_t i = 0; i < side; ++i) {
@@ -142,6 +147,7 @@ MatmulResult BerntsenAlgorithm::run(const Matrix& a, const Matrix& b,
   // differ only in the top q address bits (physical subcube links). Processor
   // (s, i, j) ends up with horizontal slice s of C block (i, j).
   Matrix c(n, n);
+  machine.begin_phase("reduce-scatter");
   for (std::size_t i = 0; i < side; ++i) {
     for (std::size_t j = 0; j < side; ++j) {
       std::vector<ProcId> group;
@@ -162,6 +168,7 @@ MatmulResult BerntsenAlgorithm::run(const Matrix& a, const Matrix& b,
     }
   }
   machine.synchronize();
+  machine.end_phase();
   machine.assert_clean_run();
 
   MatmulResult result;

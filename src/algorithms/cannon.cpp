@@ -86,6 +86,7 @@ MatmulResult CannonAlgorithm::run(const Matrix& a, const Matrix& b,
   // cut-through routing this costs a single message time per matrix
   // (the paper ignores it relative to the sqrt(p) multiply-shift steps).
   if (sp > 1) {
+    PhaseScope scope(machine, "align");
     std::vector<Message> align_a;
     for (std::size_t i = 0; i < sp; ++i) {
       if (i == 0) continue;  // row 0 is already aligned
@@ -137,8 +138,12 @@ MatmulResult CannonAlgorithm::run(const Matrix& a, const Matrix& b,
                          {{&a_blk[i * sp + j], &b_blk[i * sp + j]}}});
       }
     }
-    machine.compute_multiply_add_batch(phase);
+    {
+      PhaseScope scope(machine, "multiply");
+      machine.compute_multiply_add_batch(phase);
+    }
     if (step + 1 == sp) break;
+    PhaseScope scope(machine, "shift");
     std::vector<Message> shift_a, shift_b;
     shift_a.reserve(p);
     shift_b.reserve(p);

@@ -99,6 +99,7 @@ MatmulResult Cannon25DAlgorithm::run(const Matrix& a, const Matrix& b,
   // --- Phase 1: replicate A and B along the fibers (binomial one-to-all
   // broadcast from layer 0, log2 c rounds of t_s + t_w m each).
   if (c > 1) {
+    machine.begin_phase("replicate-a");
     for (std::size_t i = 0; i < q; ++i) {
       for (std::size_t j = 0; j < q; ++j) {
         const std::vector<ProcId> fiber = grid3.fiber(i, j);
@@ -111,6 +112,8 @@ MatmulResult Cannon25DAlgorithm::run(const Matrix& a, const Matrix& b,
       }
     }
     machine.synchronize();
+    machine.end_phase();
+    machine.begin_phase("replicate-b");
     for (std::size_t i = 0; i < q; ++i) {
       for (std::size_t j = 0; j < q; ++j) {
         const std::vector<ProcId> fiber = grid3.fiber(i, j);
@@ -123,6 +126,7 @@ MatmulResult Cannon25DAlgorithm::run(const Matrix& a, const Matrix& b,
       }
     }
     machine.synchronize();
+    machine.end_phase();
   }
 
   // --- Phase 2: staggered Cannon alignment. Layer l starts at global step
@@ -131,6 +135,7 @@ MatmulResult Cannon25DAlgorithm::run(const Matrix& a, const Matrix& b,
   // holds A(i, i+j+l*s) and B(i+j+l*s, j). Blocks with zero shift stay put
   // (one row/column per layer), exactly as in plain Cannon.
   if (q > 1) {
+    PhaseScope scope(machine, "align");
     std::vector<Message> align_a;
     for (std::size_t l = 0; l < c; ++l) {
       for (std::size_t i = 0; i < q; ++i) {
@@ -192,8 +197,12 @@ MatmulResult Cannon25DAlgorithm::run(const Matrix& a, const Matrix& b,
     for (ProcId pid = 0; pid < p; ++pid) {
       phase.push_back({pid, &c_blk[pid], {{&a_blk[pid], &b_blk[pid]}}});
     }
-    machine.compute_multiply_add_batch(phase);
+    {
+      PhaseScope scope(machine, "multiply");
+      machine.compute_multiply_add_batch(phase);
+    }
     if (step + 1 == s) break;
+    PhaseScope scope(machine, "shift");
     std::vector<Message> shift_a, shift_b;
     shift_a.reserve(p);
     shift_b.reserve(p);
@@ -218,6 +227,7 @@ MatmulResult Cannon25DAlgorithm::run(const Matrix& a, const Matrix& b,
   // guarded partials flow through the tree and be verified at the root).
   std::vector<Matrix> c_layer0(q * q);
   if (c > 1) {
+    PhaseScope scope(machine, "reduce");
     machine.synchronize();
     for (std::size_t i = 0; i < q; ++i) {
       for (std::size_t j = 0; j < q; ++j) {

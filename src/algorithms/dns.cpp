@@ -79,6 +79,7 @@ MatmulResult DnsAlgorithm::run(const Matrix& a, const Matrix& b, std::size_t p,
   // dimension-ordered hops along the i axis (log r rounds, worst case).
   // The element for A block (j, t) travels up its own (j, t, u, v) i-line,
   // so no two messages ever contend for a processor.
+  machine.begin_phase("move-a");
   for (std::size_t dbit = 1; dbit < r; dbit <<= 1) {
     std::vector<Message> msgs;
     for (std::size_t j = 0; j < r; ++j) {
@@ -111,8 +112,10 @@ MatmulResult DnsAlgorithm::run(const Matrix& a, const Matrix& b, std::size_t p,
   }
 
   machine.synchronize();  // phase barrier: simulated time decomposes as Eq. 6
+  machine.end_phase();
 
   // --- Stage 1b: same for B, from (0, t, k) to (t, t, k).
+  machine.begin_phase("move-b");
   for (std::size_t dbit = 1; dbit < r; dbit <<= 1) {
     std::vector<Message> msgs;
     for (std::size_t t = 0; t < r; ++t) {
@@ -145,10 +148,12 @@ MatmulResult DnsAlgorithm::run(const Matrix& a, const Matrix& b, std::size_t p,
   }
 
   machine.synchronize();
+  machine.end_phase();
 
   // --- Stage 1c: broadcast A along k-lines: (i, j, i) -> (i, j, *).
   // Superprocessor (i, j, k) must hold A block (j, i), element [u][v].
   if (r > 1) {
+    machine.begin_phase("broadcast-a");
     for (std::size_t i = 0; i < r; ++i) {
       for (std::size_t j = 0; j < r; ++j) {
         for (std::size_t u = 0; u < m; ++u) {
@@ -166,7 +171,9 @@ MatmulResult DnsAlgorithm::run(const Matrix& a, const Matrix& b, std::size_t p,
       }
     }
     machine.synchronize();
+    machine.end_phase();
     // --- Stage 1d: broadcast B along j-lines: (i, i, k) -> (i, *, k).
+    machine.begin_phase("broadcast-b");
     for (std::size_t i = 0; i < r; ++i) {
       for (std::size_t k = 0; k < r; ++k) {
         for (std::size_t u = 0; u < m; ++u) {
@@ -183,6 +190,8 @@ MatmulResult DnsAlgorithm::run(const Matrix& a, const Matrix& b, std::size_t p,
         }
       }
     }
+    machine.synchronize();
+    machine.end_phase();
   }
 
   machine.synchronize();
@@ -203,6 +212,7 @@ MatmulResult DnsAlgorithm::run(const Matrix& a, const Matrix& b, std::size_t p,
 
   if (m > 1) {
     // Alignment: element (u, v) of A moves left by u; of B moves up by v.
+    PhaseScope scope(machine, "align");
     std::vector<Message> align_a, align_b;
     for_all_superprocs([&](std::size_t i, std::size_t j, std::size_t k) {
       for (std::size_t u = 0; u < m; ++u) {
@@ -243,8 +253,12 @@ MatmulResult DnsAlgorithm::run(const Matrix& a, const Matrix& b, std::size_t p,
     for (ProcId pid = 0; pid < p; ++pid) {
       phase.push_back({pid, &c_elem[pid], {{&a_elem[pid], &b_elem[pid]}}});
     }
-    machine.compute_multiply_add_batch(phase);
+    {
+      PhaseScope scope(machine, "multiply");
+      machine.compute_multiply_add_batch(phase);
+    }
     if (step + 1 == m) break;
+    PhaseScope scope(machine, "shift");
     std::vector<Message> shift_a, shift_b;
     for_all_superprocs([&](std::size_t i, std::size_t j, std::size_t k) {
       for (std::size_t u = 0; u < m; ++u) {
@@ -270,6 +284,7 @@ MatmulResult DnsAlgorithm::run(const Matrix& a, const Matrix& b, std::size_t p,
   // --- Stage 3: sum the r partial products along each i-line into the
   // i = 0 plane (binomial tree, log r rounds of one-word messages).
   Matrix c(n, n);
+  machine.begin_phase("reduce");
   for (std::size_t j = 0; j < r; ++j) {
     for (std::size_t k = 0; k < r; ++k) {
       for (std::size_t u = 0; u < m; ++u) {
@@ -290,6 +305,7 @@ MatmulResult DnsAlgorithm::run(const Matrix& a, const Matrix& b, std::size_t p,
     }
   }
   machine.synchronize();
+  machine.end_phase();
   machine.assert_clean_run();
 
   MatmulResult result;

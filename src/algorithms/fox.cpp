@@ -139,6 +139,7 @@ MatmulResult FoxAlgorithm::run(const Matrix& a, const Matrix& b, std::size_t p,
     // Row broadcasts: in row i, the processor at column (i + t) mod sqrt(p)
     // broadcasts its A block to the whole row.
     std::vector<Matrix> received(p);
+    machine.begin_phase("broadcast");
     if (variant_ == Variant::kPipelinedRing) {
       pipelined_row_broadcast(machine, torus, sp, a_blk, t, received);
     } else {
@@ -157,6 +158,7 @@ MatmulResult FoxAlgorithm::run(const Matrix& a, const Matrix& b, std::size_t p,
     // Iterations are synchronous (the paper's default formulation): the
     // simulated time decomposes as sqrt(p) x (broadcast + multiply + roll).
     machine.synchronize();
+    machine.end_phase();
     // Multiply the broadcast A block with the resident B block.
     std::vector<SimMachine::ComputeTask> phase;
     phase.reserve(p);
@@ -167,9 +169,13 @@ MatmulResult FoxAlgorithm::run(const Matrix& a, const Matrix& b, std::size_t p,
                          {{&received[rank(i, j)], &b_blk[i * sp + j]}}});
       }
     }
-    machine.compute_multiply_add_batch(phase);
+    {
+      PhaseScope scope(machine, "multiply");
+      machine.compute_multiply_add_batch(phase);
+    }
     // Roll B one step north (last iteration needs no roll).
     if (t + 1 == sp || sp == 1) continue;
+    PhaseScope scope(machine, "roll");
     std::vector<Message> shift;
     shift.reserve(p);
     for (std::size_t i = 0; i < sp; ++i) {

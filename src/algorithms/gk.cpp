@@ -193,32 +193,43 @@ MatmulResult GkAlgorithm::run(const Matrix& a, const Matrix& b, std::size_t p,
   // Phases are separated by barriers so the simulated time decomposes
   // exactly as the paper's stage-by-stage accounting (Eq. 7 / Eq. 18): five
   // communication phases of (t_s + t_w m) log p^{1/3} each on the hypercube.
-  route_plane0_to_diag(a_blk, kTagMoveA, /*target_is_k=*/true);
-  machine.synchronize();
-  route_plane0_to_diag(b_blk, kTagMoveB, /*target_is_k=*/false);
-  machine.synchronize();
+  {
+    PhaseScope scope(machine, "move-a");
+    route_plane0_to_diag(a_blk, kTagMoveA, /*target_is_k=*/true);
+    machine.synchronize();
+  }
+  {
+    PhaseScope scope(machine, "move-b");
+    route_plane0_to_diag(b_blk, kTagMoveB, /*target_is_k=*/false);
+    machine.synchronize();
+  }
 
   // --- Stage 1c: broadcast A along k-lines; 1d: broadcast B along j-lines.
   if (s > 1) {
-    for (std::size_t i = 0; i < s; ++i) {
-      for (std::size_t j = 0; j < s; ++j) {
-        std::vector<ProcId> group;
-        group.reserve(s);
-        for (std::size_t k = 0; k < s; ++k) group.push_back(rank(i, j, k));
-        std::vector<Matrix> copies;
-        if (modeled) {
-          copies = broadcast_modeled(machine, group, i, std::move(a_blk[group[i]]),
-                                     modeled_phase_time);
-        } else {
-          copies = broadcast_binomial(machine, group, i, kTagBcastA,
-                                      guard(std::move(a_blk[group[i]])),
-                                      hop_check);
-          for (auto& cp : copies) cp = unguard(std::move(cp));
+    {
+      PhaseScope scope(machine, "broadcast-a");
+      for (std::size_t i = 0; i < s; ++i) {
+        for (std::size_t j = 0; j < s; ++j) {
+          std::vector<ProcId> group;
+          group.reserve(s);
+          for (std::size_t k = 0; k < s; ++k) group.push_back(rank(i, j, k));
+          std::vector<Matrix> copies;
+          if (modeled) {
+            copies = broadcast_modeled(machine, group, i,
+                                       std::move(a_blk[group[i]]),
+                                       modeled_phase_time);
+          } else {
+            copies = broadcast_binomial(machine, group, i, kTagBcastA,
+                                        guard(std::move(a_blk[group[i]])),
+                                        hop_check);
+            for (auto& cp : copies) cp = unguard(std::move(cp));
+          }
+          for (std::size_t k = 0; k < s; ++k) a_blk[group[k]] = std::move(copies[k]);
         }
-        for (std::size_t k = 0; k < s; ++k) a_blk[group[k]] = std::move(copies[k]);
       }
+      machine.synchronize();
     }
-    machine.synchronize();
+    PhaseScope scope(machine, "broadcast-b");
     for (std::size_t i = 0; i < s; ++i) {
       for (std::size_t k = 0; k < s; ++k) {
         std::vector<ProcId> group;
@@ -249,7 +260,10 @@ MatmulResult GkAlgorithm::run(const Matrix& a, const Matrix& b, std::size_t p,
     c_blk[pid] = Matrix(bn, bn);
     phase.push_back({pid, &c_blk[pid], {{&a_blk[pid], &b_blk[pid]}}});
   }
-  machine.compute_multiply_add_batch(phase);
+  {
+    PhaseScope scope(machine, "multiply");
+    machine.compute_multiply_add_batch(phase);
+  }
   for (ProcId pid = 0; pid < p; ++pid) {
     machine.note_alloc(pid, c_blk[pid].size());
   }
@@ -257,6 +271,7 @@ MatmulResult GkAlgorithm::run(const Matrix& a, const Matrix& b, std::size_t p,
   // --- Stage 3: sum the p^{1/3} partial products along each i-line into the
   // i = 0 plane.
   Matrix c(n, n);
+  PhaseScope reduce_scope(machine, "reduce");
   for (std::size_t j = 0; j < s; ++j) {
     for (std::size_t k = 0; k < s; ++k) {
       std::vector<ProcId> group;

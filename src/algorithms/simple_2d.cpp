@@ -86,6 +86,7 @@ MatmulResult SimpleAlgorithm::run(const Matrix& a, const Matrix& b,
 
   const double m_words = static_cast<double>(bw);
   const double log_p = std::log2(static_cast<double>(p));
+  machine.begin_phase("allgather-a");
   for (std::size_t i = 0; i < sp; ++i) {
     std::vector<ProcId> group;
     std::vector<Matrix> contribs;
@@ -119,6 +120,8 @@ MatmulResult SimpleAlgorithm::run(const Matrix& a, const Matrix& b,
       machine.note_alloc(rank(i, j), (sp - 1) * bw);
     }
   }
+  machine.end_phase();
+  machine.begin_phase("allgather-b");
   for (std::size_t j = 0; j < sp; ++j) {
     std::vector<ProcId> group;
     std::vector<Matrix> contribs;
@@ -148,6 +151,7 @@ MatmulResult SimpleAlgorithm::run(const Matrix& a, const Matrix& b,
       machine.note_alloc(rank(i, j), (sp - 1) * bw);
     }
   }
+  machine.end_phase();
 
   // Local phase: C(i,j) = sum_k A(i,k) * B(k,j) — sqrt(p) block multiplies,
   // n^3/p multiply-add units in total per processor.
@@ -167,7 +171,10 @@ MatmulResult SimpleAlgorithm::run(const Matrix& a, const Matrix& b,
       phase.push_back(std::move(task));
     }
   }
-  machine.compute_multiply_add_batch(phase);
+  {
+    PhaseScope scope(machine, "multiply");
+    machine.compute_multiply_add_batch(phase);
+  }
   for (std::size_t i = 0; i < sp; ++i) {
     for (std::size_t j = 0; j < sp; ++j) {
       const ProcId pid = rank(i, j);

@@ -28,6 +28,7 @@ ValidationPoint validate_algorithm(const ParallelMatmul& impl,
       model.t_parallel(static_cast<double>(n), static_cast<double>(p));
   point.max_numeric_error = max_abs_diff(run.c, reference);
   point.product_correct = point.max_numeric_error <= product_tolerance(n);
+  point.report = std::move(run.report);
   return point;
 }
 

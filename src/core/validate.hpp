@@ -4,6 +4,7 @@
 
 #include "algorithms/parallel_matmul.hpp"
 #include "analysis/perf_model.hpp"
+#include "sim/report.hpp"
 
 namespace hpmm {
 
@@ -16,6 +17,7 @@ struct ValidationPoint {
   double model_t_parallel = 0.0;
   double max_numeric_error = 0.0;  ///< |C_sim - C_serial|_max
   bool product_correct = false;    ///< within floating-point tolerance
+  RunReport report;                ///< the simulated run's full report
 
   double ratio() const noexcept {
     return model_t_parallel > 0.0 ? sim_t_parallel / model_t_parallel : 0.0;

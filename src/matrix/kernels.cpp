@@ -1,6 +1,7 @@
 #include "matrix/kernels.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <limits>
 #include <mutex>
@@ -199,6 +200,16 @@ Kernel kernel_from_string(const std::string& name) {
       "' (try naive-ijk, cache-ikj, blocked, transposed-b, packed)");
 }
 
+namespace {
+
+// Packed-kernel wall profiling (kernels.hpp). Atomics: multiply_add runs on
+// pool worker threads during batched compute phases.
+std::atomic<bool> g_kernel_profile_on{false};
+std::atomic<std::uint64_t> g_kernel_profile_calls{0};
+std::atomic<std::uint64_t> g_kernel_profile_nanos{0};
+
+}  // namespace
+
 void multiply_add(const Matrix& a, const Matrix& b, Matrix& c, Kernel kernel,
                   ThreadPool* pool) {
   require(a.cols() == b.rows(), "multiply_add: inner dimensions differ");
@@ -209,9 +220,42 @@ void multiply_add(const Matrix& a, const Matrix& b, Matrix& c, Kernel kernel,
     case Kernel::kCacheIkj: mul_cache_ikj(a, b, c); return;
     case Kernel::kBlocked: mul_blocked(a, b, c); return;
     case Kernel::kTransposedB: mul_transposed_b(a, b, c); return;
-    case Kernel::kPacked: mul_packed(a, b, c, packed_tuning(), pool); return;
+    case Kernel::kPacked:
+      if (g_kernel_profile_on.load(std::memory_order_relaxed)) {
+        const auto t0 = std::chrono::steady_clock::now();
+        mul_packed(a, b, c, packed_tuning(), pool);
+        const auto dt = std::chrono::steady_clock::now() - t0;
+        g_kernel_profile_calls.fetch_add(1, std::memory_order_relaxed);
+        g_kernel_profile_nanos.fetch_add(
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
+                    .count()),
+            std::memory_order_relaxed);
+      } else {
+        mul_packed(a, b, c, packed_tuning(), pool);
+      }
+      return;
   }
   throw PreconditionError("multiply_add: unknown kernel");
+}
+
+void enable_kernel_wall_profile(bool on) noexcept {
+  g_kernel_profile_on.store(on, std::memory_order_relaxed);
+}
+
+KernelWallProfile kernel_wall_profile() noexcept {
+  KernelWallProfile p;
+  p.calls = g_kernel_profile_calls.load(std::memory_order_relaxed);
+  p.seconds =
+      static_cast<double>(g_kernel_profile_nanos.load(
+          std::memory_order_relaxed)) *
+      1e-9;
+  return p;
+}
+
+void reset_kernel_wall_profile() noexcept {
+  g_kernel_profile_calls.store(0, std::memory_order_relaxed);
+  g_kernel_profile_nanos.store(0, std::memory_order_relaxed);
 }
 
 Matrix multiply(const Matrix& a, const Matrix& b, Kernel kernel,

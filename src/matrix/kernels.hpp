@@ -84,4 +84,18 @@ void set_packed_tuning(const PackedTuning& tuning);
 /// multiply and return the fastest. Called lazily by packed_tuning().
 PackedTuning autotune_packed(std::size_t probe_n = 192);
 
+/// Host wall-clock profile of Kernel::kPacked invocations — the real time
+/// the micro-kernel spent, as opposed to the simulator's virtual charges.
+struct KernelWallProfile {
+  std::uint64_t calls = 0;  ///< packed multiply_add invocations
+  double seconds = 0.0;     ///< steady_clock wall time inside them
+};
+
+/// Toggle process-wide packed-kernel wall profiling (off by default: one
+/// steady_clock pair per call when on, nothing otherwise). Thread-safe;
+/// counts accumulate across threads.
+void enable_kernel_wall_profile(bool on) noexcept;
+KernelWallProfile kernel_wall_profile() noexcept;
+void reset_kernel_wall_profile() noexcept;
+
 }  // namespace hpmm

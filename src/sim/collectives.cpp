@@ -34,6 +34,7 @@ std::vector<Matrix> broadcast_binomial(SimMachine& machine,
   const std::size_t g = group.size();
   require(g > 0, "broadcast_binomial: empty group");
   require(root_pos < g, "broadcast_binomial: root out of range");
+  machine.metrics().counter("collective.broadcast_binomial").add();
   std::vector<Matrix> result(g);
   std::vector<bool> have(g, false);
   result[root_pos] = std::move(payload);
@@ -76,6 +77,7 @@ Matrix reduce_binomial(SimMachine& machine, std::span<const ProcId> group,
   require(root_pos < g, "reduce_binomial: root out of range");
   require(contributions.size() == g,
           "reduce_binomial: one contribution per member required");
+  machine.metrics().counter("collective.reduce_binomial").add();
   const unsigned rounds = tree_rounds(g);
   // Mirror of the broadcast: at step s, vrank v with bit s set (and lower
   // bits clear) sends its partial sum to vrank v - 2^s.
@@ -113,6 +115,7 @@ std::vector<std::vector<Matrix>> all_to_all_ring(
   require(g > 0, "all_to_all_ring: empty group");
   require(contributions.size() == g,
           "all_to_all_ring: one contribution per member required");
+  machine.metrics().counter("collective.all_to_all_ring").add();
   std::vector<std::vector<Matrix>> result(g, std::vector<Matrix>(g));
   // in_flight[pos]: the block that position `pos` forwards next round.
   std::vector<Matrix> in_flight(g);
@@ -147,6 +150,7 @@ std::vector<std::vector<Matrix>> all_to_all_recursive_doubling(
   require(is_pow2(g), "all_to_all_recursive_doubling: group size must be 2^k");
   require(contributions.size() == g,
           "all_to_all_recursive_doubling: one contribution per member");
+  machine.metrics().counter("collective.all_to_all_recursive_doubling").add();
   // accumulated[pos]: pairs (origin, block) gathered so far.
   std::vector<std::vector<std::pair<std::size_t, Matrix>>> acc(g);
   for (std::size_t pos = 0; pos < g; ++pos) {
@@ -192,6 +196,7 @@ std::vector<Matrix> reduce_scatter_halving(SimMachine& machine,
   require(is_pow2(g), "reduce_scatter_halving: group size must be 2^k");
   require(contributions.size() == g,
           "reduce_scatter_halving: one contribution per member required");
+  machine.metrics().counter("collective.reduce_scatter_halving").add();
   const std::size_t rows = contributions.front().rows();
   const std::size_t cols = contributions.front().cols();
   for (const auto& c : contributions) {
@@ -260,6 +265,7 @@ std::vector<Matrix> broadcast_modeled(SimMachine& machine,
                                       double time) {
   const std::size_t g = group.size();
   require(root_pos < g, "broadcast_modeled: root out of range");
+  machine.metrics().counter("collective.broadcast_modeled").add();
   machine.charge_group_comm(group, time);
   std::vector<Matrix> result(g);
   for (std::size_t pos = 0; pos < g; ++pos) {
@@ -275,6 +281,7 @@ std::vector<std::vector<Matrix>> all_to_all_modeled(
   const std::size_t g = group.size();
   require(contributions.size() == g,
           "all_to_all_modeled: one contribution per member required");
+  machine.metrics().counter("collective.all_to_all_modeled").add();
   machine.charge_group_comm(group, time);
   std::vector<std::vector<Matrix>> result(g);
   for (std::size_t pos = 0; pos < g; ++pos) result[pos] = contributions;

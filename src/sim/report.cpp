@@ -1,8 +1,22 @@
 #include "sim/report.hpp"
 
+#include "util/json.hpp"
 #include "util/table.hpp"
 
 namespace hpmm {
+
+namespace {
+
+void write_path_terms(std::ostream& os, const PathTerms& p) {
+  os << "{\"compute\":" << json_number(p.compute)
+     << ",\"startup\":" << json_number(p.startup)
+     << ",\"word\":" << json_number(p.word)
+     << ",\"modeled\":" << json_number(p.modeled)
+     << ",\"other\":" << json_number(p.other)
+     << ",\"total\":" << json_number(p.total()) << '}';
+}
+
+}  // namespace
 
 std::string RunReport::summary() const {
   std::string s = algorithm + ": n=" + std::to_string(n) +
@@ -13,6 +27,47 @@ std::string RunReport::summary() const {
                   " T_o=" + format_number(total_overhead());
   if (faults.any()) s += " faults[" + faults.summary() + "]";
   return s;
+}
+
+void RunReport::write_json(std::ostream& os) const {
+  os << "{\"algorithm\":" << json_quote(algorithm) << ",\"n\":" << n
+     << ",\"p\":" << p;
+  os << ",\"machine\":{\"label\":" << json_quote(params.label)
+     << ",\"t_s\":" << json_number(params.t_s)
+     << ",\"t_w\":" << json_number(params.t_w)
+     << ",\"t_h\":" << json_number(params.t_h) << '}';
+  os << ",\"t_parallel\":" << json_number(t_parallel)
+     << ",\"w_useful\":" << json_number(w_useful)
+     << ",\"speedup\":" << json_number(speedup())
+     << ",\"efficiency\":" << json_number(efficiency())
+     << ",\"total_overhead\":" << json_number(total_overhead());
+  os << ",\"max_compute_time\":" << json_number(max_compute_time)
+     << ",\"max_comm_time\":" << json_number(max_comm_time)
+     << ",\"max_idle_time\":" << json_number(max_idle_time)
+     << ",\"total_flops\":" << total_flops
+     << ",\"total_messages\":" << total_messages
+     << ",\"total_words\":" << total_words
+     << ",\"max_peak_words\":" << max_peak_words;
+  os << ",\"critical_path\":";
+  write_path_terms(os, critical_path);
+  os << ",\"phases\":[";
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const PhaseBreakdown& ph = phases[i];
+    if (i > 0) os << ',';
+    os << "{\"name\":" << json_quote(ph.name)
+       << ",\"max_compute_time\":" << json_number(ph.max_compute_time)
+       << ",\"max_comm_time\":" << json_number(ph.max_comm_time)
+       << ",\"max_idle_time\":" << json_number(ph.max_idle_time)
+       << ",\"flops\":" << ph.flops << ",\"messages\":" << ph.messages
+       << ",\"words\":" << ph.words << ",\"path\":";
+    write_path_terms(os, ph.path);
+    os << '}';
+  }
+  os << ']';
+  if (faults.any()) {
+    os << ",\"faults\":" << json_quote(faults.summary());
+  }
+  os << '}';
 }
 
 }  // namespace hpmm

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,51 @@ struct ProcStats {
   std::uint64_t retransmissions = 0;    ///< extra sends forced by drops
   std::uint64_t peak_words_stored = 0;  ///< high-water mark of registered storage
   std::uint64_t words_stored = 0;       ///< currently registered storage
+};
+
+/// Additive decomposition of critical-path time into the cost model's terms
+/// (DESIGN.md §9): charged computation, message startup (t_s plus hop
+/// latency), per-word transfer (t_w, including any contention
+/// serialisation), modeled-collective charges, and everything else (retry
+/// timeouts, in-flight delays, straggler inflation). On an ideal machine
+/// `other` is zero and startup/word reconcile exactly with the analytical
+/// models' t_s/t_w terms.
+struct PathTerms {
+  double compute = 0.0;
+  double startup = 0.0;
+  double word = 0.0;
+  double modeled = 0.0;
+  double other = 0.0;
+
+  double total() const noexcept {
+    return compute + startup + word + modeled + other;
+  }
+};
+
+/// Per-(phase, processor) accounting cell kept by the simulator; the same
+/// quantities as ProcStats' time/traffic counters, split by the phase that
+/// was open when they accrued.
+struct PhaseStats {
+  double compute_time = 0.0;
+  double comm_time = 0.0;
+  double idle_time = 0.0;
+  std::uint64_t flops = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t words_sent = 0;
+};
+
+/// One row of RunReport::phases: a phase's busy-time maxima and traffic
+/// totals over processors, plus the slice of the run's critical path it
+/// accounts for (the per-phase terms sum to T_p across all rows).
+struct PhaseBreakdown {
+  std::string name;  ///< "" for activity outside any PhaseScope
+  double max_compute_time = 0.0;  ///< per-processor maxima within the phase
+  double max_comm_time = 0.0;
+  double max_idle_time = 0.0;
+  std::uint64_t flops = 0;  ///< totals over all processors
+  std::uint64_t messages = 0;
+  std::uint64_t words = 0;
+  PathTerms path;  ///< critical-path slice attributed to this phase
 };
 
 /// Outcome of one simulated parallel run: the quantities of Section 2.
@@ -45,6 +91,15 @@ struct RunReport {
 
   std::vector<ProcStats> procs;  ///< per-processor detail (optional to keep)
 
+  /// Phase-attributed breakdown (one row per phase the algorithm opened,
+  /// plus a leading "" row when unattributed activity exists). Empty only
+  /// for runs that never touched the machine.
+  std::vector<PhaseBreakdown> phases;
+
+  /// Critical-path decomposition of T_p itself: the sum of phases[i].path,
+  /// satisfying critical_path.total() == t_parallel.
+  PathTerms critical_path;
+
   /// T_o(W, p) = p * T_p - W (Section 2).
   double total_overhead() const noexcept {
     return static_cast<double>(p) * t_parallel - w_useful;
@@ -60,6 +115,11 @@ struct RunReport {
 
   /// One-line human-readable summary.
   std::string summary() const;
+
+  /// Complete machine-readable report as one JSON object (machine
+  /// parameters, timings, derived metrics, per-phase table, critical-path
+  /// terms, faults when any). `hpmm run --format=json` prints exactly this.
+  void write_json(std::ostream& os) const;
 };
 
 }  // namespace hpmm

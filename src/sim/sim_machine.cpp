@@ -19,6 +19,13 @@ SimMachine::SimMachine(std::shared_ptr<const Topology> topology,
   }
   stats_.resize(topology_->size());
   inbox_.resize(topology_->size());
+  chain_.resize(topology_->size());
+  traffic_ = TrafficMatrix(topology_->size());
+  // Register the standard distributions up front so they appear in metric
+  // exports even before the first message.
+  metrics_.histogram("sim.message_words", Histogram::pow2_bounds(24));
+  metrics_.histogram("sim.message_hops", Histogram::pow2_bounds(8));
+  metrics_.histogram("sim.hop_latency", Histogram::pow2_bounds(24));
   tracing_ = params_.trace;
   // The fault path only exists when a plan can actually fire; an inactive
   // plan keeps the machine on the exact ideal code path (bit-identical
@@ -37,7 +44,46 @@ SimMachine::SimMachine(std::shared_ptr<const Topology> topology,
 void SimMachine::record(ProcId pid, TraceEvent::Kind kind, double start,
                         double end, std::uint64_t words) {
   if (!tracing_ || end <= start) return;
-  trace_events_.push_back(TraceEvent{pid, kind, start, end, words});
+  trace_events_.push_back(
+      TraceEvent{pid, kind, start, end, words, current_phase()});
+}
+
+SimMachine::PhaseId SimMachine::begin_phase(std::string_view name) {
+  require(!name.empty(), "SimMachine::begin_phase: empty phase name");
+  PhaseId id = 0;
+  for (std::size_t i = 1; i < phase_names_.size(); ++i) {
+    if (phase_names_[i] == name) {
+      id = static_cast<PhaseId>(i);
+      break;
+    }
+  }
+  if (id == 0) {
+    require(phase_names_.size() < 0xffff,
+            "SimMachine::begin_phase: too many distinct phases");
+    id = static_cast<PhaseId>(phase_names_.size());
+    phase_names_.emplace_back(name);
+  }
+  phase_stack_.push_back(id);
+  return id;
+}
+
+void SimMachine::end_phase() {
+  require(!phase_stack_.empty(), "SimMachine::end_phase: no open phase");
+  phase_stack_.pop_back();
+}
+
+PhaseStats& SimMachine::phase_cell(PhaseId phase, ProcId pid) {
+  if (phase_stats_.size() <= phase) phase_stats_.resize(phase + 1u);
+  auto& row = phase_stats_[phase];
+  if (row.size() < procs()) row.resize(procs());
+  return row[pid];
+}
+
+PathTerms& SimMachine::chain_cell(ProcId pid) {
+  auto& row = chain_[pid];
+  const PhaseId phase = current_phase();
+  if (row.size() <= phase) row.resize(phase + 1u);
+  return row[phase];
 }
 
 void SimMachine::compute(ProcId pid, double flops) {
@@ -53,6 +99,10 @@ void SimMachine::compute(ProcId pid, double flops) {
   st.clock += duration;
   st.compute_time += duration;
   st.flops += static_cast<std::uint64_t>(flops);
+  auto& cell = phase_cell(current_phase(), pid);
+  cell.compute_time += duration;
+  cell.flops += static_cast<std::uint64_t>(flops);
+  chain_cell(pid).compute += duration;
 }
 
 SimMachine::~SimMachine() = default;
@@ -114,6 +164,15 @@ double SimMachine::message_cost(const Message& m,
   return base + tw_part * static_cast<double>(contention_load - 1);
 }
 
+double SimMachine::message_startup(const Message& m) const {
+  const unsigned hops = topology_->hops(m.src, m.dst);
+  if (hops == 0) return 0.0;
+  if (params_.routing == Routing::kStoreAndForward) {
+    return params_.t_s * static_cast<double>(hops);
+  }
+  return params_.t_s + params_.t_h * static_cast<double>(hops);
+}
+
 void SimMachine::exchange(std::vector<Message> messages) {
   ++exchange_round_;  // identifies this round in fault-fate hashing
   // Validate port-model constraints.
@@ -171,6 +230,25 @@ void SimMachine::exchange(std::vector<Message> messages) {
   std::vector<double> arrival_max(procs(), 0.0);
   std::vector<bool> deliver(messages.size(), true);
   std::vector<bool> deliver_dup(messages.size(), false);
+  // Critical-path bookkeeping (pure metadata — never feeds back into the
+  // clock arithmetic below): which message sets each receiver's arrival,
+  // which sets each sender's busy time, and each message's startup/word/
+  // other split. Retry timeouts, in-flight delays and straggler inflation
+  // all land in `other`.
+  const PhaseId cur = current_phase();
+  std::vector<int> arrival_msg(procs(), -1);
+  std::vector<int> busiest_msg(procs(), -1);
+  std::vector<double> msg_startup(messages.size(), 0.0);
+  std::vector<double> msg_word(messages.size(), 0.0);
+  std::vector<double> msg_other(messages.size(), 0.0);
+  Histogram& h_words =
+      metrics_.histogram("sim.message_words", Histogram::pow2_bounds(24));
+  Histogram& h_hops =
+      metrics_.histogram("sim.message_hops", Histogram::pow2_bounds(8));
+  Histogram& h_hop_latency =
+      metrics_.histogram("sim.hop_latency", Histogram::pow2_bounds(24));
+  Counter& c_messages = metrics_.counter("sim.messages");
+  Counter& c_words = metrics_.counter("sim.words");
   for (std::size_t i = 0; i < messages.size(); ++i) {
     auto& m = messages[i];
     double cost = message_cost(m, load_factor[i]);
@@ -207,30 +285,82 @@ void SimMachine::exchange(std::vector<Message> messages) {
       }
     }
     if (deliver[i]) {
-      arrival_max[m.dst] = std::max(
-          arrival_max[m.dst], stats_[m.src].clock + span + arrival_delay);
+      const double arrival = stats_[m.src].clock + span + arrival_delay;
+      if (arrival > arrival_max[m.dst]) {
+        arrival_max[m.dst] = arrival;
+        arrival_msg[m.dst] = static_cast<int>(i);
+      }
     }
-    send_busy[m.src] = std::max(send_busy[m.src], busy);
+    if (busy > send_busy[m.src]) {
+      send_busy[m.src] = busy;
+      busiest_msg[m.src] = static_cast<int>(i);
+    }
     send_span[m.src] = std::max(send_span[m.src], span);
     stats_[m.src].messages_sent += 1;
     stats_[m.src].words_sent += m.words();
+    // Cost split: startup is the t_s/hop slice of the *base* cost, the rest
+    // of the transfer time (contention included) is per-word, and everything
+    // past the successful transfer (timeouts, delay, slowdown) is "other".
+    msg_startup[i] = std::min(message_startup(m), busy);
+    msg_word[i] = busy - msg_startup[i];
+    msg_other[i] = (span + arrival_delay) - busy;
+    auto& pcell = phase_cell(cur, m.src);
+    pcell.messages_sent += 1;
+    pcell.words_sent += m.words();
+    const unsigned hops = topology_->hops(m.src, m.dst);
+    h_words.observe(static_cast<double>(m.words()));
+    h_hops.observe(static_cast<double>(hops));
+    if (hops > 0) h_hop_latency.observe(cost / static_cast<double>(hops));
+    c_messages.add();
+    c_words.add(m.words());
+    traffic_.add(m.src, m.dst, m.words());
+  }
+  // Receivers that end up waiting adopt the chain that produced their
+  // arrival: the sender's pre-round decomposition plus this message's cost,
+  // attributed to the phase open now (snapshot the chains before the
+  // mutation loop below touches them).
+  std::vector<std::vector<PathTerms>> adopted(procs());
+  for (ProcId pid = 0; pid < procs(); ++pid) {
+    const int mi = arrival_msg[pid];
+    if (mi < 0) continue;
+    const Message& m = messages[static_cast<std::size_t>(mi)];
+    auto& chain = adopted[pid];
+    chain = chain_[m.src];
+    if (chain.size() <= cur) chain.resize(cur + 1u);
+    chain[cur].startup += msg_startup[static_cast<std::size_t>(mi)];
+    chain[cur].word += msg_word[static_cast<std::size_t>(mi)];
+    chain[cur].other += msg_other[static_cast<std::size_t>(mi)];
   }
   for (ProcId pid = 0; pid < procs(); ++pid) {
     auto& st = stats_[pid];
+    auto& pcell = phase_cell(cur, pid);
     const double busy_until = st.clock + send_busy[pid];
     record(pid, TraceEvent::Kind::kSend, st.clock, busy_until);
     st.comm_time += send_busy[pid];
+    pcell.comm_time += send_busy[pid];
+    if (busiest_msg[pid] >= 0) {
+      const auto mi = static_cast<std::size_t>(busiest_msg[pid]);
+      auto& cell = chain_cell(pid);
+      cell.startup += msg_startup[mi];
+      cell.word += msg_word[mi];
+    }
     double next = busy_until;
     if (send_span[pid] > send_busy[pid]) {
       // Timeout-and-retransmit overhead beyond the pure transfer time.
       const double span_until = st.clock + send_span[pid];
       record(pid, TraceEvent::Kind::kRetry, next, span_until);
       st.idle_time += span_until - next;
+      pcell.idle_time += span_until - next;
+      chain_cell(pid).other += span_until - next;
       next = span_until;
     }
     if (arrival_max[pid] > next) {
       record(pid, TraceEvent::Kind::kWait, next, arrival_max[pid]);
       st.idle_time += arrival_max[pid] - next;
+      pcell.idle_time += arrival_max[pid] - next;
+      // The wait ends at the arrival: pid's clock is now explained by the
+      // producing chain, not by what pid did this round.
+      if (arrival_msg[pid] >= 0) chain_[pid] = std::move(adopted[pid]);
       next = arrival_max[pid];
     }
     st.clock = next;
@@ -295,10 +425,24 @@ void SimMachine::check_alive(ProcId pid) const {
 
 double SimMachine::synchronize() {
   const double t = time();
+  // Barrier laggards adopt the chain of the processor that set the barrier
+  // time — their clock is now explained by its critical path.
+  const PhaseId cur = current_phase();
+  std::vector<PathTerms> crit_chain;
+  for (ProcId pid = 0; pid < procs(); ++pid) {
+    if (stats_[pid].clock == t) {
+      crit_chain = chain_[pid];
+      break;
+    }
+  }
   for (ProcId pid = 0; pid < procs(); ++pid) {
     auto& st = stats_[pid];
     record(pid, TraceEvent::Kind::kWait, st.clock, t);
     st.idle_time += t - st.clock;
+    if (t > st.clock) {
+      phase_cell(cur, pid).idle_time += t - st.clock;
+      chain_[pid] = crit_chain;
+    }
     st.clock = t;
   }
   return t;
@@ -311,14 +455,28 @@ void SimMachine::charge_group_comm(std::span<const ProcId> group, double time_co
     require(pid < procs(), "charge_group_comm: pid out of range");
     start = std::max(start, stats_[pid].clock);
   }
+  // As at a barrier, members that wait for the group's latest processor
+  // adopt its chain; the modeled charge itself then lands on everyone.
+  const PhaseId cur = current_phase();
+  std::vector<PathTerms> crit_chain;
+  for (ProcId pid : group) {
+    if (stats_[pid].clock == start) {
+      crit_chain = chain_[pid];
+      break;
+    }
+  }
   for (ProcId pid : group) {
     auto& st = stats_[pid];
     if (start > st.clock) {
       record(pid, TraceEvent::Kind::kWait, st.clock, start);
       st.idle_time += start - st.clock;
+      phase_cell(cur, pid).idle_time += start - st.clock;
+      chain_[pid] = crit_chain;
     }
     record(pid, TraceEvent::Kind::kModeledComm, start, start + time_cost);
     st.comm_time += time_cost;
+    phase_cell(cur, pid).comm_time += time_cost;
+    chain_cell(pid).modeled += time_cost;
     st.clock = start + time_cost;
   }
 }
@@ -373,6 +531,44 @@ RunReport SimMachine::report(std::string algorithm, std::size_t n,
   }
   r.faults = fault_stats_;
   if (keep_proc_stats) r.procs = stats_;
+  // Phase table + critical-path decomposition. The first processor whose
+  // clock attains T_p carries a complete dependency chain for the run (its
+  // per-phase terms sum to exactly T_p).
+  ProcId crit = 0;
+  for (ProcId pid = 0; pid < procs(); ++pid) {
+    if (stats_[pid].clock == r.t_parallel) {
+      crit = pid;
+      break;
+    }
+  }
+  const auto& crit_chain = chain_[crit];
+  for (std::size_t ph = 0; ph < phase_names_.size(); ++ph) {
+    PhaseBreakdown b;
+    b.name = phase_names_[ph];
+    if (ph < phase_stats_.size()) {
+      for (const auto& cell : phase_stats_[ph]) {
+        b.max_compute_time = std::max(b.max_compute_time, cell.compute_time);
+        b.max_comm_time = std::max(b.max_comm_time, cell.comm_time);
+        b.max_idle_time = std::max(b.max_idle_time, cell.idle_time);
+        b.flops += cell.flops;
+        b.messages += cell.messages_sent;
+        b.words += cell.words_sent;
+      }
+    }
+    if (ph < crit_chain.size()) b.path = crit_chain[ph];
+    r.critical_path.compute += b.path.compute;
+    r.critical_path.startup += b.path.startup;
+    r.critical_path.word += b.path.word;
+    r.critical_path.modeled += b.path.modeled;
+    r.critical_path.other += b.path.other;
+    // Drop the unattributed row when nothing happened outside a phase.
+    if (ph == 0 && b.path.total() == 0.0 && b.max_compute_time == 0.0 &&
+        b.max_comm_time == 0.0 && b.max_idle_time == 0.0 && b.flops == 0 &&
+        b.messages == 0) {
+      continue;
+    }
+    r.phases.push_back(std::move(b));
+  }
   return r;
 }
 
@@ -382,6 +578,12 @@ void SimMachine::reset() {
   trace_events_.clear();
   fault_stats_ = FaultStats{};
   exchange_round_ = 0;
+  phase_names_.assign(1, std::string());
+  phase_stack_.clear();
+  phase_stats_.clear();
+  for (auto& row : chain_) row.clear();
+  metrics_.reset();
+  traffic_ = TrafficMatrix(procs());
 }
 
 }  // namespace hpmm

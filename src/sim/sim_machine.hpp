@@ -1,8 +1,11 @@
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <span>
+#include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -13,6 +16,7 @@
 #include "sim/report.hpp"
 #include "sim/trace.hpp"
 #include "topology/topology.hpp"
+#include "util/metrics.hpp"
 
 namespace hpmm {
 
@@ -147,6 +151,46 @@ class SimMachine {
   /// T_p: the maximum clock over all processors.
   double time() const noexcept;
 
+  /// --- Phase attribution (DESIGN.md §9) ------------------------------
+  ///
+  /// Algorithms bracket their paper-named stages ("align", "shift",
+  /// "broadcast", ...) with begin_phase/end_phase — normally via the
+  /// PhaseScope RAII wrapper — and every trace event, per-phase accounting
+  /// cell and critical-path term accrued inside the bracket is tagged with
+  /// that phase. Scopes nest (the innermost wins) and reusing a name
+  /// accumulates into the same phase. Attribution is pure metadata: clocks,
+  /// results and traces are bit-identical with and without phases.
+  using PhaseId = std::uint16_t;
+
+  /// Open a phase; returns its id (interned by name, 0 is reserved for
+  /// "no phase"). Prefer PhaseScope.
+  PhaseId begin_phase(std::string_view name);
+
+  /// Close the innermost open phase (throws when none is open).
+  void end_phase();
+
+  /// Id of the innermost open phase, 0 when none.
+  PhaseId current_phase() const noexcept {
+    return phase_stack_.empty() ? PhaseId{0} : phase_stack_.back();
+  }
+
+  /// Interned phase names; entry 0 is the "" default.
+  const std::vector<std::string>& phase_names() const noexcept {
+    return phase_names_;
+  }
+
+  /// --- Metrics -------------------------------------------------------
+
+  /// The machine's metrics registry. exchange() feeds the message-size,
+  /// hop-count and per-hop-latency histograms plus "sim.*" counters;
+  /// collectives add "collective.*" invocation counters; algorithms and
+  /// tools may register their own instruments.
+  MetricsRegistry& metrics() noexcept { return metrics_; }
+  const MetricsRegistry& metrics() const noexcept { return metrics_; }
+
+  /// Words moved per directed processor pair over the whole run.
+  const TrafficMatrix& traffic() const noexcept { return traffic_; }
+
   /// Assemble a RunReport for a problem of useful work `w_useful` ( = n^3).
   RunReport report(std::string algorithm, std::size_t n, double w_useful,
                    bool keep_proc_stats = false) const;
@@ -158,13 +202,18 @@ class SimMachine {
 
   /// The recorded timeline (empty unless enable_tracing() was called before
   /// the run).
-  Trace trace() const { return Trace(procs(), trace_events_); }
+  Trace trace() const { return Trace(procs(), trace_events_, phase_names_); }
 
   /// Reset clocks, counters, inboxes and the trace.
   void reset();
 
  private:
   double message_cost(const Message& m, unsigned contention_load) const;
+  /// The startup slice (t_s plus hop latency) of a message's base cost.
+  double message_startup(const Message& m) const;
+  PhaseStats& phase_cell(PhaseId phase, ProcId pid);
+  /// pid's critical-path cell for the currently open phase.
+  PathTerms& chain_cell(ProcId pid);
   void record(ProcId pid, TraceEvent::Kind kind, double start, double end,
               std::uint64_t words = 0);
   /// Throws ProcessorFailure if pid's clock has reached its fail-stop time.
@@ -182,6 +231,33 @@ class SimMachine {
   std::unique_ptr<FaultInjector> injector_;
   FaultStats fault_stats_;
   std::uint64_t exchange_round_ = 0;
+
+  std::vector<std::string> phase_names_{std::string()};
+  std::vector<PhaseId> phase_stack_;
+  /// [phase][pid] busy-time/traffic accounting, lazily sized per phase.
+  std::vector<std::vector<PhaseStats>> phase_stats_;
+  /// [pid][phase] critical-path decomposition: each processor carries the
+  /// phase-resolved cost terms of the dependency chain that produced its
+  /// clock (waiting receivers and barrier laggards adopt the chain of the
+  /// processor they waited on), so Sum over phases == clock for every pid.
+  std::vector<std::vector<PathTerms>> chain_;
+  MetricsRegistry metrics_;
+  TrafficMatrix traffic_;
+};
+
+/// RAII phase bracket: `PhaseScope phase(machine, "shift");` tags everything
+/// the machine does until end of scope.
+class PhaseScope {
+ public:
+  PhaseScope(SimMachine& machine, std::string_view name) : machine_(machine) {
+    machine_.begin_phase(name);
+  }
+  ~PhaseScope() { machine_.end_phase(); }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  SimMachine& machine_;
 };
 
 }  // namespace hpmm

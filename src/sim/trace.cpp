@@ -4,6 +4,7 @@
 #include <array>
 
 #include "util/error.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 
 namespace hpmm {
@@ -20,11 +21,25 @@ const char* to_string(TraceEvent::Kind kind) noexcept {
 }
 
 Trace::Trace(std::size_t procs, std::vector<TraceEvent> events)
-    : procs_(procs), events_(std::move(events)) {
+    : Trace(procs, std::move(events), {std::string()}) {}
+
+Trace::Trace(std::size_t procs, std::vector<TraceEvent> events,
+             std::vector<std::string> phase_names)
+    : procs_(procs),
+      events_(std::move(events)),
+      phase_names_(std::move(phase_names)) {
+  require(!phase_names_.empty(),
+          "Trace: phase-name table needs the default entry 0");
   for (const auto& e : events_) {
     require(e.pid < procs_, "Trace: event pid out of range");
     require(e.end >= e.start, "Trace: event with negative duration");
+    require(e.phase < phase_names_.size(), "Trace: event phase out of range");
   }
+}
+
+const std::string& Trace::phase_name(std::uint16_t phase) const {
+  require(phase < phase_names_.size(), "Trace::phase_name: out of range");
+  return phase_names_[phase];
 }
 
 std::vector<TraceEvent> Trace::events_of(ProcId pid) const {
@@ -32,10 +47,11 @@ std::vector<TraceEvent> Trace::events_of(ProcId pid) const {
   for (const auto& e : events_) {
     if (e.pid == pid) out.push_back(e);
   }
-  std::sort(out.begin(), out.end(),
-            [](const TraceEvent& a, const TraceEvent& b) {
-              return a.start < b.start;
-            });
+  // Stable: events sharing a start time keep their recorded order.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.start < b.start;
+                   });
   return out;
 }
 
@@ -103,6 +119,24 @@ void Trace::print_gantt(std::ostream& os, std::size_t width,
     os << (pid < 10 ? " p" : "p") << pid << " |" << row << "| u="
        << format_number(utilization(pid), 2) << '\n';
   }
+}
+
+void Trace::write_chrome(std::ostream& os) const {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  // Metadata record first, so the single simulated process is labelled.
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+        "\"args\":{\"name\":\"hpmm simulated machine\"}}";
+  for (const auto& e : events_) {
+    const std::string& phase = phase_names_[e.phase];
+    os << ",{\"name\":"
+       << json_quote(phase.empty() ? to_string(e.kind) : phase)
+       << ",\"cat\":" << json_quote(to_string(e.kind))
+       << ",\"ph\":\"X\",\"ts\":" << json_number(e.start)
+       << ",\"dur\":" << json_number(e.duration()) << ",\"pid\":0,\"tid\":"
+       << e.pid << ",\"args\":{\"words\":" << e.words
+       << ",\"phase\":" << json_quote(phase) << "}}";
+  }
+  os << "]}\n";
 }
 
 }  // namespace hpmm

@@ -24,6 +24,8 @@ struct TraceEvent {
   double start = 0.0;
   double end = 0.0;
   std::uint64_t words = 0;  ///< payload words for kSend/kModeledComm
+  /// Index into Trace::phase_names(); 0 is the unattributed default phase.
+  std::uint16_t phase = 0;
 
   double duration() const noexcept { return end - start; }
 };
@@ -36,10 +38,20 @@ class Trace {
  public:
   Trace() = default;
   Trace(std::size_t procs, std::vector<TraceEvent> events);
+  /// As above with the phase-name table the events' phase ids index into;
+  /// entry 0 names the unattributed default phase (conventionally "").
+  Trace(std::size_t procs, std::vector<TraceEvent> events,
+        std::vector<std::string> phase_names);
 
   std::size_t procs() const noexcept { return procs_; }
   const std::vector<TraceEvent>& events() const noexcept { return events_; }
   bool empty() const noexcept { return events_.empty(); }
+
+  const std::vector<std::string>& phase_names() const noexcept {
+    return phase_names_;
+  }
+  /// Name of one phase id (validated).
+  const std::string& phase_name(std::uint16_t phase) const;
 
   /// Events of one processor, in time order.
   std::vector<TraceEvent> events_of(ProcId pid) const;
@@ -55,13 +67,20 @@ class Trace {
 
   /// ASCII Gantt chart: one row per processor, `width` time bins; the
   /// dominant activity of each bin is drawn as #=compute, >=send, .=wait,
-  /// ~=modeled comm, space=nothing recorded.
+  /// ~=modeled comm, !=retry, space=nothing recorded.
   void print_gantt(std::ostream& os, std::size_t width = 72,
                    std::size_t max_procs = 32) const;
+
+  /// Chrome-trace / Perfetto JSON export: one complete "X" duration event
+  /// per TraceEvent (tid = simulated processor, name = phase when tagged,
+  /// kind otherwise; words and phase under "args"), loadable in
+  /// chrome://tracing or ui.perfetto.dev.
+  void write_chrome(std::ostream& os) const;
 
  private:
   std::size_t procs_ = 0;
   std::vector<TraceEvent> events_;
+  std::vector<std::string> phase_names_{std::string()};
 };
 
 }  // namespace hpmm

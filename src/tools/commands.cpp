@@ -1,6 +1,8 @@
 #include "tools/commands.hpp"
 
+#include <chrono>
 #include <cmath>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <utility>
@@ -19,6 +21,7 @@
 #include "matrix/kernels.hpp"
 #include "sim/fault.hpp"
 #include "util/error.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 
 namespace hpmm::tools {
@@ -229,6 +232,18 @@ int cmd_run(const CliArgs& args, std::ostream& os) {
   const auto pt = validate_algorithm(
       *choice.impl, *choice.model, n, p,
       static_cast<std::uint64_t>(args.get_int("seed", 42)));
+  if (args.get("format", "aligned") == "json") {
+    // One JSON object: the full simulated RunReport plus the model
+    // comparison and product check that `run` adds on top of it.
+    os << "{\"report\":";
+    pt.report.write_json(os);
+    os << ",\"model_t_parallel\":" << json_number(pt.model_t_parallel)
+       << ",\"ratio\":" << json_number(pt.ratio())
+       << ",\"max_numeric_error\":" << json_number(pt.max_numeric_error)
+       << ",\"product_correct\":" << (pt.product_correct ? "true" : "false")
+       << "}\n";
+    return pt.product_correct ? 0 : 1;
+  }
   os << algorithm << ": n=" << n << " p=" << p << " (" << mp.label << ")\n"
      << "  T_p (simulated) = " << format_number(pt.sim_t_parallel, 6) << "\n"
      << "  T_p (model)     = " << format_number(pt.model_t_parallel, 6)
@@ -331,10 +346,116 @@ int cmd_trace(const CliArgs& args, std::ostream& os) {
   const Matrix a = random_matrix(n, n, rng);
   const Matrix b = random_matrix(n, n, rng);
   const MatmulResult result = impl.run(a, b, p, mp);
+  const std::string format = args.get("format", "gantt");
+  if (format == "chrome") {
+    // Chrome trace-event JSON: load into chrome://tracing or Perfetto.
+    const std::string out = args.get("out", "");
+    if (out.empty()) {
+      result.trace.write_chrome(os);
+    } else {
+      std::ofstream file(out);
+      require(file.good(), "trace: cannot open --out file '" + out + "'");
+      result.trace.write_chrome(file);
+      os << "wrote chrome trace (" << result.trace.events().size()
+         << " events) to " << out << "\n";
+    }
+    return 0;
+  }
+  require(format == "gantt",
+          "trace: --format must be gantt or chrome, got '" + format + "'");
   os << result.report.summary() << "\n";
   result.trace.print_gantt(
       os, static_cast<std::size_t>(args.get_int("width", 72)),
       static_cast<std::size_t>(args.get_int("procs", 16)));
+  return 0;
+}
+
+int cmd_profile(const CliArgs& args, std::ostream& os) {
+  const std::string algorithm = args.get("algorithm", "cannon");
+  const auto n = static_cast<std::size_t>(args.get_int("n", 64));
+  const auto p = static_cast<std::size_t>(args.get_int("p", 16));
+  const MachineParams mp = machine_from_args(args);
+  const AlgorithmChoice choice =
+      algorithm_from_args(args, algorithm, mp, "profile");
+  choice.impl->check_applicable(n, p);
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 42)));
+  const Matrix a = random_matrix(n, n, rng);
+  const Matrix b = random_matrix(n, n, rng);
+
+  reset_kernel_wall_profile();
+  enable_kernel_wall_profile(true);
+  const auto wall_start = std::chrono::steady_clock::now();
+  const MatmulResult result = choice.impl->run(a, b, p, mp);
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  enable_kernel_wall_profile(false);
+  const KernelWallProfile kwp = kernel_wall_profile();
+  const RunReport& report = result.report;
+
+  os << algorithm << ": n=" << n << " p=" << p << " (" << mp.label << ")\n";
+
+  // Per-phase table: busy-time maxima over processors, traffic totals, and
+  // the slice of the critical path each phase accounts for (slices sum to
+  // T_p).
+  Table phases({"phase", "compute", "comm", "idle", "messages", "words",
+                "T_p slice"});
+  for (const PhaseBreakdown& ph : report.phases) {
+    phases.begin_row()
+        .add(ph.name.empty() ? "(unphased)" : ph.name)
+        .add_num(ph.max_compute_time, 6)
+        .add_num(ph.max_comm_time, 6)
+        .add_num(ph.max_idle_time, 6)
+        .add(std::to_string(ph.messages))
+        .add(std::to_string(ph.words))
+        .add_num(ph.path.total(), 6);
+  }
+  print_table(args, phases, os);
+
+  // Overhead reconciliation: the measured critical-path terms against the
+  // analytical model's terms. Evaluating the model with t_w = 0 isolates
+  // its startup (t_s + hop) term; t_s = t_h = 0 isolates the per-word t_w
+  // term (exact for the paper's linear comm models).
+  MachineParams mp_startup = mp;
+  mp_startup.t_w = 0.0;
+  MachineParams mp_word = mp;
+  mp_word.t_s = 0.0;
+  mp_word.t_h = 0.0;
+  const auto model_startup =
+      algorithm_from_args(args, algorithm, mp_startup, "profile").model;
+  const auto model_word =
+      algorithm_from_args(args, algorithm, mp_word, "profile").model;
+  const double nd = static_cast<double>(n);
+  const double pd = static_cast<double>(p);
+  const PathTerms& cp = report.critical_path;
+
+  Table rec({"term", "measured", "model", "ratio"});
+  const auto rec_row = [&rec](const std::string& term, double measured,
+                              double model) {
+    rec.begin_row().add(term).add_num(measured, 6);
+    if (model > 0.0) {
+      rec.add_num(model, 6).add_num(measured / model, 4);
+    } else {
+      rec.add(measured == 0.0 ? "0" : "-").add("-");
+    }
+  };
+  rec_row("compute (n^3/p)", cp.compute, nd * nd * nd / pd);
+  rec_row("startup (t_s)", cp.startup, model_startup->comm_time(nd, pd));
+  rec_row("word (t_w)", cp.word, model_word->comm_time(nd, pd));
+  if (cp.modeled > 0.0) rec_row("modeled collectives", cp.modeled, 0.0);
+  if (cp.other > 0.0) rec_row("other (delays/retries)", cp.other, 0.0);
+  print_table(args, rec, os);
+
+  os << "T_p = " << format_number(report.t_parallel, 6)
+     << " (critical path sums to "
+     << format_number(cp.total(), 6) << ")\n";
+  os << "host wall: " << format_number(wall_seconds * 1e3, 4) << " ms";
+  if (kwp.calls > 0) {
+    os << " (packed kernel: " << kwp.calls << " calls, "
+       << format_number(kwp.seconds * 1e3, 4) << " ms)";
+  }
+  os << "\n";
   return 0;
 }
 
@@ -477,6 +598,10 @@ int dispatch(const CliArgs& args, std::ostream& os, std::ostream& err) {
            "adds the 2.5D regions)\n"
            "  crossover  equal-overhead curve for a pair (--a, --b)\n"
            "  trace      simulate with tracing, print the Gantt chart\n"
+           "             (--format=chrome [--out=FILE] writes trace-event "
+           "JSON)\n"
+           "  profile    per-phase time/traffic breakdown and overhead "
+           "reconciliation\n"
            "  reproduce  check the paper's claims against this build\n"
            "  inject     simulate under injected faults (see inject --help)\n"
            "machine selection: --machine=ncube2|future|cm2|cm5|ideal or "
@@ -486,7 +611,8 @@ int dispatch(const CliArgs& args, std::ostream& os, std::ostream& err) {
            "packed --threads=N\n"
            "               (host wall-clock only; simulated times are "
            "unaffected)\n"
-           "output: --format=aligned|csv|markdown\n";
+           "output: --format=aligned|csv|markdown|json (run --format=json "
+           "prints the full report)\n";
     return 2;
   };
   if (args.positionals().empty()) return usage();
@@ -500,6 +626,7 @@ int dispatch(const CliArgs& args, std::ostream& os, std::ostream& err) {
     if (cmd == "regions") return cmd_regions(args, os);
     if (cmd == "crossover") return cmd_crossover(args, os);
     if (cmd == "trace") return cmd_trace(args, os);
+    if (cmd == "profile") return cmd_profile(args, os);
     if (cmd == "reproduce") return cmd_reproduce(args, os);
     if (cmd == "inject") return cmd_inject(args, os);
   } catch (const PreconditionError& e) {

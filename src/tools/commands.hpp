@@ -37,8 +37,16 @@ int cmd_regions(const CliArgs& args, std::ostream& os);
 int cmd_crossover(const CliArgs& args, std::ostream& os);
 
 /// `hpmm trace --algorithm=.. --n=.. --p=..` — simulate with event tracing
-/// and print the per-processor Gantt chart.
+/// and print the per-processor Gantt chart; `--format=chrome [--out=FILE]`
+/// writes Chrome trace-event JSON instead (chrome://tracing, Perfetto).
 int cmd_trace(const CliArgs& args, std::ostream& os);
+
+/// `hpmm profile --algorithm=.. --n=.. --p=..` — simulate one
+/// multiplication and print the per-phase breakdown (compute/comm/idle
+/// maxima, traffic, critical-path slice) plus an overhead-reconciliation
+/// table mapping the measured critical-path terms onto the analytical
+/// model's t_s/t_w terms.
+int cmd_profile(const CliArgs& args, std::ostream& os);
 
 /// `hpmm reproduce [--experiment=fig4]` — run the executable experiment
 /// registry (paper claims vs measured, PASS/FAIL per claim). Exit code 1

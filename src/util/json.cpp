@@ -1,0 +1,185 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace hpmm {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_quote(std::string_view s) {
+  return '"' + json_escape(s) + '"';
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+namespace {
+
+// Cursor over the text being validated; every parse_* consumes on success.
+struct Cursor {
+  std::string_view text;
+  std::size_t pos = 0;
+  int depth = 0;  // nesting guard so hostile input cannot blow the stack
+
+  bool done() const noexcept { return pos >= text.size(); }
+  char peek() const noexcept { return done() ? '\0' : text[pos]; }
+  void skip_ws() noexcept {
+    while (!done()) {
+      const char c = text[pos];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos;
+    }
+  }
+  bool eat(char c) noexcept {
+    if (peek() != c) return false;
+    ++pos;
+    return true;
+  }
+  bool eat_word(std::string_view w) noexcept {
+    if (text.substr(pos, w.size()) != w) return false;
+    pos += w.size();
+    return true;
+  }
+};
+
+constexpr int kMaxDepth = 256;
+
+bool parse_value(Cursor& c) noexcept;
+
+bool is_digit(char c) noexcept { return c >= '0' && c <= '9'; }
+bool is_hex(char c) noexcept {
+  return is_digit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F');
+}
+
+bool parse_string(Cursor& c) noexcept {
+  if (!c.eat('"')) return false;
+  while (!c.done()) {
+    const char ch = c.text[c.pos++];
+    if (ch == '"') return true;
+    if (static_cast<unsigned char>(ch) < 0x20) return false;  // bare control
+    if (ch == '\\') {
+      if (c.done()) return false;
+      const char esc = c.text[c.pos++];
+      switch (esc) {
+        case '"': case '\\': case '/': case 'b': case 'f':
+        case 'n': case 'r': case 't':
+          break;
+        case 'u':
+          for (int i = 0; i < 4; ++i) {
+            if (c.done() || !is_hex(c.text[c.pos])) return false;
+            ++c.pos;
+          }
+          break;
+        default:
+          return false;
+      }
+    }
+  }
+  return false;  // unterminated
+}
+
+bool parse_number(Cursor& c) noexcept {
+  c.eat('-');
+  if (c.eat('0')) {
+    // leading zero: no further digits allowed before '.'/'e'
+  } else {
+    if (!is_digit(c.peek())) return false;
+    while (is_digit(c.peek())) ++c.pos;
+  }
+  if (c.eat('.')) {
+    if (!is_digit(c.peek())) return false;
+    while (is_digit(c.peek())) ++c.pos;
+  }
+  if (c.peek() == 'e' || c.peek() == 'E') {
+    ++c.pos;
+    if (c.peek() == '+' || c.peek() == '-') ++c.pos;
+    if (!is_digit(c.peek())) return false;
+    while (is_digit(c.peek())) ++c.pos;
+  }
+  return true;
+}
+
+bool parse_object(Cursor& c) noexcept {
+  if (!c.eat('{')) return false;
+  c.skip_ws();
+  if (c.eat('}')) return true;
+  for (;;) {
+    c.skip_ws();
+    if (!parse_string(c)) return false;
+    c.skip_ws();
+    if (!c.eat(':')) return false;
+    if (!parse_value(c)) return false;
+    c.skip_ws();
+    if (c.eat(',')) continue;
+    return c.eat('}');
+  }
+}
+
+bool parse_array(Cursor& c) noexcept {
+  if (!c.eat('[')) return false;
+  c.skip_ws();
+  if (c.eat(']')) return true;
+  for (;;) {
+    if (!parse_value(c)) return false;
+    c.skip_ws();
+    if (c.eat(',')) continue;
+    return c.eat(']');
+  }
+}
+
+bool parse_value(Cursor& c) noexcept {
+  if (++c.depth > kMaxDepth) return false;
+  c.skip_ws();
+  bool ok = false;
+  switch (c.peek()) {
+    case '{': ok = parse_object(c); break;
+    case '[': ok = parse_array(c); break;
+    case '"': ok = parse_string(c); break;
+    case 't': ok = c.eat_word("true"); break;
+    case 'f': ok = c.eat_word("false"); break;
+    case 'n': ok = c.eat_word("null"); break;
+    default: ok = parse_number(c); break;
+  }
+  --c.depth;
+  return ok;
+}
+
+}  // namespace
+
+bool json_valid(std::string_view text) noexcept {
+  Cursor c{text};
+  if (!parse_value(c)) return false;
+  c.skip_ws();
+  return c.done();
+}
+
+}  // namespace hpmm

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace hpmm {
+
+/// Escapes `s` for inclusion inside a double-quoted JSON string: quote,
+/// backslash and every control character below 0x20 become their JSON escape
+/// (short forms \" \\ \b \f \n \r \t where they exist, \u00XX otherwise).
+/// Bytes >= 0x20 pass through untouched, so UTF-8 payloads survive.
+std::string json_escape(std::string_view s);
+
+/// Convenience: json_escape wrapped in double quotes.
+std::string json_quote(std::string_view s);
+
+/// Shortest round-trip decimal form of a double as a JSON number token;
+/// non-finite values (which JSON cannot express) become "null".
+std::string json_number(double v);
+
+/// Minimal RFC 8259 validity check (recursive descent over one complete
+/// value plus trailing whitespace). Used by tests to schema-check the
+/// chrome-trace / report exports without a JSON parser dependency; it
+/// validates structure, string escapes and number syntax, not semantics.
+bool json_valid(std::string_view text) noexcept;
+
+}  // namespace hpmm

@@ -1,0 +1,195 @@
+#include "util/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace hpmm {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  require(!bounds_.empty(), "Histogram: need at least one bucket bound");
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    require(bounds_[i] > bounds_[i - 1],
+            "Histogram: bucket bounds must be strictly ascending");
+  }
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double v) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += v;
+  max_ = std::max(max_, v);
+}
+
+double Histogram::bucket_bound(std::size_t i) const {
+  require(i < counts_.size(), "Histogram::bucket_bound: index out of range");
+  return i < bounds_.size() ? bounds_[i]
+                            : std::numeric_limits<double>::infinity();
+}
+
+std::uint64_t Histogram::bucket_count(std::size_t i) const {
+  require(i < counts_.size(), "Histogram::bucket_count: index out of range");
+  return counts_[i];
+}
+
+void Histogram::reset() noexcept {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  max_ = 0.0;
+}
+
+std::vector<double> Histogram::pow2_bounds(unsigned n) {
+  require(n >= 1, "Histogram::pow2_bounds: need at least one bucket");
+  require(n <= 63, "Histogram::pow2_bounds: too many buckets");
+  std::vector<double> bounds(n);
+  for (unsigned i = 0; i < n; ++i) {
+    bounds[i] = static_cast<double>(std::uint64_t{1} << i);
+  }
+  return bounds;
+}
+
+void TrafficMatrix::add(std::size_t src, std::size_t dst,
+                        std::uint64_t words) {
+  require(src < procs_ && dst < procs_,
+          "TrafficMatrix::add: endpoint out of range");
+  if (words == 0) return;
+  cells_[(static_cast<std::uint64_t>(src) << 32) | dst] += words;
+  total_ += words;
+}
+
+std::uint64_t TrafficMatrix::words(std::size_t src, std::size_t dst) const {
+  require(src < procs_ && dst < procs_,
+          "TrafficMatrix::words: endpoint out of range");
+  const auto it = cells_.find((static_cast<std::uint64_t>(src) << 32) | dst);
+  return it == cells_.end() ? 0 : it->second;
+}
+
+TrafficMatrix::Link TrafficMatrix::busiest() const {
+  Link best;
+  for (const auto& [key, words] : cells_) {
+    const std::size_t src = static_cast<std::size_t>(key >> 32);
+    const std::size_t dst = static_cast<std::size_t>(key & 0xffffffffu);
+    if (words > best.words ||
+        (words == best.words && best.words > 0 &&
+         std::pair(src, dst) < std::pair(best.src, best.dst))) {
+      best = Link{src, dst, words};
+    }
+  }
+  return best;
+}
+
+std::vector<std::uint64_t> TrafficMatrix::dense() const {
+  std::vector<std::uint64_t> out(procs_ * procs_, 0);
+  for (const auto& [key, words] : cells_) {
+    const std::size_t src = static_cast<std::size_t>(key >> 32);
+    const std::size_t dst = static_cast<std::size_t>(key & 0xffffffffu);
+    out[src * procs_ + dst] = words;
+  }
+  return out;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(name, Histogram(std::move(upper_bounds)))
+      .first->second;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+namespace {
+template <class Map>
+std::vector<std::string> keys_of(const Map& m) {
+  std::vector<std::string> out;
+  out.reserve(m.size());
+  for (const auto& [name, value] : m) out.push_back(name);
+  return out;  // std::map iterates in sorted order already
+}
+}  // namespace
+
+std::vector<std::string> MetricsRegistry::counter_names() const {
+  return keys_of(counters_);
+}
+std::vector<std::string> MetricsRegistry::gauge_names() const {
+  return keys_of(gauges_);
+}
+std::vector<std::string> MetricsRegistry::histogram_names() const {
+  return keys_of(histograms_);
+}
+
+void MetricsRegistry::reset() noexcept {
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, g] : gauges_) g.reset();
+  for (auto& [name, h] : histograms_) h.reset();
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) os << ',';
+    first = false;
+    os << json_quote(name) << ':' << c.value();
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) os << ',';
+    first = false;
+    os << json_quote(name) << ':' << json_number(g.value());
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) os << ',';
+    first = false;
+    os << json_quote(name) << ":{\"count\":" << h.count()
+       << ",\"sum\":" << json_number(h.sum())
+       << ",\"mean\":" << json_number(h.mean())
+       << ",\"max\":" << json_number(h.max()) << ",\"buckets\":[";
+    for (std::size_t i = 0; i < h.buckets(); ++i) {
+      if (i > 0) os << ',';
+      os << "{\"le\":";
+      if (i + 1 == h.buckets()) {
+        os << "\"inf\"";
+      } else {
+        os << json_number(h.bucket_bound(i));
+      }
+      os << ",\"count\":" << h.bucket_count(i) << '}';
+    }
+    os << "]}";
+  }
+  os << "}}";
+}
+
+}  // namespace hpmm

@@ -1,0 +1,139 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace hpmm {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept { value_ += delta; }
+  std::uint64_t value() const noexcept { return value_; }
+  void reset() noexcept { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-written sample of an instantaneous quantity.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  double value() const noexcept { return value_; }
+  void reset() noexcept { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram: bucket i counts samples v <= bounds[i]
+/// (cumulative-style upper bounds, ascending); one implicit overflow bucket
+/// catches everything above the last bound. Tracks count and sum so the
+/// mean survives bucketing.
+class Histogram {
+ public:
+  Histogram() = default;
+  /// `upper_bounds` must be non-empty and strictly ascending.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v) noexcept;
+
+  /// Number of buckets including the overflow bucket (bounds + 1).
+  std::size_t buckets() const noexcept { return counts_.size(); }
+  /// Inclusive upper bound of bucket i; infinity for the overflow bucket.
+  double bucket_bound(std::size_t i) const;
+  std::uint64_t bucket_count(std::size_t i) const;
+
+  std::uint64_t count() const noexcept { return count_; }
+  double sum() const noexcept { return sum_; }
+  double max() const noexcept { return max_; }
+  double mean() const noexcept {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  void reset() noexcept;
+
+  /// Power-of-two upper bounds 1, 2, 4, ..., 2^(n-1) — the usual choice for
+  /// message-size and latency distributions.
+  static std::vector<double> pow2_bounds(unsigned n);
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_{0};  // bounds_.size() + 1 entries
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Words transferred per directed (src, dst) processor pair. Stored sparsely
+/// (algorithms touch O(p log p) of the p^2 links), with a dense row-major
+/// export for tooling.
+class TrafficMatrix {
+ public:
+  explicit TrafficMatrix(std::size_t procs = 0) : procs_(procs) {}
+
+  void add(std::size_t src, std::size_t dst, std::uint64_t words);
+  std::uint64_t words(std::size_t src, std::size_t dst) const;
+
+  std::size_t procs() const noexcept { return procs_; }
+  std::uint64_t total_words() const noexcept { return total_; }
+  /// Number of directed pairs with nonzero traffic.
+  std::size_t links_used() const noexcept { return cells_.size(); }
+
+  struct Link {
+    std::size_t src = 0;
+    std::size_t dst = 0;
+    std::uint64_t words = 0;
+  };
+  /// The heaviest directed link (lowest (src, dst) on ties; zero Link when
+  /// no traffic was recorded).
+  Link busiest() const;
+
+  /// Dense p x p row-major copy — O(p^2) memory, intended for export only.
+  std::vector<std::uint64_t> dense() const;
+
+ private:
+  std::size_t procs_ = 0;
+  std::unordered_map<std::uint64_t, std::uint64_t> cells_;
+  std::uint64_t total_ = 0;
+};
+
+/// Name-addressed bag of counters, gauges and histograms. Instruments fetch
+/// their metric once by name (creating it on first use) and update it
+/// directly; readers enumerate by sorted name or export everything as JSON.
+class MetricsRegistry {
+ public:
+  /// Fetch-or-create. References stay valid for the registry's lifetime.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `upper_bounds` applies on first creation only (non-empty, ascending).
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> upper_bounds);
+
+  /// Lookup without creating; null when absent.
+  const Counter* find_counter(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name) const;
+
+  std::vector<std::string> counter_names() const;
+  std::vector<std::string> gauge_names() const;
+  std::vector<std::string> histogram_names() const;
+
+  /// Zero every metric, keeping registrations (and histogram buckets).
+  void reset() noexcept;
+
+  /// One JSON object: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {count, sum, mean, max, buckets: [...]}}}.
+  void write_json(std::ostream& os) const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace hpmm

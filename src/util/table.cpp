@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "util/error.hpp"
+#include "util/json.hpp"
 
 namespace hpmm {
 
@@ -93,20 +94,14 @@ bool looks_numeric(const std::string& s) {
   if (s.empty()) return false;
   char* end = nullptr;
   std::strtod(s.c_str(), &end);
-  return end == s.c_str() + s.size();
+  // strtod also accepts spellings JSON forbids ("inf", "nan", hex floats,
+  // a leading '+', "1."), so additionally require a valid JSON number token
+  // before emitting the cell unquoted.
+  return end == s.c_str() + s.size() && json_valid(s);
 }
 
 void emit_json_string(std::ostream& os, const std::string& s) {
-  os << '"';
-  for (char c : s) {
-    switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\n': os << "\\n"; break;
-      default: os << c;
-    }
-  }
-  os << '"';
+  os << json_quote(s);
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "util/error.hpp"
@@ -65,6 +66,19 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& body) {
   if (count == 0) return;
+  const auto t0 = std::chrono::steady_clock::now();
+  ++wall_.batches;
+  wall_.items += count;
+  struct BusyTimer {  // charge the elapsed time even when body throws
+    const std::chrono::steady_clock::time_point start;
+    WallProfile& wall;
+    ~BusyTimer() {
+      wall.busy_seconds +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+    }
+  } timer{t0, wall_};
   if (workers_.empty() || count == 1) {
     for (std::size_t i = 0; i < count; ++i) body(i);
     return;

@@ -51,6 +51,17 @@ class ThreadPool {
   /// std::thread::hardware_concurrency with a floor of 1.
   static unsigned hardware_threads() noexcept;
 
+  /// Wall-clock profile of parallel_for activity (host steady_clock — the
+  /// pool never touches simulated time). Owner-thread API like the rest of
+  /// the class.
+  struct WallProfile {
+    std::uint64_t batches = 0;  ///< parallel_for invocations
+    std::uint64_t items = 0;    ///< indices dispatched across all batches
+    double busy_seconds = 0.0;  ///< caller wall time inside parallel_for
+  };
+  const WallProfile& wall_profile() const noexcept { return wall_; }
+  void reset_wall_profile() noexcept { wall_ = WallProfile{}; }
+
  private:
   void worker_loop();
   void drain(const std::function<void(std::size_t)>& body);
@@ -69,6 +80,8 @@ class ThreadPool {
   std::atomic<std::size_t> next_{0};
   std::mutex error_mutex_;
   std::exception_ptr first_error_;  // guarded by error_mutex_
+
+  WallProfile wall_;  // owner thread only
 };
 
 }  // namespace hpmm

@@ -1,0 +1,116 @@
+// Overhead reconciliation (ISSUE 5 acceptance): on an ideal machine, the
+// per-phase critical-path terms measured by the simulator must sum to the
+// closed-form t_s / t_w terms of the paper's expressions — Eq. 3 for Cannon
+// (2 t_s sqrt(p) + 2 t_w n^2 / sqrt(p)) and Eq. 7 for GK
+// (5 log2(s) (t_s + t_w m), s = p^{1/3}, m = n^2 / p^{2/3}) — to 1e-9
+// relative, with the compute term equal to n^3 / p.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/registry.hpp"
+#include "matrix/generate.hpp"
+#include "sim/report.hpp"
+
+namespace hpmm {
+namespace {
+
+constexpr double kRelTol = 1e-9;
+
+/// Sum of the per-phase critical-path slices over the whole run.
+PathTerms summed_path(const RunReport& r) {
+  PathTerms sum;
+  for (const auto& ph : r.phases) {
+    sum.compute += ph.path.compute;
+    sum.startup += ph.path.startup;
+    sum.word += ph.path.word;
+    sum.modeled += ph.path.modeled;
+    sum.other += ph.path.other;
+  }
+  return sum;
+}
+
+RunReport run(const char* algorithm, std::size_t n, std::size_t p,
+              double t_s, double t_w) {
+  Rng rng(11);
+  const Matrix a = random_matrix(n, n, rng);
+  const Matrix b = random_matrix(n, n, rng);
+  MachineParams mp;
+  mp.t_s = t_s;
+  mp.t_w = t_w;
+  mp.t_h = 0.0;
+  const auto& impl = default_registry().implementation(algorithm);
+  return impl.run(a, b, p, mp).report;
+}
+
+void expect_rel(double measured, double expected, const char* term) {
+  EXPECT_NEAR(measured, expected, kRelTol * (1.0 + std::abs(expected)))
+      << term << ": measured " << measured << " expected " << expected;
+}
+
+void check(const char* algorithm, std::size_t n, std::size_t p, double t_s,
+           double t_w, double startup_expected, double word_expected) {
+  SCOPED_TRACE(algorithm);
+  const RunReport r = run(algorithm, n, p, t_s, t_w);
+  const PathTerms sum = summed_path(r);
+  const double nd = static_cast<double>(n);
+  expect_rel(sum.compute, nd * nd * nd / static_cast<double>(p),
+             "compute (n^3/p)");
+  expect_rel(sum.startup, startup_expected, "startup (t_s)");
+  expect_rel(sum.word, word_expected, "word (t_w)");
+  EXPECT_DOUBLE_EQ(sum.modeled, 0.0);
+  EXPECT_DOUBLE_EQ(sum.other, 0.0);
+  // The slices are a decomposition of T_p, and the report's own
+  // critical_path is their sum.
+  expect_rel(sum.total(), r.t_parallel, "sum vs T_p");
+  expect_rel(r.critical_path.total(), r.t_parallel, "critical_path vs T_p");
+}
+
+/// Eq. 3: T_comm = 2 t_s sqrt(p) + 2 t_w n^2 / sqrt(p).
+void check_cannon(std::size_t n, std::size_t p, double t_s, double t_w) {
+  const double sp = std::sqrt(static_cast<double>(p));
+  const double nd = static_cast<double>(n);
+  check("cannon", n, p, t_s, t_w, 2.0 * t_s * sp, 2.0 * t_w * nd * nd / sp);
+}
+
+/// Eq. 7: T_comm = 5 log2(s) (t_s + t_w m), s = p^{1/3}, m = n^2 / p^{2/3}.
+void check_gk(std::size_t n, std::size_t p, double t_s, double t_w) {
+  const double s = std::cbrt(static_cast<double>(p));
+  const double log_s = std::log2(s);
+  const double m = static_cast<double>(n) * static_cast<double>(n) / (s * s);
+  check("gk", n, p, t_s, t_w, 5.0 * log_s * t_s, 5.0 * log_s * t_w * m);
+}
+
+TEST(Reconciliation, CannonEq3MatchesPhaseSums) {
+  check_cannon(32, 16, 150.0, 3.0);
+  check_cannon(32, 16, 60.0, 2.0);
+  check_cannon(16, 16, 10.0, 2.0);
+}
+
+TEST(Reconciliation, GkEq7MatchesPhaseSums) {
+  check_gk(16, 8, 60.0, 2.0);
+  check_gk(16, 64, 60.0, 2.0);
+  check_gk(16, 8, 150.0, 3.0);
+}
+
+TEST(Reconciliation, CannonPhaseSplitIsAlignPlusShift) {
+  // The startup term splits 2 t_s sqrt(p) over the align and shift phases;
+  // the multiply phase carries the whole n^3/p compute term and no comm.
+  const RunReport r = run("cannon", 32, 16, 150.0, 3.0);
+  ASSERT_EQ(r.phases.size(), 3u);
+  EXPECT_EQ(r.phases[0].name, "align");
+  EXPECT_EQ(r.phases[1].name, "multiply");
+  EXPECT_EQ(r.phases[2].name, "shift");
+  EXPECT_DOUBLE_EQ(r.phases[1].path.startup, 0.0);
+  EXPECT_DOUBLE_EQ(r.phases[1].path.word, 0.0);
+  expect_rel(r.phases[1].path.compute, 32.0 * 32.0 * 32.0 / 16.0,
+             "multiply compute");
+  EXPECT_GT(r.phases[0].path.startup, 0.0);
+  EXPECT_GT(r.phases[2].path.startup, 0.0);
+  expect_rel(r.phases[0].path.startup + r.phases[2].path.startup,
+             2.0 * 150.0 * 4.0, "align+shift startup");
+}
+
+}  // namespace
+}  // namespace hpmm

@@ -166,5 +166,25 @@ TEST(PackedKernel, SetTuningValidates) {
   EXPECT_THROW(set_packed_tuning({64, 0}), PreconditionError);
 }
 
+TEST(PackedKernel, WallProfileCountsOnlyWhenEnabled) {
+  Rng rng(31);
+  const Matrix a = random_matrix(32, 32, rng);
+  const Matrix b = random_matrix(32, 32, rng);
+  reset_kernel_wall_profile();
+  multiply(a, b, Kernel::kPacked);  // profiling off: nothing recorded
+  EXPECT_EQ(kernel_wall_profile().calls, 0u);
+  enable_kernel_wall_profile(true);
+  multiply(a, b, Kernel::kPacked);
+  multiply(a, b, Kernel::kPacked);
+  enable_kernel_wall_profile(false);
+  const KernelWallProfile w = kernel_wall_profile();
+  EXPECT_EQ(w.calls, 2u);
+  EXPECT_GE(w.seconds, 0.0);
+  multiply(a, b, Kernel::kPacked);  // off again: count frozen
+  EXPECT_EQ(kernel_wall_profile().calls, 2u);
+  reset_kernel_wall_profile();
+  EXPECT_EQ(kernel_wall_profile().calls, 0u);
+}
+
 }  // namespace
 }  // namespace hpmm

@@ -11,6 +11,7 @@
 #include "sim/sim_machine.hpp"
 #include "topology/hypercube.hpp"
 #include "util/error.hpp"
+#include "util/json.hpp"
 
 namespace hpmm {
 namespace {
@@ -163,10 +164,76 @@ TEST(Trace, ThroughPublicAlgorithmInterface) {
 }
 
 TEST(Trace, KindNames) {
+  // Exhaustive over the enum: extending Kind must extend to_string.
   EXPECT_STREQ(to_string(TraceEvent::Kind::kCompute), "compute");
   EXPECT_STREQ(to_string(TraceEvent::Kind::kSend), "send");
   EXPECT_STREQ(to_string(TraceEvent::Kind::kWait), "wait");
   EXPECT_STREQ(to_string(TraceEvent::Kind::kModeledComm), "modeled-comm");
+  EXPECT_STREQ(to_string(TraceEvent::Kind::kRetry), "retry");
+}
+
+TEST(Trace, EmptyTraceEdgeCases) {
+  Trace t;
+  EXPECT_DOUBLE_EQ(t.span(), 0.0);
+  EXPECT_DOUBLE_EQ(t.utilization(0), 0.0);  // span 0 -> 0, not NaN
+  // All-zero-duration events still leave span and utilization at 0.
+  Trace z(1, {TraceEvent{0, TraceEvent::Kind::kCompute, 0.0, 0.0, 0}});
+  EXPECT_DOUBLE_EQ(z.span(), 0.0);
+  EXPECT_DOUBLE_EQ(z.utilization(0), 0.0);
+}
+
+TEST(Trace, EventsOfOrdersByStartKeepingTies) {
+  std::vector<TraceEvent> events;
+  events.push_back({0, TraceEvent::Kind::kSend, 5.0, 6.0, 3, 0});
+  events.push_back({1, TraceEvent::Kind::kCompute, 0.0, 1.0, 0, 0});
+  events.push_back({0, TraceEvent::Kind::kCompute, 0.0, 5.0, 0, 0});
+  events.push_back({0, TraceEvent::Kind::kWait, 5.0, 5.0, 0, 0});  // ties send
+  const Trace t(2, events);
+  const auto of0 = t.events_of(0);
+  ASSERT_EQ(of0.size(), 3u);
+  EXPECT_EQ(of0[0].kind, TraceEvent::Kind::kCompute);
+  // Equal start times keep their recorded order (send before wait).
+  EXPECT_EQ(of0[1].kind, TraceEvent::Kind::kSend);
+  EXPECT_EQ(of0[2].kind, TraceEvent::Kind::kWait);
+}
+
+TEST(Trace, GanttRendersRetryGlyph) {
+  std::vector<TraceEvent> events{
+      {0, TraceEvent::Kind::kRetry, 0.0, 10.0, 0, 0}};
+  const Trace t(1, events);
+  std::ostringstream os;
+  t.print_gantt(os, 16);
+  EXPECT_NE(os.str().find('!'), std::string::npos);
+  EXPECT_NE(os.str().find("!=retry"), std::string::npos);  // legend
+}
+
+TEST(Trace, WriteChromeIsValidJsonCarryingPhases) {
+  auto m = traced_machine(1);
+  {
+    PhaseScope scope(m, "shift");
+    m.compute(0, 5.0);
+    std::vector<Message> msgs;
+    msgs.emplace_back(0, 1, 1, Matrix(1, 4));
+    m.exchange(std::move(msgs));
+  }
+  std::ostringstream os;
+  m.trace().write_chrome(os);
+  const std::string out = os.str();
+  EXPECT_TRUE(json_valid(out)) << out;
+  EXPECT_NE(out.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(out.find("\"name\":\"shift\""), std::string::npos);
+  EXPECT_NE(out.find("\"cat\":\"send\""), std::string::npos);
+  EXPECT_NE(out.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(Trace, PhaseTableValidation) {
+  std::vector<TraceEvent> events{
+      {0, TraceEvent::Kind::kCompute, 0.0, 1.0, 0, 2}};  // phase 2 of 2
+  EXPECT_THROW(Trace(1, events, {"", "align"}), PreconditionError);
+  EXPECT_THROW(Trace(1, {}, {}), PreconditionError);  // no default entry
+  const Trace ok(1, events, {"", "align", "shift"});
+  EXPECT_EQ(ok.phase_name(2), "shift");
+  EXPECT_THROW(ok.phase_name(3), PreconditionError);
 }
 
 }  // namespace

@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
+#include <string>
 
 #include "util/error.hpp"
+#include "util/json.hpp"
 
 namespace hpmm::tools {
 namespace {
@@ -336,6 +339,69 @@ TEST(Cli, ThreadedFaultyRunMatchesSerial) {
   EXPECT_EQ(serial.code, 0);
   EXPECT_EQ(threaded.code, 0);
   EXPECT_EQ(serial.out, threaded.out);  // byte-for-byte identical report
+}
+
+TEST(Cli, RunJsonFormatIsValidAndComplete) {
+  const auto r = run({"hpmm", "run", "--algorithm=cannon", "--n=16", "--p=16",
+                      "--format=json"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_TRUE(json_valid(r.out)) << r.out;
+  EXPECT_NE(r.out.find("\"report\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"phases\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"critical_path\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"model_t_parallel\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"product_correct\":true"), std::string::npos);
+}
+
+TEST(Cli, TraceChromeFormatIsValidJson) {
+  const auto r = run({"hpmm", "trace", "--algorithm=cannon", "--n=16",
+                      "--p=16", "--format=chrome"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_TRUE(json_valid(r.out)) << r.out;
+  EXPECT_NE(r.out.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"shift\""), std::string::npos);  // phase names carried
+}
+
+TEST(Cli, TraceChromeWritesOutFile) {
+  const std::string path = ::testing::TempDir() + "hpmm_trace_test.json";
+  const std::string out_flag = "--out=" + path;
+  const auto r = run({"hpmm", "trace", "--algorithm=gk", "--n=16", "--p=8",
+                      "--format=chrome", out_flag.c_str()});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("wrote chrome trace"), std::string::npos);
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::stringstream ss;
+  ss << file.rdbuf();
+  EXPECT_TRUE(json_valid(ss.str()));
+  std::remove(path.c_str());
+}
+
+TEST(Cli, TraceRejectsUnknownFormat) {
+  const auto r = run({"hpmm", "trace", "--algorithm=cannon", "--n=16",
+                      "--p=16", "--format=svg"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("format"), std::string::npos);
+}
+
+TEST(Cli, ProfilePrintsPhaseAndReconciliationTables) {
+  const auto r = run({"hpmm", "profile", "--algorithm=cannon", "--n=32",
+                      "--p=16"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("phase"), std::string::npos);
+  EXPECT_NE(r.out.find("multiply"), std::string::npos);
+  EXPECT_NE(r.out.find("startup (t_s)"), std::string::npos);
+  EXPECT_NE(r.out.find("word (t_w)"), std::string::npos);
+  EXPECT_NE(r.out.find("ratio"), std::string::npos);
+  EXPECT_NE(r.out.find("host wall"), std::string::npos);
+}
+
+TEST(Cli, ProfileDefaultsAndUsageMentionIt) {
+  const auto defaults = run({"hpmm", "profile"});
+  EXPECT_EQ(defaults.code, 0);
+  EXPECT_NE(defaults.out.find("cannon"), std::string::npos);
+  const auto usage = run({"hpmm"});
+  EXPECT_NE(usage.err.find("profile"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,100 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+namespace hpmm {
+namespace {
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape("hello world"), "hello world");
+  EXPECT_EQ(json_escape(""), "");
+}
+
+TEST(JsonEscape, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(json_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+}
+
+TEST(JsonEscape, EscapesControlCharacters) {
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape("\b\f\r"), "\\b\\f\\r");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(json_escape(std::string(1, '\x1f')), "\\u001f");
+}
+
+TEST(JsonEscape, LeavesUtf8Alone) {
+  EXPECT_EQ(json_escape("\xc3\xa9"), "\xc3\xa9");  // e-acute survives
+}
+
+TEST(JsonQuote, WrapsInDoubleQuotes) {
+  EXPECT_EQ(json_quote("x"), "\"x\"");
+  EXPECT_EQ(json_quote("a\"b"), "\"a\\\"b\"");
+}
+
+TEST(JsonNumber, RoundTripsDoubles) {
+  EXPECT_EQ(json_number(0.0), "0");
+  EXPECT_EQ(json_number(42.0), "42");
+  EXPECT_EQ(std::stod(json_number(0.1)), 0.1);
+  EXPECT_EQ(std::stod(json_number(1.0 / 3.0)), 1.0 / 3.0);
+}
+
+TEST(JsonNumber, NonFiniteBecomesNull) {
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(-std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::quiet_NaN()), "null");
+}
+
+TEST(JsonValid, AcceptsScalars) {
+  EXPECT_TRUE(json_valid("null"));
+  EXPECT_TRUE(json_valid("true"));
+  EXPECT_TRUE(json_valid("false"));
+  EXPECT_TRUE(json_valid("0"));
+  EXPECT_TRUE(json_valid("-1.5e+10"));
+  EXPECT_TRUE(json_valid("\"text\""));
+}
+
+TEST(JsonValid, AcceptsNestedStructures) {
+  EXPECT_TRUE(json_valid("{\"a\":[1,2,{\"b\":null}],\"c\":\"d\"}"));
+  EXPECT_TRUE(json_valid("  [ ]  "));
+  EXPECT_TRUE(json_valid("{}"));
+}
+
+TEST(JsonValid, RejectsMalformedDocuments) {
+  EXPECT_FALSE(json_valid(""));
+  EXPECT_FALSE(json_valid("{"));
+  EXPECT_FALSE(json_valid("[1,]"));
+  EXPECT_FALSE(json_valid("{\"a\":}"));
+  EXPECT_FALSE(json_valid("{\"a\" 1}"));
+  EXPECT_FALSE(json_valid("\"unterminated"));
+  EXPECT_FALSE(json_valid("1 2"));  // trailing garbage
+}
+
+TEST(JsonValid, RejectsNonJsonNumberTokens) {
+  // strtod accepts all of these; JSON does not.
+  EXPECT_FALSE(json_valid("inf"));
+  EXPECT_FALSE(json_valid("nan"));
+  EXPECT_FALSE(json_valid("+1"));
+  EXPECT_FALSE(json_valid("1."));
+  EXPECT_FALSE(json_valid(".5"));
+  EXPECT_FALSE(json_valid("0x10"));
+  EXPECT_FALSE(json_valid("01"));
+}
+
+TEST(JsonValid, RejectsBadStringEscapes) {
+  EXPECT_FALSE(json_valid("\"\\x41\""));
+  EXPECT_FALSE(json_valid("\"\\u12\""));
+  EXPECT_FALSE(json_valid(std::string("\"a\nb\"")));  // raw control char
+}
+
+TEST(JsonValid, EscapedOutputIsAlwaysValid) {
+  std::string evil;
+  for (int c = 0; c < 0x20; ++c) evil.push_back(static_cast<char>(c));
+  evil += "\"\\ normal";
+  EXPECT_TRUE(json_valid(json_quote(evil)));
+}
+
+}  // namespace
+}  // namespace hpmm

@@ -1,0 +1,161 @@
+#include "util/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace hpmm {
+namespace {
+
+TEST(Counter, AccumulatesAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, KeepsLastSample) {
+  Gauge g;
+  g.set(1.5);
+  g.set(-3.0);
+  EXPECT_DOUBLE_EQ(g.value(), -3.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(Histogram, BucketsByUpperBound) {
+  Histogram h({1.0, 4.0, 16.0});
+  ASSERT_EQ(h.buckets(), 4u);  // three bounds + overflow
+  h.observe(0.5);   // <= 1
+  h.observe(1.0);   // <= 1 (inclusive)
+  h.observe(2.0);   // <= 4
+  h.observe(100.0); // overflow
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 0u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 103.5);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 103.5 / 4.0);
+  EXPECT_TRUE(std::isinf(h.bucket_bound(3)));
+}
+
+TEST(Histogram, ResetKeepsBuckets) {
+  Histogram h({2.0});
+  h.observe(1.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.buckets(), 2u);
+}
+
+TEST(Histogram, ValidatesBounds) {
+  EXPECT_THROW(Histogram(std::vector<double>{}), PreconditionError);
+  EXPECT_THROW(Histogram({2.0, 1.0}), PreconditionError);
+  EXPECT_THROW(Histogram({1.0, 1.0}), PreconditionError);
+}
+
+TEST(Histogram, Pow2Bounds) {
+  const auto bounds = Histogram::pow2_bounds(4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(bounds[3], 8.0);
+}
+
+TEST(TrafficMatrix, AccumulatesPerLink) {
+  TrafficMatrix t(4);
+  t.add(0, 1, 10);
+  t.add(0, 1, 5);
+  t.add(2, 3, 100);
+  EXPECT_EQ(t.words(0, 1), 15u);
+  EXPECT_EQ(t.words(1, 0), 0u);
+  EXPECT_EQ(t.total_words(), 115u);
+  EXPECT_EQ(t.links_used(), 2u);
+  const auto busiest = t.busiest();
+  EXPECT_EQ(busiest.src, 2u);
+  EXPECT_EQ(busiest.dst, 3u);
+  EXPECT_EQ(busiest.words, 100u);
+}
+
+TEST(TrafficMatrix, BusiestPrefersLowestPairOnTies) {
+  TrafficMatrix t(4);
+  t.add(3, 2, 7);
+  t.add(0, 1, 7);
+  EXPECT_EQ(t.busiest().src, 0u);
+  EXPECT_EQ(t.busiest().dst, 1u);
+}
+
+TEST(TrafficMatrix, DenseExport) {
+  TrafficMatrix t(2);
+  t.add(1, 0, 9);
+  const auto d = t.dense();
+  ASSERT_EQ(d.size(), 4u);
+  EXPECT_EQ(d[1 * 2 + 0], 9u);
+  EXPECT_EQ(d[0], 0u);
+}
+
+TEST(TrafficMatrix, ValidatesRange) {
+  TrafficMatrix t(2);
+  EXPECT_THROW(t.add(2, 0, 1), PreconditionError);
+  EXPECT_THROW(t.words(0, 5), PreconditionError);
+}
+
+TEST(MetricsRegistry, FetchOrCreateByName) {
+  MetricsRegistry reg;
+  reg.counter("a").add(3);
+  reg.counter("a").add(1);  // same instrument
+  EXPECT_EQ(reg.counter("a").value(), 4u);
+  EXPECT_EQ(reg.find_counter("a")->value(), 4u);
+  EXPECT_EQ(reg.find_counter("missing"), nullptr);
+  reg.gauge("g").set(2.5);
+  EXPECT_DOUBLE_EQ(reg.find_gauge("g")->value(), 2.5);
+  reg.histogram("h", {1.0, 2.0}).observe(1.5);
+  EXPECT_EQ(reg.find_histogram("h")->count(), 1u);
+}
+
+TEST(MetricsRegistry, NamesAreSorted) {
+  MetricsRegistry reg;
+  reg.counter("z");
+  reg.counter("a");
+  const auto names = reg.counter_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "z");
+}
+
+TEST(MetricsRegistry, ResetZeroesEverything) {
+  MetricsRegistry reg;
+  reg.counter("c").add(5);
+  reg.gauge("g").set(1.0);
+  reg.histogram("h", {1.0}).observe(0.5);
+  reg.reset();
+  EXPECT_EQ(reg.counter("c").value(), 0u);
+  EXPECT_DOUBLE_EQ(reg.gauge("g").value(), 0.0);
+  EXPECT_EQ(reg.find_histogram("h")->count(), 0u);
+  EXPECT_EQ(reg.find_histogram("h")->buckets(), 2u);  // registration kept
+}
+
+TEST(MetricsRegistry, WriteJsonIsValidAndComplete) {
+  MetricsRegistry reg;
+  reg.counter("msgs").add(7);
+  reg.gauge("load").set(0.25);
+  reg.histogram("size \"quoted\"", {1.0, 8.0}).observe(3.0);
+  std::ostringstream os;
+  reg.write_json(os);
+  const std::string out = os.str();
+  EXPECT_TRUE(json_valid(out)) << out;
+  EXPECT_NE(out.find("\"msgs\":7"), std::string::npos);
+  EXPECT_NE(out.find("\"load\":0.25"), std::string::npos);
+  EXPECT_NE(out.find("\"le\":\"inf\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hpmm

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/json.hpp"
 
 namespace hpmm {
 namespace {
@@ -77,6 +78,19 @@ TEST(Table, JsonOutput) {
   EXPECT_NE(out.find("\"value\": 1.5"), std::string::npos);   // numeric unquoted
   EXPECT_NE(out.find("\"value\": \"-\""), std::string::npos);  // non-numeric quoted
   EXPECT_EQ(out.front(), '[');
+}
+
+TEST(Table, JsonOutputSurvivesHostileStrings) {
+  Table t({"key \"quoted\"", "value"});
+  std::string evil = "line\nbreak\ttab \\slash\\ \"quote\"";
+  evil.push_back('\x01');
+  t.begin_row().add(evil).add("nan");  // strtod-accepted, not JSON: quoted
+  std::ostringstream os;
+  t.print_json(os);
+  const std::string out = os.str();
+  EXPECT_TRUE(json_valid(out)) << out;
+  EXPECT_NE(out.find("\\u0001"), std::string::npos);
+  EXPECT_NE(out.find("\"nan\""), std::string::npos);
 }
 
 TEST(FormatNumber, FixedRange) {

@@ -65,6 +65,23 @@ TEST(ThreadPool, PropagatesFirstException) {
   EXPECT_EQ(hits.load(), 10);
 }
 
+TEST(ThreadPool, WallProfileAccumulatesAndResets) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.wall_profile().batches, 0u);
+  pool.parallel_for(10, [](std::size_t) {});
+  pool.parallel_for(5, [](std::size_t) {});
+  const auto& w = pool.wall_profile();
+  EXPECT_EQ(w.batches, 2u);
+  EXPECT_EQ(w.items, 15u);
+  EXPECT_GE(w.busy_seconds, 0.0);
+  pool.parallel_for(0, [](std::size_t) {});  // no-op batch is not counted
+  EXPECT_EQ(pool.wall_profile().batches, 2u);
+  pool.reset_wall_profile();
+  EXPECT_EQ(pool.wall_profile().batches, 0u);
+  EXPECT_EQ(pool.wall_profile().items, 0u);
+  EXPECT_DOUBLE_EQ(pool.wall_profile().busy_seconds, 0.0);
+}
+
 TEST(ThreadPool, RejectsZeroThreads) {
   EXPECT_THROW(ThreadPool pool(0), PreconditionError);
 }
