@@ -1,0 +1,196 @@
+// Serving-mode load generator: drive the `hpmm serve` engine with a seeded
+// multi-tenant workload and the noisy-neighbor chaos scenario, sweeping the
+// host thread count. Reports wall-clock throughput (requests/sec), the plan
+// cache hit rate and per-tenant tail latency, and cross-checks that every
+// thread count produced a byte-identical serve report (the envelope's
+// determinism contract).
+//
+//   ./serve_load [--requests=48] [--tenants=4] [--seed=7] [--out=BENCH_serve.json]
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/chaos.hpp"
+#include "serve/script.hpp"
+#include "serve/server.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+using namespace hpmm;
+
+namespace {
+
+struct SweepPoint {
+  std::string scenario;
+  unsigned threads = 1;
+  std::size_t requests = 0;
+  double wall_ms = 0.0;
+  double req_per_sec = 0.0;
+  double cache_hit_rate = 0.0;
+  std::uint64_t ok = 0, failed = 0, rejected = 0, retries = 0;
+  bool deterministic = false;  ///< report byte-identical to threads=1
+};
+
+std::string json_of(const ServeReport& report) {
+  std::ostringstream os;
+  report.write_json(os);
+  return os.str();
+}
+
+std::vector<unsigned> thread_sweep() {
+  std::vector<unsigned> threads = {1, 2, 4};
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw > 4) threads.push_back(hw);
+  return threads;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const std::string out_path = args.get("out", "BENCH_serve.json");
+  WorkloadOptions wl;
+  wl.requests = static_cast<std::size_t>(args.get_int("requests", 48));
+  wl.tenants = static_cast<std::size_t>(args.get_int("tenants", 4));
+  wl.seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+  wl.fault_fraction = 0.15;
+
+  NoisyNeighborOptions chaos;
+  chaos.seed = wl.seed;
+
+  struct Scenario {
+    std::string name;
+    std::vector<TenantRequest> requests;
+  };
+  const std::vector<Scenario> scenarios = {
+      {"generated", generate_workload(wl)},
+      {"noisy-neighbor", noisy_neighbor_scenario(chaos)},
+  };
+
+  std::vector<SweepPoint> points;
+  // Per-tenant tails from the threads=1 run of each scenario (identical at
+  // every thread count by construction — and verified below).
+  struct TenantTail {
+    std::string scenario, tenant;
+    std::uint64_t ok = 0;
+    double p50 = 0.0, p99 = 0.0;
+  };
+  std::vector<TenantTail> tails;
+
+  Table pretty({"scenario", "threads", "req", "wall ms", "req/s",
+                "cache hit", "ok", "fail", "rej", "retry", "identical"});
+  for (const Scenario& sc : scenarios) {
+    std::string reference_json;
+    for (unsigned threads : thread_sweep()) {
+      ServeOptions opt;
+      opt.threads = threads;
+      opt.seed = wl.seed;
+      opt.max_retries = 2;
+      const Server server(opt);
+      const auto t0 = std::chrono::steady_clock::now();
+      const ServeReport report = server.run(sc.requests);
+      const double wall_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+
+      SweepPoint pt;
+      pt.scenario = sc.name;
+      pt.threads = threads;
+      pt.requests = sc.requests.size();
+      pt.wall_ms = wall_s * 1e3;
+      pt.req_per_sec =
+          wall_s > 0.0 ? static_cast<double>(sc.requests.size()) / wall_s : 0.0;
+      pt.cache_hit_rate = report.cache_hit_rate();
+      for (const auto& [tenant, ts] : report.tenants) {
+        pt.ok += ts.ok;
+        pt.failed += ts.failed + ts.deadline_exceeded;
+        pt.rejected += ts.rejected();
+        pt.retries += ts.retries;
+      }
+      const std::string json = json_of(report);
+      if (threads == 1) {
+        reference_json = json;
+        for (const auto& [tenant, ts] : report.tenants) {
+          tails.push_back({sc.name, tenant, ts.ok,
+                           report.latency_quantile(tenant, 0.50),
+                           report.latency_quantile(tenant, 0.99)});
+        }
+      }
+      pt.deterministic = json == reference_json;
+      points.push_back(pt);
+
+      pretty.begin_row()
+          .add(pt.scenario)
+          .add_int(pt.threads)
+          .add_int(static_cast<long long>(pt.requests))
+          .add_num(pt.wall_ms, 4)
+          .add_num(pt.req_per_sec, 5)
+          .add_num(pt.cache_hit_rate, 3)
+          .add_int(static_cast<long long>(pt.ok))
+          .add_int(static_cast<long long>(pt.failed))
+          .add_int(static_cast<long long>(pt.rejected))
+          .add_int(static_cast<long long>(pt.retries))
+          .add(pt.deterministic ? "yes" : "NO");
+    }
+  }
+
+  std::cout << "=== serve load sweep (virtual-time server, host threads) "
+               "===\n\n";
+  pretty.print_aligned(std::cout);
+  std::cout << "\n'identical' compares the full JSON serve report against "
+               "the threads=1 run;\nanything but 'yes' is a determinism "
+               "regression.\n\nper-tenant tails (threads=1):\n\n";
+  Table tail_table({"scenario", "tenant", "ok", "p50", "p99"});
+  for (const TenantTail& t : tails) {
+    tail_table.begin_row()
+        .add(t.scenario)
+        .add(t.tenant)
+        .add_int(static_cast<long long>(t.ok))
+        .add_num(t.p50, 4)
+        .add_num(t.p99, 4);
+  }
+  tail_table.print_aligned(std::cout);
+
+  bool all_identical = true;
+  std::ofstream out(out_path);
+  out << "{\"sweeps\":[";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& pt = points[i];
+    all_identical = all_identical && pt.deterministic;
+    if (i) out << ",";
+    out << "{\"scenario\":" << json_quote(pt.scenario)
+        << ",\"threads\":" << pt.threads << ",\"requests\":" << pt.requests
+        << ",\"wall_ms\":" << json_number(pt.wall_ms)
+        << ",\"req_per_sec\":" << json_number(pt.req_per_sec)
+        << ",\"cache_hit_rate\":" << json_number(pt.cache_hit_rate)
+        << ",\"ok\":" << pt.ok << ",\"failed\":" << pt.failed
+        << ",\"rejected\":" << pt.rejected << ",\"retries\":" << pt.retries
+        << ",\"deterministic\":" << (pt.deterministic ? "true" : "false")
+        << "}";
+  }
+  out << "],\"tenants\":[";
+  for (std::size_t i = 0; i < tails.size(); ++i) {
+    const TenantTail& t = tails[i];
+    if (i) out << ",";
+    out << "{\"scenario\":" << json_quote(t.scenario)
+        << ",\"tenant\":" << json_quote(t.tenant) << ",\"ok\":" << t.ok
+        << ",\"p50\":" << json_number(t.p50)
+        << ",\"p99\":" << json_number(t.p99) << "}";
+  }
+  out << "]}\n";
+  std::cout << "\nwrote " << out_path << "\n";
+
+  if (!all_identical) {
+    std::cerr << "determinism regression: serve reports differ across host "
+                 "thread counts\n";
+    return 1;
+  }
+  return 0;
+}

@@ -51,6 +51,12 @@ struct MachineParams {
   /// simulated times and counters are bit-identical for every setting
   /// (see DESIGN.md "Local compute substrate").
   ExecPolicy exec;
+  /// Virtual-time budget for one run: when > 0, the simulator raises
+  /// DeadlineExceeded (sim/fault.hpp) as soon as any processor's clock
+  /// passes this time, aborting the run. 0 disables the check entirely —
+  /// runs are bit-identical to a machine without the field. Used by the
+  /// serving layer (DESIGN.md "Serving mode & robustness envelope").
+  double deadline = 0.0;
   std::string label = "custom";
 
   /// Time for an m-word message traversing `hops` links.

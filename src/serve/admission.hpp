@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "serve/request.hpp"
+
+namespace hpmm {
+
+/// Per-tenant circuit breaker over virtual time. Closed until `threshold`
+/// consecutive final failures, then open (every arrival rejected) for
+/// `cooldown` virtual-time units, then half-open: exactly one probe request
+/// is admitted, and its outcome closes the breaker again or re-opens it for
+/// another cooldown. Only *final* outcomes feed the breaker — a retry that
+/// eventually succeeds counts as one success.
+class CircuitBreaker {
+ public:
+  enum class State : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+  CircuitBreaker(unsigned threshold, double cooldown);
+
+  /// Whether a request arriving at `now` may proceed: closed, or half-open
+  /// (cooldown elapsed) with no probe in flight.
+  bool can_admit(double now) const noexcept;
+
+  /// Commit an admission decided by can_admit: performs the open ->
+  /// half-open transition and reserves the half-open probe. Kept separate
+  /// from can_admit so a request the breaker would pass but a later
+  /// admission check rejects does not consume the probe.
+  void note_admitted(double now);
+
+  /// can_admit + note_admitted in one step.
+  bool admit(double now);
+
+  void record_success();
+  void record_failure(double now);
+
+  /// The state an arrival at `now` would observe (cooldown expiry included).
+  State state(double now) const noexcept;
+
+  unsigned consecutive_failures() const noexcept { return failures_; }
+  /// Times the breaker transitioned to open (initial trips and re-trips).
+  std::uint64_t trips() const noexcept { return trips_; }
+
+ private:
+  unsigned threshold_;
+  double cooldown_;
+  State state_ = State::kClosed;
+  unsigned failures_ = 0;
+  double opened_at_ = 0.0;
+  bool probe_in_flight_ = false;
+  std::uint64_t trips_ = 0;
+};
+
+/// Admission limits; see ServeOptions for the serving-level defaults.
+struct AdmissionConfig {
+  std::size_t queue_capacity = 16;  ///< admitted-but-unfinished, server-wide
+  std::size_t tenant_quota = 8;     ///< admitted-but-unfinished, per tenant
+  unsigned breaker_threshold = 3;   ///< consecutive failures that trip
+  double breaker_cooldown = 50000.0;  ///< virtual time open before half-open
+};
+
+/// Arrival-time gate combining the per-tenant circuit breakers with bounded
+/// admitted-work accounting. Checks run in a fixed order — breaker, then
+/// server-wide queue bound, then tenant quota — so a rejection's recorded
+/// reason is deterministic. An admitted request holds one unit of queue and
+/// quota until its *final* outcome (retries keep the slot), which is also
+/// when its success or failure feeds the tenant's breaker.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig config);
+
+  /// kOk — and the request's queue/quota units reserved — or the rejection
+  /// to record.
+  ServeOutcome try_admit(const std::string& tenant, double now);
+
+  /// Final outcome of a previously admitted request: releases its units and
+  /// feeds the tenant's breaker.
+  void on_final(const std::string& tenant, double now, bool success);
+
+  std::size_t in_flight() const noexcept { return in_flight_; }
+  std::size_t tenant_in_flight(const std::string& tenant) const;
+
+  /// The tenant's breaker, or null before its first arrival.
+  const CircuitBreaker* breaker(const std::string& tenant) const;
+
+ private:
+  CircuitBreaker& breaker_for(const std::string& tenant);
+
+  AdmissionConfig config_;
+  std::size_t in_flight_ = 0;
+  std::map<std::string, std::size_t> tenant_in_flight_;
+  std::map<std::string, CircuitBreaker> breakers_;
+};
+
+}  // namespace hpmm

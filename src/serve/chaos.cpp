@@ -1,0 +1,109 @@
+#include "serve/chaos.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "util/error.hpp"
+
+namespace hpmm {
+
+std::vector<TenantRequest> noisy_neighbor_scenario(
+    const NoisyNeighborOptions& options) {
+  require(options.gap > 0.0, "noisy_neighbor_scenario: gap must be positive");
+  require(options.corrupt_prob >= 0.0 && options.corrupt_prob <= 1.0,
+          "noisy_neighbor_scenario: corrupt_prob must be within [0, 1]");
+  std::vector<TenantRequest> requests;
+  requests.reserve(options.healthy_requests + options.noisy_requests);
+  for (std::size_t i = 0; i < options.healthy_requests; ++i) {
+    TenantRequest req;
+    req.tenant = "steady";
+    req.arrival = static_cast<double>(i) * options.gap;
+    req.algo = "cannon";
+    req.n = 16;
+    req.p = 16;
+    req.machine = options.machine;
+    requests.push_back(std::move(req));
+  }
+  for (std::size_t i = 0; i < options.noisy_requests; ++i) {
+    TenantRequest req;
+    req.tenant = "noisy";
+    // Offset by half a gap: interleaved with, never tied to, steady's
+    // arrivals.
+    req.arrival = (static_cast<double>(i) + 0.5) * options.gap;
+    req.algo = "cannon";
+    req.n = 16;
+    req.p = 16;
+    req.machine = options.machine;
+    if (options.noisy_faulty) {
+      auto plan = std::make_shared<FaultPlan>();
+      plan->corrupt_prob = options.corrupt_prob;
+      plan->abft = AbftMode::kDetect;  // detected but never repaired
+      plan->seed = options.seed + i;
+      req.faults = std::move(plan);
+    }
+    requests.push_back(std::move(req));
+  }
+  // Arrivals need not be sorted for the server, but a time-ordered script
+  // reads better in request logs.
+  std::stable_sort(requests.begin(), requests.end(),
+                   [](const TenantRequest& a, const TenantRequest& b) {
+                     return a.arrival < b.arrival;
+                   });
+  return requests;
+}
+
+std::vector<TenantRequest> thundering_herd_scenario(
+    const ThunderingHerdOptions& options) {
+  require(options.tenants >= 1,
+          "thundering_herd_scenario: tenants must be >= 1");
+  std::vector<TenantRequest> requests;
+  requests.reserve(options.requests);
+  for (std::size_t i = 0; i < options.requests; ++i) {
+    TenantRequest req;
+    req.tenant = "herd" + std::to_string(i % options.tenants);
+    req.arrival = 0.0;
+    req.algo = "cannon";
+    req.n = 16;
+    req.p = 16;
+    req.machine = options.machine;
+    requests.push_back(std::move(req));
+  }
+  return requests;
+}
+
+std::vector<TenantRequest> straggler_storm_scenario(
+    const StragglerStormOptions& options) {
+  require(options.requests >= 1,
+          "straggler_storm_scenario: requests must be >= 1");
+  require(options.gap > 0.0, "straggler_storm_scenario: gap must be positive");
+  require(options.max_slowdown >= 1.0,
+          "straggler_storm_scenario: max_slowdown must be >= 1");
+  std::vector<TenantRequest> requests;
+  requests.reserve(options.requests);
+  for (std::size_t i = 0; i < options.requests; ++i) {
+    TenantRequest req;
+    req.tenant = "storm";
+    req.arrival = static_cast<double>(i) * options.gap;
+    req.algo = "cannon";
+    req.n = 16;
+    req.p = 16;
+    req.machine = options.machine;
+    // Slowdown ramps geometrically from 1 (clean) to max_slowdown.
+    const double t =
+        options.requests > 1
+            ? static_cast<double>(i) / static_cast<double>(options.requests - 1)
+            : 1.0;
+    const double factor = std::pow(options.max_slowdown, t);
+    if (factor > 1.0) {
+      auto plan = std::make_shared<FaultPlan>();
+      plan->stragglers.push_back({0, factor});
+      plan->seed = options.seed + i;
+      req.faults = std::move(plan);
+    }
+    requests.push_back(std::move(req));
+  }
+  return requests;
+}
+
+}  // namespace hpmm

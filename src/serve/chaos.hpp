@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace hpmm {
+
+/// Seeded chaos scenario builders: adversarial request streams for
+/// exercising the serving envelope. Each returns a plain request list for
+/// Server::run, so scenarios compose with any ServeOptions; all are
+/// deterministic in their options.
+
+/// Noisy neighbor: a healthy tenant ("steady") submits clean requests at a
+/// fixed cadence while a co-tenant ("noisy") interleaves corruption-prone
+/// requests running ABFT in detect-only mode — every detected corruption is
+/// a failed attempt, driving retries and eventually tripping the noisy
+/// tenant's breaker. The envelope's job is isolation: steady's latencies
+/// must stay at their fault-free values.
+struct NoisyNeighborOptions {
+  std::size_t healthy_requests = 12;
+  std::size_t noisy_requests = 12;
+  double gap = 30000.0;        ///< arrival spacing within each stream
+  double corrupt_prob = 0.2;   ///< noisy tenant's corruption probability
+  std::uint64_t seed = 1;
+  std::string machine = "ncube2";
+  bool noisy_faulty = true;    ///< false = the fault-free baseline stream
+};
+std::vector<TenantRequest> noisy_neighbor_scenario(
+    const NoisyNeighborOptions& options);
+
+/// Thundering herd: every request from every tenant arrives at t = 0,
+/// overflowing the admission queue — most of the herd must be rejected with
+/// explicit backpressure, not queued without bound.
+struct ThunderingHerdOptions {
+  std::size_t requests = 24;
+  std::size_t tenants = 4;  ///< named herd0, herd1, ... round-robin
+  std::string machine = "ncube2";
+};
+std::vector<TenantRequest> thundering_herd_scenario(
+    const ThunderingHerdOptions& options);
+
+/// Straggler storm: each request carries one progressively slower straggling
+/// processor, inflating simulated T_p far past the model's prediction — with
+/// a deadline factor set, the slowest runs must abort as deadline_exceeded
+/// instead of hogging their slots forever.
+struct StragglerStormOptions {
+  std::size_t requests = 8;
+  double gap = 30000.0;
+  double max_slowdown = 32.0;  ///< last request's straggler factor
+  std::uint64_t seed = 1;
+  std::string machine = "ncube2";
+};
+std::vector<TenantRequest> straggler_storm_scenario(
+    const StragglerStormOptions& options);
+
+}  // namespace hpmm

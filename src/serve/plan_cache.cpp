@@ -1,0 +1,55 @@
+#include "serve/plan_cache.hpp"
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace hpmm {
+
+std::string plan_cache_key(const TenantRequest& request,
+                           const MachineParams& machine) {
+  std::string key = request.algo + "|" + std::to_string(request.n) + "|" +
+                    std::to_string(request.p) + "|" + machine.label + "|" +
+                    json_number(machine.t_s) + "|" + json_number(machine.t_w) +
+                    "|" + json_number(machine.t_h) + "|" +
+                    std::to_string(static_cast<int>(machine.ports));
+  return key;
+}
+
+PlanCache::PlanCache(std::size_t capacity) : capacity_(capacity) {
+  require(capacity >= 1, "PlanCache: capacity must be >= 1");
+}
+
+const ServicePlan* PlanCache::lookup(const std::string& key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  entries_.splice(entries_.begin(), entries_, it->second);
+  return &entries_.front().second;
+}
+
+void PlanCache::insert(const std::string& key, ServicePlan plan) {
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(plan);
+    entries_.splice(entries_.begin(), entries_, it->second);
+    return;
+  }
+  if (entries_.size() == capacity_) {
+    index_.erase(entries_.back().first);
+    entries_.pop_back();
+  }
+  entries_.emplace_front(key, std::move(plan));
+  index_[key] = entries_.begin();
+}
+
+double PlanCache::hit_rate() const noexcept {
+  const std::uint64_t lookups = hits_ + misses_;
+  return lookups > 0
+             ? static_cast<double>(hits_) / static_cast<double>(lookups)
+             : 0.0;
+}
+
+}  // namespace hpmm

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "serve/request.hpp"
+
+namespace hpmm {
+
+/// A resolved service plan: what would actually run for a request class.
+/// Resolution invokes the selector (or the named formulation's model), so
+/// the server caches plans by request class instead of re-planning every
+/// arrival.
+struct ServicePlan {
+  bool applicable = false;  ///< some formulation fits (n, p)
+  std::string algorithm;    ///< winning formulation ("" when !applicable)
+  double t_model = 0.0;     ///< its model-predicted T_p (deadline baseline)
+};
+
+/// Cache key for a request's plan: every input the planner's answer depends
+/// on — the requested formulation, the problem shape and the machine
+/// technology. Faults and deadlines never influence planning, so they are
+/// deliberately absent: a retried or chaos-wrapped request shares its clean
+/// twin's plan.
+std::string plan_cache_key(const TenantRequest& request,
+                           const MachineParams& machine);
+
+/// Bounded LRU cache of resolved plans with hit/miss counters. Lookups
+/// refresh recency; inserting at capacity evicts the least recently used
+/// entry. Single-threaded like the serve event loop that owns it.
+class PlanCache {
+ public:
+  /// `capacity` must be >= 1.
+  explicit PlanCache(std::size_t capacity);
+
+  /// The cached plan for `key` (refreshing its recency), or null on a miss.
+  /// Counts one hit or one miss per call.
+  const ServicePlan* lookup(const std::string& key);
+
+  /// Insert (or overwrite) `key`, evicting the LRU entry when at capacity.
+  void insert(const std::string& key, ServicePlan plan);
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+
+  /// hits / (hits + misses); 0 before the first lookup.
+  double hit_rate() const noexcept;
+
+ private:
+  using Entry = std::pair<std::string, ServicePlan>;
+  std::size_t capacity_;
+  std::list<Entry> entries_;  ///< front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace hpmm

@@ -1,0 +1,215 @@
+#include "serve/script.hpp"
+
+#include <cstdlib>
+#include <istream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace hpmm {
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw PreconditionError("serve script line " + std::to_string(line) + ": " +
+                          what);
+}
+
+double parse_double(std::size_t line, const std::string& key,
+                    const std::string& value) {
+  if (value.empty()) fail(line, key + " has an empty value");
+  const char* begin = value.c_str();
+  char* end = nullptr;
+  const double v = std::strtod(begin, &end);
+  if (end != begin + value.size()) {
+    fail(line, key + " expects a number, got '" + value + "'");
+  }
+  return v;
+}
+
+std::size_t parse_size(std::size_t line, const std::string& key,
+                       const std::string& value) {
+  for (const char c : value) {
+    if (c < '0' || c > '9') {
+      fail(line, key + " expects a non-negative integer, got '" + value + "'");
+    }
+  }
+  if (value.empty()) fail(line, key + " has an empty value");
+  return static_cast<std::size_t>(std::strtoull(value.c_str(), nullptr, 10));
+}
+
+double parse_prob(std::size_t line, const std::string& key,
+                  const std::string& value) {
+  const double v = parse_double(line, key, value);
+  if (v < 0.0 || v > 1.0) {
+    fail(line, key + " must be within [0, 1], got '" + value + "'");
+  }
+  return v;
+}
+
+AbftMode parse_abft(std::size_t line, const std::string& value) {
+  if (value == "off") return AbftMode::kOff;
+  if (value == "detect") return AbftMode::kDetect;
+  if (value == "correct") return AbftMode::kCorrect;
+  fail(line, "abft must be off, detect or correct, got '" + value + "'");
+}
+
+StragglerSpec parse_straggler(std::size_t line, const std::string& value) {
+  const auto colon = value.find(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == value.size()) {
+    fail(line, "straggler expects pid:factor, got '" + value + "'");
+  }
+  StragglerSpec s;
+  s.pid = static_cast<ProcId>(
+      parse_size(line, "straggler pid", value.substr(0, colon)));
+  s.factor = parse_double(line, "straggler factor", value.substr(colon + 1));
+  if (s.factor < 1.0) {
+    fail(line, "straggler factor must be >= 1, got '" + value + "'");
+  }
+  return s;
+}
+
+TenantRequest parse_request_line(std::size_t line_no, std::istringstream& in) {
+  TenantRequest req;
+  FaultPlan plan;
+  bool any_fault_key = false;
+  bool have_n = false, have_p = false;
+  std::string token;
+  while (in >> token) {
+    const auto eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      fail(line_no, "expected key=value, got '" + token + "'");
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "tenant") {
+      if (value.empty()) fail(line_no, "tenant must not be empty");
+      req.tenant = value;
+    } else if (key == "arrival") {
+      req.arrival = parse_double(line_no, key, value);
+      if (req.arrival < 0.0) fail(line_no, "arrival must be >= 0");
+    } else if (key == "algo") {
+      req.algo = value;
+    } else if (key == "n") {
+      req.n = parse_size(line_no, key, value);
+      have_n = true;
+    } else if (key == "p") {
+      req.p = parse_size(line_no, key, value);
+      have_p = true;
+    } else if (key == "machine") {
+      (void)serve_machine_params(value);  // validates the name
+      req.machine = value;
+    } else if (key == "deadline_factor") {
+      req.deadline_factor = parse_double(line_no, key, value);
+      if (req.deadline_factor < 0.0) {
+        fail(line_no, "deadline_factor must be >= 0");
+      }
+    } else if (key == "drop") {
+      plan.drop_prob = parse_prob(line_no, key, value);
+      any_fault_key = true;
+    } else if (key == "dup") {
+      plan.duplicate_prob = parse_prob(line_no, key, value);
+      any_fault_key = true;
+    } else if (key == "delay") {
+      plan.delay_prob = parse_prob(line_no, key, value);
+      any_fault_key = true;
+    } else if (key == "delay_factor") {
+      plan.delay_factor = parse_double(line_no, key, value);
+      if (plan.delay_factor < 0.0) fail(line_no, "delay_factor must be >= 0");
+      any_fault_key = true;
+    } else if (key == "corrupt") {
+      plan.corrupt_prob = parse_prob(line_no, key, value);
+      any_fault_key = true;
+    } else if (key == "straggler") {
+      plan.stragglers.push_back(parse_straggler(line_no, value));
+      any_fault_key = true;
+    } else if (key == "abft") {
+      plan.abft = parse_abft(line_no, value);
+      any_fault_key = true;
+    } else if (key == "fault_seed") {
+      plan.seed = parse_size(line_no, key, value);
+      any_fault_key = true;
+    } else {
+      fail(line_no, "unknown key '" + key + "'");
+    }
+  }
+  if (!have_n || req.n == 0) fail(line_no, "n must be a positive integer");
+  if (!have_p || req.p == 0) fail(line_no, "p must be a positive integer");
+  if (any_fault_key) req.faults = std::make_shared<FaultPlan>(plan);
+  return req;
+}
+
+}  // namespace
+
+std::vector<TenantRequest> parse_serve_script(std::istream& in) {
+  std::vector<TenantRequest> requests;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream tokens(line);
+    std::string head;
+    if (!(tokens >> head) || head[0] == '#') continue;
+    if (head != "request") {
+      fail(line_no, "expected 'request ...' or a # comment, got '" + head +
+                        "'");
+    }
+    TenantRequest req = parse_request_line(line_no, tokens);
+    req.id = requests.size();
+    requests.push_back(std::move(req));
+  }
+  return requests;
+}
+
+std::vector<TenantRequest> parse_serve_script(const std::string& text) {
+  std::istringstream in(text);
+  return parse_serve_script(in);
+}
+
+std::vector<TenantRequest> generate_workload(const WorkloadOptions& options) {
+  require(options.tenants >= 1, "generate_workload: tenants must be >= 1");
+  require(options.mean_gap >= 0.0, "generate_workload: mean_gap must be >= 0");
+  require(options.fault_fraction >= 0.0 && options.fault_fraction <= 1.0,
+          "generate_workload: fault_fraction must be within [0, 1]");
+  (void)serve_machine_params(options.machine);  // validates the name
+
+  // Simulatable (algo, n, p) classes, kept small so workloads stay fast;
+  // the "" entries exercise the selector (and hence the plan cache).
+  struct Shape {
+    const char* algo;
+    std::size_t n, p;
+  };
+  static constexpr Shape kShapes[] = {
+      {"cannon", 16, 16}, {"cannon", 32, 16}, {"gk", 16, 8}, {"gk", 32, 8},
+      {"simple", 16, 16}, {"", 16, 16},       {"", 32, 4},
+  };
+  constexpr std::size_t kShapeCount = sizeof(kShapes) / sizeof(kShapes[0]);
+
+  Rng rng(options.seed);
+  std::vector<TenantRequest> requests;
+  requests.reserve(options.requests);
+  double arrival = 0.0;
+  for (std::size_t i = 0; i < options.requests; ++i) {
+    const Shape& shape = kShapes[rng.next_below(kShapeCount)];
+    TenantRequest req;
+    req.id = i;
+    req.tenant = "t" + std::to_string(rng.next_below(options.tenants));
+    req.algo = shape.algo;
+    req.n = shape.n;
+    req.p = shape.p;
+    req.machine = options.machine;
+    arrival += rng.uniform(0.0, 2.0 * options.mean_gap);
+    req.arrival = arrival;
+    if (rng.next_double() < options.fault_fraction) {
+      auto plan = std::make_shared<FaultPlan>();
+      plan->corrupt_prob = 0.05;
+      plan->abft = AbftMode::kCorrect;
+      plan->seed = rng.next_u64();
+      req.faults = std::move(plan);
+    }
+    requests.push_back(std::move(req));
+  }
+  return requests;
+}
+
+}  // namespace hpmm

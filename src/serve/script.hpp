@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace hpmm {
+
+/// Parse a serve script: one request per line, strict key=value fields.
+///
+///   # comment and blank lines are ignored
+///   request tenant=alice arrival=0 algo=cannon n=16 p=16 machine=ncube2
+///   request tenant=bob arrival=500 n=32 p=8 corrupt=0.1 abft=correct
+///
+/// Recognized keys — tenant, arrival, algo, n, p, machine, deadline_factor —
+/// plus the fault keys drop, dup, delay, delay_factor, corrupt, straggler
+/// (pid:factor, repeatable), abft (off|detect|correct) and fault_seed; a
+/// FaultPlan is attached only when at least one fault key appears. Parsing
+/// is strict in the CLI's style: an unknown key, malformed value,
+/// out-of-range probability or unknown machine throws PreconditionError
+/// naming the line and field. Request ids are assigned by line order.
+std::vector<TenantRequest> parse_serve_script(std::istream& in);
+
+/// parse_serve_script over an in-memory script.
+std::vector<TenantRequest> parse_serve_script(const std::string& text);
+
+/// Knobs of the seeded workload generator.
+struct WorkloadOptions {
+  std::size_t requests = 32;
+  std::size_t tenants = 3;        ///< named t0, t1, ...
+  std::uint64_t seed = 1;
+  double mean_gap = 20000.0;      ///< mean virtual time between arrivals
+  double fault_fraction = 0.0;    ///< fraction carrying a corrupt-prone plan
+  std::string machine = "ncube2";
+};
+
+/// Seeded-deterministic workload: draws each request's tenant, problem
+/// shape (from a fixed table of simulatable configurations, including
+/// selector-choice entries) and arrival gap from one Rng stream, so the
+/// same options reproduce the identical request list. Requests selected by
+/// `fault_fraction` carry a corruption-prone FaultPlan with ABFT correction
+/// enabled (masked faults: slower, still exact).
+std::vector<TenantRequest> generate_workload(const WorkloadOptions& options);
+
+}  // namespace hpmm

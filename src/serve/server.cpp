@@ -1,0 +1,506 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <optional>
+#include <queue>
+#include <utility>
+
+#include "core/registry.hpp"
+#include "core/selector.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hpmm {
+namespace {
+
+/// Outcome of simulating one service attempt (never a rejection).
+struct Attempt {
+  ServeOutcome outcome = ServeOutcome::kOk;
+  double service_time = 0.0;  ///< how long the attempt held its slot
+  std::string detail;
+};
+
+/// Mutable serving state of one admitted request.
+struct Pending {
+  ServicePlan plan;
+  double deadline = 0.0;
+  unsigned attempts = 0;  ///< attempts started so far
+  Attempt last;           ///< result of the attempt now in (or just out of) a slot
+};
+
+ServicePlan resolve_plan(const TenantRequest& req,
+                         const MachineParams& machine) {
+  ServicePlan plan;
+  const auto nd = static_cast<double>(req.n);
+  const auto pd = static_cast<double>(req.p);
+  if (!req.algo.empty()) {
+    // The caller has already checked the registry contains req.algo.
+    if (!default_registry().implementation(req.algo).applicable(req.n,
+                                                                req.p)) {
+      return plan;
+    }
+    plan.applicable = true;
+    plan.algorithm = req.algo;
+    plan.t_model = default_registry().model(req.algo, machine)->t_parallel(nd, pd);
+    return plan;
+  }
+  const Selection sel = select_algorithm(req.n, req.p, machine,
+                                         /*require_simulatable=*/true);
+  if (sel.best.empty()) return plan;
+  plan.applicable = true;
+  plan.algorithm = sel.best;
+  plan.t_model = sel.t_parallel;
+  return plan;
+}
+
+double deadline_for(const TenantRequest& req, const ServicePlan& plan,
+                    const ServeOptions& options) {
+  const double factor = req.deadline_factor > 0.0 ? req.deadline_factor
+                                                  : options.deadline_factor;
+  return factor > 0.0 ? factor * plan.t_model : 0.0;
+}
+
+/// Run one attempt end to end on its own simulated machine. Pure in
+/// (request, plan, deadline, attempt): safe to speculate on host threads.
+Attempt simulate_attempt(const TenantRequest& req,
+                         const MachineParams& machine, const ServicePlan& plan,
+                         double deadline, unsigned attempt) {
+  MachineParams mp = machine;
+  mp.faults = fault_plan_for_attempt(req.faults, attempt);
+  mp.deadline = deadline;
+  // Host threads are the server's to spend (across requests, not inside
+  // one); simulated results are identical either way.
+  mp.exec.threads = 1;
+  const Matrix a = request_operand(req.n, req.id, 0xA);
+  const Matrix b = request_operand(req.n, req.id, 0xB);
+  Attempt out;
+  try {
+    const MatmulResult r =
+        default_registry().implementation(plan.algorithm).run(a, b, req.p, mp);
+    out.service_time = r.report.t_parallel;
+    if (r.report.faults.abft_detected > r.report.faults.abft_corrected) {
+      out.outcome = ServeOutcome::kFailed;
+      out.detail = "abft detected uncorrected corruption (" +
+                   std::to_string(r.report.faults.abft_detected -
+                                  r.report.faults.abft_corrected) +
+                   " blocks)";
+    }
+  } catch (const DeadlineExceeded& e) {
+    out.outcome = ServeOutcome::kDeadlineExceeded;
+    out.service_time = deadline;
+    out.detail = e.what();
+  } catch (const ProcessorFailure& e) {
+    out.outcome = ServeOutcome::kFailed;
+    out.service_time = e.at_time();
+    out.detail = e.what();
+  }
+  return out;
+}
+
+/// Deterministic backoff jitter in [0, 1): a private stream per
+/// (server seed, request, attempt), independent of event order.
+double jitter_unit(std::uint64_t seed, std::uint64_t id, unsigned attempt) {
+  Rng rng(seed ^ (id * 0x9E3779B97F4A7C15ULL) ^
+          (static_cast<std::uint64_t>(attempt) << 48));
+  return rng.next_double();
+}
+
+/// Event kinds in processing-priority order at equal time: completions
+/// free slots and queue units before retries re-enter, and both before new
+/// arrivals face admission.
+enum class EventKind : std::uint8_t { kCompletion = 0, kRetry = 1, kArrival = 2 };
+
+struct Event {
+  double time = 0.0;
+  EventKind kind = EventKind::kArrival;
+  std::uint64_t seq = 0;  ///< push order, the deterministic tie-breaker
+  std::size_t index = 0;  ///< request index
+};
+
+struct LaterEvent {
+  bool operator()(const Event& a, const Event& b) const noexcept {
+    if (a.time != b.time) return a.time > b.time;
+    if (a.kind != b.kind) return a.kind > b.kind;
+    return a.seq > b.seq;
+  }
+};
+
+void write_options_json(std::ostream& os, const ServeOptions& o) {
+  // `threads` is deliberately omitted: it is host wall-clock policy, and the
+  // report must be byte-identical for every thread count.
+  os << "{\"slots\":" << o.slots
+     << ",\"queue_capacity\":" << o.queue_capacity
+     << ",\"tenant_quota\":" << o.tenant_quota
+     << ",\"breaker_threshold\":" << o.breaker_threshold
+     << ",\"breaker_cooldown\":" << json_number(o.breaker_cooldown)
+     << ",\"max_retries\":" << o.max_retries
+     << ",\"backoff_base\":" << json_number(o.backoff_base)
+     << ",\"backoff_factor\":" << json_number(o.backoff_factor)
+     << ",\"backoff_jitter\":" << json_number(o.backoff_jitter)
+     << ",\"deadline_factor\":" << json_number(o.deadline_factor)
+     << ",\"seed\":" << o.seed
+     << ",\"plan_cache_capacity\":" << o.plan_cache_capacity << "}";
+}
+
+void write_record_json(std::ostream& os, const RequestRecord& r) {
+  os << "{\"id\":" << r.request.id << ",\"tenant\":"
+     << json_quote(r.request.tenant)
+     << ",\"arrival\":" << json_number(r.request.arrival)
+     << ",\"algo\":" << json_quote(r.request.algo) << ",\"n\":" << r.request.n
+     << ",\"p\":" << r.request.p
+     << ",\"machine\":" << json_quote(r.request.machine)
+     << ",\"outcome\":" << json_quote(to_string(r.outcome))
+     << ",\"attempts\":" << r.attempts
+     << ",\"cache_hit\":" << (r.cache_hit ? "true" : "false")
+     << ",\"algorithm\":" << json_quote(r.algorithm)
+     << ",\"deadline\":" << json_number(r.deadline)
+     << ",\"start\":" << json_number(r.start)
+     << ",\"finish\":" << json_number(r.finish)
+     << ",\"latency\":" << json_number(r.latency)
+     << ",\"service_time\":" << json_number(r.service_time)
+     << ",\"detail\":" << json_quote(r.detail) << "}";
+}
+
+}  // namespace
+
+Server::Server(ServeOptions options) : options_(options) {
+  require(options.slots >= 1, "serve: slots must be >= 1");
+  require(options.threads >= 1, "serve: threads must be >= 1");
+  require(options.backoff_base >= 0.0, "serve: backoff_base must be >= 0");
+  require(options.backoff_factor >= 1.0, "serve: backoff_factor must be >= 1");
+  require(options.backoff_jitter >= 0.0, "serve: backoff_jitter must be >= 0");
+  require(options.deadline_factor >= 0.0,
+          "serve: deadline_factor must be >= 0");
+  // Queue, quota, breaker and cache limits are validated by the components
+  // that own them (AdmissionController, CircuitBreaker, PlanCache).
+  (void)AdmissionController({options.queue_capacity, options.tenant_quota,
+                             options.breaker_threshold,
+                             options.breaker_cooldown});
+  (void)PlanCache(options.plan_cache_capacity);
+}
+
+ServeReport Server::run(std::vector<TenantRequest> requests) const {
+  const ServeOptions& opt = options_;
+
+  ServeReport report;
+  report.options = opt;
+
+  std::vector<RequestRecord> records(requests.size());
+  std::vector<MachineParams> machine(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    requests[i].id = i;
+    records[i].request = requests[i];
+    machine[i] = serve_machine_params(requests[i].machine);
+  }
+
+  std::vector<Pending> state(requests.size());
+  AdmissionController admission({opt.queue_capacity, opt.tenant_quota,
+                                 opt.breaker_threshold, opt.breaker_cooldown});
+  PlanCache cache(opt.plan_cache_capacity);
+
+  // Speculative host-parallel simulation of every request's first attempt.
+  // Each attempt is schedule-independent, so the only cost of speculation
+  // is wall-clock wasted on requests admission later rejects; the serial
+  // event loop below consumes these results and stays bit-identical to the
+  // threads == 1 run.
+  std::vector<std::optional<Attempt>> first_attempt(requests.size());
+  if (opt.threads > 1 && !requests.empty()) {
+    ThreadPool pool(opt.threads);
+    pool.parallel_for(requests.size(), [&](std::size_t i) {
+      const TenantRequest& req = requests[i];
+      if (req.n == 0 || req.p == 0) return;
+      if (!req.algo.empty() && !default_registry().contains(req.algo)) return;
+      const ServicePlan plan = resolve_plan(req, machine[i]);
+      if (!plan.applicable) return;
+      first_attempt[i] = simulate_attempt(req, machine[i], plan,
+                                          deadline_for(req, plan, opt), 0);
+    });
+  }
+
+  auto run_attempt = [&](std::size_t i, unsigned attempt) -> Attempt {
+    if (attempt == 0 && first_attempt[i]) return *first_attempt[i];
+    return simulate_attempt(requests[i], machine[i], state[i].plan,
+                            state[i].deadline, attempt);
+  };
+
+  auto latency_hist = [&](const std::string& tenant) -> Histogram& {
+    return report.metrics.histogram("serve.latency." + tenant,
+                                    Histogram::pow2_bounds(44));
+  };
+
+  auto finalize = [&](std::size_t i, double now, ServeOutcome outcome,
+                      const std::string& detail) {
+    const TenantRequest& req = requests[i];
+    RequestRecord& rec = records[i];
+    TenantStats& ts = report.tenants[req.tenant];
+    rec.outcome = outcome;
+    rec.finish = now;
+    rec.detail = detail;
+    switch (outcome) {
+      case ServeOutcome::kOk: ++ts.ok; break;
+      case ServeOutcome::kDeadlineExceeded: ++ts.deadline_exceeded; break;
+      case ServeOutcome::kFailed: ++ts.failed; break;
+      case ServeOutcome::kRejectedInvalid: ++ts.rejected_invalid; break;
+      case ServeOutcome::kRejectedInfeasible: ++ts.rejected_infeasible; break;
+      case ServeOutcome::kRejectedBreaker: ++ts.rejected_breaker; break;
+      case ServeOutcome::kRejectedQueueFull: ++ts.rejected_queue_full; break;
+      case ServeOutcome::kRejectedQuota: ++ts.rejected_quota; break;
+    }
+    if (!is_rejection(outcome)) {
+      rec.latency = now - req.arrival;
+      admission.on_final(req.tenant, now, outcome == ServeOutcome::kOk);
+      if (outcome == ServeOutcome::kOk) {
+        ts.ok_latency_sum += rec.latency;
+        latency_hist(req.tenant).observe(rec.latency);
+      }
+    }
+  };
+
+  // Ready-to-serve queues, one per tenant, drained round-robin in tenant
+  // name order so no tenant can starve another (the fair-scheduling half of
+  // the quota story).
+  std::map<std::string, std::deque<std::size_t>> ready;
+  std::string last_served;
+  auto pop_ready = [&]() -> std::optional<std::size_t> {
+    auto take = [&](auto it) {
+      last_served = it->first;
+      const std::size_t i = it->second.front();
+      it->second.pop_front();
+      return i;
+    };
+    for (auto it = ready.upper_bound(last_served); it != ready.end(); ++it) {
+      if (!it->second.empty()) return take(it);
+    }
+    for (auto it = ready.begin();
+         it != ready.end() && it->first <= last_served; ++it) {
+      if (!it->second.empty()) return take(it);
+    }
+    return std::nullopt;
+  };
+
+  std::priority_queue<Event, std::vector<Event>, LaterEvent> events;
+  std::uint64_t seq = 0;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    events.push({requests[i].arrival, EventKind::kArrival, seq++, i});
+  }
+
+  std::size_t free_slots = opt.slots;
+  auto dispatch = [&](double now) {
+    while (free_slots > 0) {
+      const auto picked = pop_ready();
+      if (!picked) break;
+      const std::size_t i = *picked;
+      --free_slots;
+      Pending& st = state[i];
+      if (st.attempts == 0) records[i].start = now;
+      st.last = run_attempt(i, st.attempts);
+      ++st.attempts;
+      events.push({now + st.last.service_time, EventKind::kCompletion, seq++, i});
+    }
+  };
+
+  double makespan = 0.0;
+  while (!events.empty()) {
+    const Event ev = events.top();
+    events.pop();
+    const double now = ev.time;
+    makespan = std::max(makespan, now);
+    const std::size_t i = ev.index;
+    const TenantRequest& req = requests[i];
+    switch (ev.kind) {
+      case EventKind::kArrival: {
+        TenantStats& ts = report.tenants[req.tenant];
+        ++ts.submitted;
+        report.metrics.counter("serve.submitted").add();
+        if (req.n == 0 || req.p == 0) {
+          finalize(i, now, ServeOutcome::kRejectedInvalid,
+                   "n and p must be positive");
+          break;
+        }
+        if (!req.algo.empty() && !default_registry().contains(req.algo)) {
+          finalize(i, now, ServeOutcome::kRejectedInvalid,
+                   "unknown algorithm '" + req.algo + "'");
+          break;
+        }
+        const std::string key = plan_cache_key(req, machine[i]);
+        ServicePlan plan;
+        if (const ServicePlan* hit = cache.lookup(key)) {
+          plan = *hit;
+          records[i].cache_hit = true;
+          ++ts.cache_hits;
+        } else {
+          plan = resolve_plan(req, machine[i]);
+          cache.insert(key, plan);
+        }
+        if (!plan.applicable) {
+          finalize(i, now, ServeOutcome::kRejectedInfeasible,
+                   "no formulation applicable at n=" + std::to_string(req.n) +
+                       ", p=" + std::to_string(req.p));
+          break;
+        }
+        const ServeOutcome admitted = admission.try_admit(req.tenant, now);
+        if (admitted != ServeOutcome::kOk) {
+          finalize(i, now, admitted, "admission rejected the request");
+          break;
+        }
+        Pending& st = state[i];
+        st.plan = std::move(plan);
+        st.deadline = deadline_for(req, st.plan, opt);
+        records[i].algorithm = st.plan.algorithm;
+        records[i].deadline = st.deadline;
+        ready[req.tenant].push_back(i);
+        dispatch(now);
+        break;
+      }
+      case EventKind::kRetry: {
+        ready[req.tenant].push_back(i);
+        dispatch(now);
+        break;
+      }
+      case EventKind::kCompletion: {
+        ++free_slots;
+        Pending& st = state[i];
+        RequestRecord& rec = records[i];
+        rec.attempts = st.attempts;
+        rec.service_time = st.last.service_time;
+        if (st.last.outcome == ServeOutcome::kFailed &&
+            st.attempts <= opt.max_retries) {
+          TenantStats& ts = report.tenants[req.tenant];
+          ++ts.retries;
+          report.metrics.counter("serve.retries").add();
+          const double backoff =
+              opt.backoff_base *
+              std::pow(opt.backoff_factor,
+                       static_cast<double>(st.attempts - 1)) *
+              (1.0 + opt.backoff_jitter *
+                         jitter_unit(opt.seed, req.id, st.attempts));
+          events.push({now + backoff, EventKind::kRetry, seq++, i});
+        } else {
+          finalize(i, now, st.last.outcome, st.last.detail);
+        }
+        dispatch(now);
+        break;
+      }
+    }
+  }
+
+  report.makespan = makespan;
+  report.cache_hits = cache.hits();
+  report.cache_misses = cache.misses();
+  report.metrics.counter("serve.cache.hits").add(cache.hits());
+  report.metrics.counter("serve.cache.misses").add(cache.misses());
+  for (auto& [tenant, ts] : report.tenants) {
+    if (const CircuitBreaker* breaker = admission.breaker(tenant)) {
+      ts.breaker_trips = breaker->trips();
+    }
+    report.metrics.counter("serve.ok").add(ts.ok);
+    report.metrics.counter("serve.failed").add(ts.failed);
+    report.metrics.counter("serve.deadline_exceeded").add(ts.deadline_exceeded);
+    report.metrics.counter("serve.rejected").add(ts.rejected());
+  }
+  if (opt.keep_request_log) report.requests = std::move(records);
+  return report;
+}
+
+double ServeReport::latency_quantile(const std::string& tenant,
+                                     double q) const {
+  const Histogram* h = metrics.find_histogram("serve.latency." + tenant);
+  return h != nullptr ? h->quantile(q) : 0.0;
+}
+
+double ServeReport::cache_hit_rate() const noexcept {
+  const std::uint64_t lookups = cache_hits + cache_misses;
+  return lookups > 0
+             ? static_cast<double>(cache_hits) / static_cast<double>(lookups)
+             : 0.0;
+}
+
+Table ServeReport::tenant_table() const {
+  Table table({"tenant", "req", "ok", "dlx", "fail", "rej", "retry", "trips",
+               "p50", "p95", "p99"});
+  for (const auto& [tenant, ts] : tenants) {
+    table.begin_row()
+        .add(tenant)
+        .add_int(static_cast<long long>(ts.submitted))
+        .add_int(static_cast<long long>(ts.ok))
+        .add_int(static_cast<long long>(ts.deadline_exceeded))
+        .add_int(static_cast<long long>(ts.failed))
+        .add_int(static_cast<long long>(ts.rejected()))
+        .add_int(static_cast<long long>(ts.retries))
+        .add_int(static_cast<long long>(ts.breaker_trips))
+        .add_num(latency_quantile(tenant, 0.50))
+        .add_num(latency_quantile(tenant, 0.95))
+        .add_num(latency_quantile(tenant, 0.99));
+  }
+  return table;
+}
+
+std::string ServeReport::summary() const {
+  TenantStats total;
+  for (const auto& [tenant, ts] : tenants) {
+    total.submitted += ts.submitted;
+    total.ok += ts.ok;
+    total.deadline_exceeded += ts.deadline_exceeded;
+    total.failed += ts.failed;
+    total.rejected_invalid += ts.rejected();
+    total.retries += ts.retries;
+    total.breaker_trips += ts.breaker_trips;
+  }
+  return "serve: " + std::to_string(total.submitted) + " requests, " +
+         std::to_string(tenants.size()) + " tenants, makespan " +
+         format_number(makespan, 4) + " | ok=" + std::to_string(total.ok) +
+         " dlx=" + std::to_string(total.deadline_exceeded) +
+         " fail=" + std::to_string(total.failed) +
+         " rej=" + std::to_string(total.rejected_invalid) +
+         " retries=" + std::to_string(total.retries) +
+         " trips=" + std::to_string(total.breaker_trips) + " | cache " +
+         std::to_string(cache_hits) + "/" +
+         std::to_string(cache_hits + cache_misses) + " (" +
+         format_number(cache_hit_rate() * 100.0, 3) + "%)";
+}
+
+void ServeReport::write_json(std::ostream& os) const {
+  os << "{\"options\":";
+  write_options_json(os, options);
+  os << ",\"makespan\":" << json_number(makespan) << ",\"cache\":{\"hits\":"
+     << cache_hits << ",\"misses\":" << cache_misses
+     << ",\"hit_rate\":" << json_number(cache_hit_rate()) << "},\"tenants\":{";
+  bool first = true;
+  for (const auto& [tenant, ts] : tenants) {
+    if (!first) os << ",";
+    first = false;
+    const std::uint64_t completed = ts.ok;
+    os << json_quote(tenant) << ":{\"submitted\":" << ts.submitted
+       << ",\"ok\":" << ts.ok
+       << ",\"deadline_exceeded\":" << ts.deadline_exceeded
+       << ",\"failed\":" << ts.failed
+       << ",\"rejected_invalid\":" << ts.rejected_invalid
+       << ",\"rejected_infeasible\":" << ts.rejected_infeasible
+       << ",\"rejected_breaker\":" << ts.rejected_breaker
+       << ",\"rejected_queue_full\":" << ts.rejected_queue_full
+       << ",\"rejected_quota\":" << ts.rejected_quota
+       << ",\"retries\":" << ts.retries
+       << ",\"breaker_trips\":" << ts.breaker_trips
+       << ",\"cache_hits\":" << ts.cache_hits << ",\"mean_latency\":"
+       << json_number(completed > 0
+                          ? ts.ok_latency_sum / static_cast<double>(completed)
+                          : 0.0)
+       << ",\"p50\":" << json_number(latency_quantile(tenant, 0.50))
+       << ",\"p95\":" << json_number(latency_quantile(tenant, 0.95))
+       << ",\"p99\":" << json_number(latency_quantile(tenant, 0.99)) << "}";
+  }
+  os << "},\"requests\":[";
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (i) os << ",";
+    write_record_json(os, requests[i]);
+  }
+  os << "],\"metrics\":";
+  metrics.write_json(os);
+  os << "}";
+}
+
+}  // namespace hpmm

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "serve/admission.hpp"
+#include "serve/plan_cache.hpp"
+#include "serve/request.hpp"
+#include "util/metrics.hpp"
+#include "util/table.hpp"
+
+namespace hpmm {
+
+/// Knobs of the serving envelope (DESIGN.md "Serving mode & robustness
+/// envelope"); the `hpmm serve` defaults.
+struct ServeOptions {
+  std::size_t slots = 4;    ///< requests in service concurrently (virtual)
+  unsigned threads = 1;     ///< host threads for speculative simulation
+  std::size_t queue_capacity = 16;  ///< admitted-but-unfinished, server-wide
+  std::size_t tenant_quota = 8;     ///< admitted-but-unfinished, per tenant
+  unsigned breaker_threshold = 3;   ///< consecutive failures that trip
+  double breaker_cooldown = 50000.0;  ///< virtual time open before half-open
+  unsigned max_retries = 2;  ///< extra attempts after a detected-fault failure
+  double backoff_base = 500.0;    ///< first retry delay, virtual time
+  double backoff_factor = 2.0;    ///< exponential growth per further retry
+  double backoff_jitter = 0.5;    ///< fraction of each delay randomized
+  /// Deadline budget = deadline_factor x the plan's model-predicted T_p
+  /// (per-request TenantRequest::deadline_factor overrides); 0 = unbounded.
+  double deadline_factor = 0.0;
+  std::uint64_t seed = 1;  ///< jitter stream seed
+  std::size_t plan_cache_capacity = 64;
+  bool keep_request_log = true;  ///< keep per-request records in the report
+};
+
+/// Per-tenant outcome and robustness counters.
+struct TenantStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t rejected_invalid = 0;
+  std::uint64_t rejected_infeasible = 0;
+  std::uint64_t rejected_breaker = 0;
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t rejected_quota = 0;
+  std::uint64_t retries = 0;       ///< retry attempts scheduled
+  std::uint64_t breaker_trips = 0;
+  std::uint64_t cache_hits = 0;    ///< plans served from the cache
+  double ok_latency_sum = 0.0;     ///< summed latency of ok requests
+
+  std::uint64_t rejected() const noexcept {
+    return rejected_invalid + rejected_infeasible + rejected_breaker +
+           rejected_queue_full + rejected_quota;
+  }
+};
+
+/// Outcome of one serve run. Deterministic: the same request stream and
+/// options produce a byte-identical write_json for every host thread count.
+struct ServeReport {
+  ServeOptions options;
+  /// Per-request records in submission order (empty when
+  /// !options.keep_request_log).
+  std::vector<RequestRecord> requests;
+  std::map<std::string, TenantStats> tenants;
+  double makespan = 0.0;  ///< virtual time of the last processed event
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  /// serve.latency.<tenant> histograms (ok requests only) plus serve.*
+  /// counters mirroring the aggregate tallies.
+  MetricsRegistry metrics;
+
+  /// Bucket-interpolated latency quantile of the tenant's completed
+  /// requests; 0 when the tenant completed none.
+  double latency_quantile(const std::string& tenant, double q) const;
+
+  double cache_hit_rate() const noexcept;
+
+  /// One row per tenant: outcome counts, retries, trips, p50/p95/p99.
+  Table tenant_table() const;
+
+  /// One-line aggregate summary.
+  std::string summary() const;
+
+  /// The full report as one JSON object.
+  void write_json(std::ostream& os) const;
+};
+
+/// Deterministic in-process serving driver. Requests are replayed through a
+/// virtual-time event loop: admission control at arrival (circuit breaker,
+/// bounded queue, tenant quota — serve/admission.hpp), plan resolution
+/// through an LRU cache, fair round-robin dispatch over tenants onto
+/// `slots` concurrent service slots, per-request deadline budgets enforced
+/// by the simulator, and seeded exponential-backoff retries when ABFT
+/// detects uncorrected corruption or a processor fail-stops.
+///
+/// Every attempt's simulation is schedule-independent (it runs on its own
+/// SimMachine), so with threads > 1 the server speculatively simulates
+/// first attempts in parallel on a host thread pool; the event loop itself
+/// stays serial, making reports bit-identical for every thread count.
+class Server {
+ public:
+  explicit Server(ServeOptions options);
+
+  /// Serve the stream. Request ids are overwritten with stream positions
+  /// (they seed operands and retry jitter); arrivals need not be sorted.
+  ServeReport run(std::vector<TenantRequest> requests) const;
+
+  const ServeOptions& options() const noexcept { return options_; }
+
+ private:
+  ServeOptions options_;
+};
+
+}  // namespace hpmm

@@ -91,6 +91,15 @@ ProcessorFailure::ProcessorFailure(ProcId pid, double at_time)
       pid_(pid),
       at_time_(at_time) {}
 
+DeadlineExceeded::DeadlineExceeded(ProcId pid, double budget, double at_time)
+    : std::runtime_error("deadline exceeded: processor " + std::to_string(pid) +
+                         " passed the virtual-time budget " +
+                         format_number(budget, 6) + " at t=" +
+                         format_number(at_time, 6)),
+      pid_(pid),
+      budget_(budget),
+      at_time_(at_time) {}
+
 FaultInjector::FaultInjector(std::shared_ptr<const FaultPlan> plan)
     : plan_(std::move(plan)) {
   require(plan_ != nullptr, "FaultInjector: plan must not be null");

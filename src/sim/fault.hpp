@@ -112,6 +112,25 @@ class ProcessorFailure : public std::runtime_error {
   double at_time_;
 };
 
+/// Raised when a run exhausts its virtual-time budget
+/// (MachineParams::deadline > 0 and some processor's clock passed it). Like
+/// ProcessorFailure it derives from std::runtime_error so serving harnesses
+/// can catch exactly this, abandon the run and report deadline_exceeded.
+class DeadlineExceeded : public std::runtime_error {
+ public:
+  DeadlineExceeded(ProcId pid, double budget, double at_time);
+  ProcId pid() const noexcept { return pid_; }
+  /// The budget that was exceeded (MachineParams::deadline).
+  double budget() const noexcept { return budget_; }
+  /// The clock value that first passed the budget.
+  double at_time() const noexcept { return at_time_; }
+
+ private:
+  ProcId pid_;
+  double budget_;
+  double at_time_;
+};
+
 /// The fate the network hands one transmission attempt of one message.
 struct MessageFate {
   bool dropped = false;

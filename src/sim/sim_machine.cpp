@@ -103,6 +103,7 @@ void SimMachine::compute(ProcId pid, double flops) {
   cell.compute_time += duration;
   cell.flops += static_cast<std::uint64_t>(flops);
   chain_cell(pid).compute += duration;
+  check_deadline(pid);
 }
 
 SimMachine::~SimMachine() = default;
@@ -364,6 +365,7 @@ void SimMachine::exchange(std::vector<Message> messages) {
       next = arrival_max[pid];
     }
     st.clock = next;
+    check_deadline(pid);
   }
   // Deliver payloads.
   for (std::size_t i = 0; i < messages.size(); ++i) {
@@ -478,6 +480,7 @@ void SimMachine::charge_group_comm(std::span<const ProcId> group, double time_co
     phase_cell(cur, pid).comm_time += time_cost;
     chain_cell(pid).modeled += time_cost;
     st.clock = start + time_cost;
+    check_deadline(pid);
   }
 }
 

@@ -218,6 +218,14 @@ class SimMachine {
               std::uint64_t words = 0);
   /// Throws ProcessorFailure if pid's clock has reached its fail-stop time.
   void check_alive(ProcId pid) const;
+  /// Throws DeadlineExceeded if a deadline is set and pid's clock passed it.
+  /// Called after every clock advance; a zero deadline disables the check
+  /// (bit-identical behaviour to a machine without one).
+  void check_deadline(ProcId pid) const {
+    if (params_.deadline > 0.0 && stats_[pid].clock > params_.deadline) {
+      throw DeadlineExceeded(pid, params_.deadline, stats_[pid].clock);
+    }
+  }
 
   std::shared_ptr<const Topology> topology_;
   MachineParams params_;

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cmath>
 #include <fstream>
+#include <functional>
 #include <memory>
 #include <string>
 #include <utility>
@@ -19,6 +20,9 @@
 #include "core/validate.hpp"
 #include "matrix/generate.hpp"
 #include "matrix/kernels.hpp"
+#include "serve/chaos.hpp"
+#include "serve/script.hpp"
+#include "serve/server.hpp"
 #include "sim/fault.hpp"
 #include "util/error.hpp"
 #include "util/json.hpp"
@@ -80,6 +84,28 @@ AbftMode abft_from_args(const CliArgs& args) {
   if (mode == "correct") return AbftMode::kCorrect;
   throw PreconditionError("inject: --abft must be off, detect or correct, got '" +
                           mode + "'");
+}
+
+/// Run `writer` against --out's file stream, or against `os` when --out is
+/// absent. The stream state is checked both before writing (open failure)
+/// and after write + flush — a full disk or vanished path must surface as a
+/// PreconditionError, not a silently truncated file.
+void write_output(const CliArgs& args, std::ostream& os,
+                  const std::string& command, const std::string& what,
+                  const std::function<void(std::ostream&)>& writer) {
+  const std::string out = args.get("out", "");
+  if (out.empty()) {
+    writer(os);
+    return;
+  }
+  std::ofstream file(out);
+  require(file.good(),
+          command + ": cannot open --out file '" + out + "'");
+  writer(file);
+  file.flush();
+  require(file.good(), command + ": writing --out file '" + out +
+                           "' failed (disk full or device error?)");
+  os << "wrote " << what << " to " << out << "\n";
 }
 
 void print_table(const CliArgs& args, const Table& table, std::ostream& os) {
@@ -235,13 +261,15 @@ int cmd_run(const CliArgs& args, std::ostream& os) {
   if (args.get("format", "aligned") == "json") {
     // One JSON object: the full simulated RunReport plus the model
     // comparison and product check that `run` adds on top of it.
-    os << "{\"report\":";
-    pt.report.write_json(os);
-    os << ",\"model_t_parallel\":" << json_number(pt.model_t_parallel)
-       << ",\"ratio\":" << json_number(pt.ratio())
-       << ",\"max_numeric_error\":" << json_number(pt.max_numeric_error)
-       << ",\"product_correct\":" << (pt.product_correct ? "true" : "false")
-       << "}\n";
+    write_output(args, os, "run", "run report", [&pt](std::ostream& s) {
+      s << "{\"report\":";
+      pt.report.write_json(s);
+      s << ",\"model_t_parallel\":" << json_number(pt.model_t_parallel)
+        << ",\"ratio\":" << json_number(pt.ratio())
+        << ",\"max_numeric_error\":" << json_number(pt.max_numeric_error)
+        << ",\"product_correct\":" << (pt.product_correct ? "true" : "false")
+        << "}\n";
+    });
     return pt.product_correct ? 0 : 1;
   }
   os << algorithm << ": n=" << n << " p=" << p << " (" << mp.label << ")\n"
@@ -349,16 +377,12 @@ int cmd_trace(const CliArgs& args, std::ostream& os) {
   const std::string format = args.get("format", "gantt");
   if (format == "chrome") {
     // Chrome trace-event JSON: load into chrome://tracing or Perfetto.
-    const std::string out = args.get("out", "");
-    if (out.empty()) {
-      result.trace.write_chrome(os);
-    } else {
-      std::ofstream file(out);
-      require(file.good(), "trace: cannot open --out file '" + out + "'");
-      result.trace.write_chrome(file);
-      os << "wrote chrome trace (" << result.trace.events().size()
-         << " events) to " << out << "\n";
-    }
+    const std::string what = "chrome trace (" +
+                             std::to_string(result.trace.events().size()) +
+                             " events)";
+    write_output(args, os, "trace", what, [&result](std::ostream& s) {
+      result.trace.write_chrome(s);
+    });
     return 0;
   }
   require(format == "gantt",
@@ -394,8 +418,6 @@ int cmd_profile(const CliArgs& args, std::ostream& os) {
   const KernelWallProfile kwp = kernel_wall_profile();
   const RunReport& report = result.report;
 
-  os << algorithm << ": n=" << n << " p=" << p << " (" << mp.label << ")\n";
-
   // Per-phase table: busy-time maxima over processors, traffic totals, and
   // the slice of the critical path each phase accounts for (slices sum to
   // T_p).
@@ -411,7 +433,6 @@ int cmd_profile(const CliArgs& args, std::ostream& os) {
         .add(std::to_string(ph.words))
         .add_num(ph.path.total(), 6);
   }
-  print_table(args, phases, os);
 
   // Overhead reconciliation: the measured critical-path terms against the
   // analytical model's terms. Evaluating the model with t_w = 0 isolates
@@ -445,17 +466,20 @@ int cmd_profile(const CliArgs& args, std::ostream& os) {
   rec_row("word (t_w)", cp.word, model_word->comm_time(nd, pd));
   if (cp.modeled > 0.0) rec_row("modeled collectives", cp.modeled, 0.0);
   if (cp.other > 0.0) rec_row("other (delays/retries)", cp.other, 0.0);
-  print_table(args, rec, os);
 
-  os << "T_p = " << format_number(report.t_parallel, 6)
-     << " (critical path sums to "
-     << format_number(cp.total(), 6) << ")\n";
-  os << "host wall: " << format_number(wall_seconds * 1e3, 4) << " ms";
-  if (kwp.calls > 0) {
-    os << " (packed kernel: " << kwp.calls << " calls, "
-       << format_number(kwp.seconds * 1e3, 4) << " ms)";
-  }
-  os << "\n";
+  write_output(args, os, "profile", "profile report", [&](std::ostream& s) {
+    s << algorithm << ": n=" << n << " p=" << p << " (" << mp.label << ")\n";
+    print_table(args, phases, s);
+    print_table(args, rec, s);
+    s << "T_p = " << format_number(report.t_parallel, 6)
+      << " (critical path sums to " << format_number(cp.total(), 6) << ")\n";
+    s << "host wall: " << format_number(wall_seconds * 1e3, 4) << " ms";
+    if (kwp.calls > 0) {
+      s << " (packed kernel: " << kwp.calls << " calls, "
+        << format_number(kwp.seconds * 1e3, 4) << " ms)";
+    }
+    s << "\n";
+  });
   return 0;
 }
 
@@ -586,6 +610,161 @@ int cmd_inject(const CliArgs& args, std::ostream& os) {
   return ok ? 0 : 1;
 }
 
+namespace {
+
+/// Strict non-negative integer flag for `serve`: rejects values below `min`
+/// before the cast to an unsigned type can silently wrap them.
+std::int64_t serve_int_flag(const CliArgs& args, const std::string& key,
+                            std::int64_t fallback, std::int64_t min) {
+  const std::int64_t v = args.get_int(key, fallback);
+  require(v >= min, "serve: --" + key + " must be >= " + std::to_string(min) +
+                        ", got " + std::to_string(v));
+  return v;
+}
+
+}  // namespace
+
+int cmd_serve(const CliArgs& args, std::ostream& os) {
+  if (args.has("help")) {
+    os << "usage: hpmm serve [stream flags] [envelope flags] "
+          "[--format=aligned|csv|markdown|json] [--out=FILE]\n"
+          "replay a multi-tenant request stream through the robustness "
+          "envelope\n(admission control, circuit breakers, deadlines, "
+          "seeded backoff retries,\nplan cache) and print the per-tenant "
+          "report. Deterministic: the same\nstream, seed and options give a "
+          "byte-identical report for any --threads.\n"
+          "request stream (pick one):\n"
+          "  --script=FILE       scripted stream (one 'request key=value "
+          "...' per line)\n"
+          "  --scenario=noisy-neighbor|thundering-herd|straggler-storm\n"
+          "                      built-in chaos scenario (--healthy, "
+          "--noisy, --gap,\n"
+          "                      --corrupt, --noisy-faulty=0|1, "
+          "--max-slowdown)\n"
+          "  (default)           seeded generator: --requests=<k> "
+          "--tenants=<k>\n"
+          "                      --mean-gap=<t> --fault-fraction=<f> "
+          "--machine=<name>\n"
+          "envelope flags:\n"
+          "  --slots=<k>         concurrent service slots (default 4)\n"
+          "  --threads=<k>       host threads for speculative simulation "
+          "(default 1)\n"
+          "  --queue=<k>         server-wide admission queue bound (default "
+          "16)\n"
+          "  --quota=<k>         per-tenant in-flight quota (default 8)\n"
+          "  --breaker-threshold=<k> --breaker-cooldown=<t>\n"
+          "                      consecutive failures that trip a tenant's "
+          "breaker,\n"
+          "                      virtual time before a half-open probe\n"
+          "  --retries=<k>       retry budget after detected-fault failures "
+          "(default 2)\n"
+          "  --backoff-base=<t> --backoff-factor=<x> --backoff-jitter=<f>\n"
+          "                      exponential backoff schedule for retries\n"
+          "  --deadline-factor=<x>\n"
+          "                      abort a request past x times its model-"
+          "predicted T_p\n"
+          "  --seed=<u64>        workload + retry-jitter seed (default 1)\n"
+          "  --cache=<k>         plan cache capacity (default 64)\n"
+          "  --log=0|1           keep per-request records in the JSON "
+          "report (default 1)\n";
+    return 0;
+  }
+
+  // Request stream: script file, named chaos scenario, or seeded generator.
+  const std::string script = args.get("script", "");
+  const std::string scenario = args.get("scenario", "");
+  require(script.empty() || scenario.empty(),
+          "serve: --script and --scenario are mutually exclusive");
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  std::vector<TenantRequest> requests;
+  if (!script.empty()) {
+    std::ifstream in(script);
+    require(in.good(), "serve: cannot open --script file '" + script + "'");
+    requests = parse_serve_script(in);
+  } else if (scenario == "noisy-neighbor") {
+    NoisyNeighborOptions o;
+    o.healthy_requests = static_cast<std::size_t>(serve_int_flag(
+        args, "healthy", static_cast<std::int64_t>(o.healthy_requests), 0));
+    o.noisy_requests = static_cast<std::size_t>(serve_int_flag(
+        args, "noisy", static_cast<std::int64_t>(o.noisy_requests), 0));
+    o.gap = args.get_double("gap", o.gap);
+    o.corrupt_prob = args.get_double("corrupt", o.corrupt_prob);
+    o.seed = seed;
+    o.machine = args.get("machine", o.machine);
+    o.noisy_faulty = args.get_bool("noisy-faulty", true);
+    requests = noisy_neighbor_scenario(o);
+  } else if (scenario == "thundering-herd") {
+    ThunderingHerdOptions o;
+    o.requests = static_cast<std::size_t>(serve_int_flag(
+        args, "requests", static_cast<std::int64_t>(o.requests), 0));
+    o.tenants = static_cast<std::size_t>(serve_int_flag(
+        args, "tenants", static_cast<std::int64_t>(o.tenants), 1));
+    o.machine = args.get("machine", o.machine);
+    requests = thundering_herd_scenario(o);
+  } else if (scenario == "straggler-storm") {
+    StragglerStormOptions o;
+    o.requests = static_cast<std::size_t>(serve_int_flag(
+        args, "requests", static_cast<std::int64_t>(o.requests), 1));
+    o.gap = args.get_double("gap", o.gap);
+    o.max_slowdown = args.get_double("max-slowdown", o.max_slowdown);
+    o.seed = seed;
+    o.machine = args.get("machine", o.machine);
+    requests = straggler_storm_scenario(o);
+  } else {
+    require(scenario.empty(),
+            "serve: unknown --scenario '" + scenario +
+                "' (try noisy-neighbor, thundering-herd, straggler-storm)");
+    WorkloadOptions o;
+    o.requests = static_cast<std::size_t>(serve_int_flag(
+        args, "requests", static_cast<std::int64_t>(o.requests), 0));
+    o.tenants = static_cast<std::size_t>(serve_int_flag(
+        args, "tenants", static_cast<std::int64_t>(o.tenants), 1));
+    o.seed = seed;
+    o.mean_gap = args.get_double("mean-gap", o.mean_gap);
+    o.fault_fraction = args.get_double("fault-fraction", o.fault_fraction);
+    o.machine = args.get("machine", o.machine);
+    requests = generate_workload(o);
+  }
+
+  ServeOptions opt;
+  opt.slots = static_cast<std::size_t>(serve_int_flag(args, "slots", 4, 1));
+  opt.threads =
+      static_cast<unsigned>(serve_int_flag(args, "threads", 1, 1));
+  opt.queue_capacity =
+      static_cast<std::size_t>(serve_int_flag(args, "queue", 16, 1));
+  opt.tenant_quota =
+      static_cast<std::size_t>(serve_int_flag(args, "quota", 8, 1));
+  opt.breaker_threshold = static_cast<unsigned>(
+      serve_int_flag(args, "breaker-threshold", 3, 1));
+  opt.breaker_cooldown = args.get_double("breaker-cooldown", 50000.0);
+  opt.max_retries =
+      static_cast<unsigned>(serve_int_flag(args, "retries", 2, 0));
+  opt.backoff_base = args.get_double("backoff-base", 500.0);
+  opt.backoff_factor = args.get_double("backoff-factor", 2.0);
+  opt.backoff_jitter = args.get_double("backoff-jitter", 0.5);
+  opt.deadline_factor = args.get_double("deadline-factor", 0.0);
+  opt.seed = seed;
+  opt.plan_cache_capacity =
+      static_cast<std::size_t>(serve_int_flag(args, "cache", 64, 1));
+  opt.keep_request_log = args.get_bool("log", true);
+
+  const Server server(opt);
+  const ServeReport report = server.run(std::move(requests));
+
+  if (args.get("format", "aligned") == "json") {
+    write_output(args, os, "serve", "serve report", [&report](std::ostream& s) {
+      report.write_json(s);
+      s << "\n";
+    });
+  } else {
+    write_output(args, os, "serve", "serve report", [&](std::ostream& s) {
+      print_table(args, report.tenant_table(), s);
+      s << report.summary() << "\n";
+    });
+  }
+  return 0;
+}
+
 int dispatch(const CliArgs& args, std::ostream& os, std::ostream& err) {
   const auto usage = [&err]() {
     err << "usage: hpmm <command> [--options]\n"
@@ -604,6 +783,9 @@ int dispatch(const CliArgs& args, std::ostream& os, std::ostream& err) {
            "reconciliation\n"
            "  reproduce  check the paper's claims against this build\n"
            "  inject     simulate under injected faults (see inject --help)\n"
+           "  serve      multi-tenant serving mode: deadlines, retries, "
+           "admission\n"
+           "             control, chaos scenarios (see serve --help)\n"
            "machine selection: --machine=ncube2|future|cm2|cm5|ideal or "
            "--ts=.. --tw=..\n"
            "cannon25d: --c=<replication factor> (power of two, default 2)\n"
@@ -611,8 +793,10 @@ int dispatch(const CliArgs& args, std::ostream& os, std::ostream& err) {
            "packed --threads=N\n"
            "               (host wall-clock only; simulated times are "
            "unaffected)\n"
-           "output: --format=aligned|csv|markdown|json (run --format=json "
-           "prints the full report)\n";
+           "output: --format=aligned|csv|markdown|json (run/serve "
+           "--format=json print the full report)\n"
+           "        --out=FILE (run --format=json, trace --format=chrome, "
+           "profile, serve)\n";
     return 2;
   };
   if (args.positionals().empty()) return usage();
@@ -629,6 +813,7 @@ int dispatch(const CliArgs& args, std::ostream& os, std::ostream& err) {
     if (cmd == "profile") return cmd_profile(args, os);
     if (cmd == "reproduce") return cmd_reproduce(args, os);
     if (cmd == "inject") return cmd_inject(args, os);
+    if (cmd == "serve") return cmd_serve(args, os);
   } catch (const PreconditionError& e) {
     err << "error: " << e.what() << "\n";
     return 1;

@@ -60,6 +60,15 @@ int cmd_reproduce(const CliArgs& args, std::ostream& os);
 /// surviving processors. `--help` lists the scenario flags.
 int cmd_inject(const CliArgs& args, std::ostream& os);
 
+/// `hpmm serve` — deterministic multi-tenant serving mode: replay a scripted
+/// (--script=FILE), generated (--requests, --tenants, --seed, ...) or chaos
+/// (--scenario=noisy-neighbor|thundering-herd|straggler-storm) request
+/// stream through the robustness envelope — admission control, per-tenant
+/// circuit breakers and quotas, deadlines, seeded backoff retries and the
+/// plan cache — and print the per-tenant report (--format=json for the full
+/// serve report, --out=FILE to write it to a file).
+int cmd_serve(const CliArgs& args, std::ostream& os);
+
 /// Dispatch on args.positionals()[0]; prints usage and returns 2 for an
 /// unknown or missing subcommand.
 int dispatch(const CliArgs& args, std::ostream& os, std::ostream& err);

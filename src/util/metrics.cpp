@@ -1,6 +1,7 @@
 #include "util/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <limits>
 
@@ -36,6 +37,29 @@ double Histogram::bucket_bound(std::size_t i) const {
 std::uint64_t Histogram::bucket_count(std::size_t i) const {
   require(i < counts_.size(), "Histogram::bucket_count: index out of range");
   return counts_[i];
+}
+
+double Histogram::quantile(double q) const {
+  require(q >= 0.0 && q <= 1.0, "Histogram::quantile: q must be in [0, 1]");
+  if (count_ == 0) return 0.0;
+  // Rank of the target sample, 1-based: ceil(q * count), floored at 1 so
+  // q = 0 resolves to the smallest recorded sample's bucket.
+  const double target =
+      std::max(1.0, std::ceil(q * static_cast<double>(count_)));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const auto below = static_cast<double>(cumulative);
+    cumulative += counts_[i];
+    if (static_cast<double>(cumulative) < target) continue;
+    if (i >= bounds_.size()) return max_;  // overflow bucket: no upper bound
+    const double hi = bounds_[i];
+    const double lo = i == 0 ? std::min(0.0, hi) : bounds_[i - 1];
+    const double within =
+        (target - below) / static_cast<double>(counts_[i]);  // (0, 1]
+    return std::min(max_, lo + (hi - lo) * within);
+  }
+  return max_;  // unreachable: cumulative reaches count_
 }
 
 void Histogram::reset() noexcept {
@@ -176,7 +200,10 @@ void MetricsRegistry::write_json(std::ostream& os) const {
     os << json_quote(name) << ":{\"count\":" << h.count()
        << ",\"sum\":" << json_number(h.sum())
        << ",\"mean\":" << json_number(h.mean())
-       << ",\"max\":" << json_number(h.max()) << ",\"buckets\":[";
+       << ",\"max\":" << json_number(h.max())
+       << ",\"p50\":" << json_number(h.quantile(0.50))
+       << ",\"p95\":" << json_number(h.quantile(0.95))
+       << ",\"p99\":" << json_number(h.quantile(0.99)) << ",\"buckets\":[";
     for (std::size_t i = 0; i < h.buckets(); ++i) {
       if (i > 0) os << ',';
       os << "{\"le\":";

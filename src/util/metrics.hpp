@@ -55,6 +55,15 @@ class Histogram {
   double mean() const noexcept {
     return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
   }
+
+  /// Bucket-interpolated quantile estimate for q in [0, 1]: find the bucket
+  /// holding the q-th ranked sample and interpolate linearly between its
+  /// bounds (the first bucket interpolates up from min(0, its bound)).
+  /// Samples in the overflow bucket resolve to max(), and every estimate is
+  /// capped at max() — the one order statistic tracked exactly. An empty
+  /// histogram returns 0. Throws PreconditionError for q outside [0, 1].
+  double quantile(double q) const;
+
   void reset() noexcept;
 
   /// Power-of-two upper bounds 1, 2, 4, ..., 2^(n-1) — the usual choice for
@@ -127,7 +136,8 @@ class MetricsRegistry {
   void reset() noexcept;
 
   /// One JSON object: {"counters": {...}, "gauges": {...},
-  /// "histograms": {name: {count, sum, mean, max, buckets: [...]}}}.
+  /// "histograms": {name: {count, sum, mean, max, p50, p95, p99,
+  /// buckets: [...]}}}.
   void write_json(std::ostream& os) const;
 
  private:

@@ -1,0 +1,149 @@
+// Chaos-scenario acceptance tests: the serving envelope must isolate
+// tenants. A noisy neighbor burning retries and tripping its breaker may
+// not move a healthy tenant's tail latency; a thundering herd must be shed
+// with explicit backpressure; a straggler storm must be cut off by
+// deadlines instead of hogging slots.
+
+#include "serve/chaos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "serve/server.hpp"
+
+namespace hpmm {
+namespace {
+
+std::string json_of(const ServeReport& report) {
+  std::ostringstream os;
+  report.write_json(os);
+  return os.str();
+}
+
+TEST(NoisyNeighbor, HealthyTenantTailLatencyIsIsolated) {
+  NoisyNeighborOptions scenario;
+  scenario.healthy_requests = 10;
+  scenario.noisy_requests = 10;
+  scenario.seed = 3;
+  ServeOptions opt;
+  opt.breaker_threshold = 3;
+
+  scenario.noisy_faulty = false;
+  const ServeReport baseline =
+      Server(opt).run(noisy_neighbor_scenario(scenario));
+  scenario.noisy_faulty = true;
+  const ServeReport chaotic =
+      Server(opt).run(noisy_neighbor_scenario(scenario));
+
+  // The healthy tenant finishes everything in both worlds...
+  EXPECT_EQ(baseline.tenants.at("steady").ok, 10u);
+  EXPECT_EQ(chaotic.tenants.at("steady").ok, 10u);
+  // ...and its p99 stays within a fixed bound of the fault-free baseline.
+  const double p99_base = baseline.latency_quantile("steady", 0.99);
+  const double p99_chaos = chaotic.latency_quantile("steady", 0.99);
+  ASSERT_GT(p99_base, 0.0);
+  EXPECT_LE(p99_chaos, 1.25 * p99_base);
+
+  // Meanwhile the noisy tenant actually suffered: retries burned, breaker
+  // tripped, later arrivals shed.
+  const TenantStats& noisy = chaotic.tenants.at("noisy");
+  EXPECT_GT(noisy.retries, 0u);
+  EXPECT_GT(noisy.failed, 0u);
+  EXPECT_GE(noisy.breaker_trips, 1u);
+  EXPECT_GT(noisy.rejected_breaker, 0u);
+  EXPECT_EQ(noisy.ok, 0u);  // detect-only ABFT never repairs
+}
+
+TEST(NoisyNeighbor, ScenarioAndServingAreDeterministic) {
+  NoisyNeighborOptions scenario;
+  scenario.seed = 11;
+  ServeOptions opt;
+  opt.seed = 11;
+  const ServeReport a = Server(opt).run(noisy_neighbor_scenario(scenario));
+  const ServeReport b = Server(opt).run(noisy_neighbor_scenario(scenario));
+  EXPECT_EQ(json_of(a), json_of(b));
+}
+
+TEST(ThunderingHerd, OverflowIsShedWithExplicitBackpressure) {
+  ThunderingHerdOptions scenario;
+  scenario.requests = 24;
+  scenario.tenants = 4;
+  ServeOptions opt;
+  opt.slots = 2;
+  opt.queue_capacity = 6;
+  opt.tenant_quota = 4;
+  const ServeReport report =
+      Server(opt).run(thundering_herd_scenario(scenario));
+
+  std::uint64_t submitted = 0, ok = 0, shed = 0;
+  for (const auto& [tenant, ts] : report.tenants) {
+    submitted += ts.submitted;
+    ok += ts.ok;
+    shed += ts.rejected();
+    EXPECT_EQ(ts.failed, 0u) << tenant;  // the herd is clean work
+  }
+  EXPECT_EQ(submitted, 24u);
+  EXPECT_EQ(ok + shed, 24u);  // every request gets a definite answer
+  // The queue bound admits at most queue_capacity of the t=0 burst.
+  EXPECT_EQ(ok, opt.queue_capacity);
+  EXPECT_GT(shed, 0u);
+}
+
+TEST(ThunderingHerd, FairSchedulingServesEveryTenant) {
+  ThunderingHerdOptions scenario;
+  scenario.requests = 16;
+  scenario.tenants = 4;
+  ServeOptions opt;
+  opt.slots = 1;
+  opt.queue_capacity = 8;
+  opt.tenant_quota = 2;
+  const ServeReport report =
+      Server(opt).run(thundering_herd_scenario(scenario));
+  // Quota caps each tenant's admitted share, and round-robin dispatch means
+  // the admitted work completes for all four tenants, not just the first.
+  for (int t = 0; t < 4; ++t) {
+    EXPECT_EQ(report.tenants.at("herd" + std::to_string(t)).ok, 2u) << t;
+  }
+}
+
+TEST(StragglerStorm, DeadlinesCutOffTheSlowestRequests) {
+  StragglerStormOptions scenario;
+  scenario.requests = 8;
+  scenario.max_slowdown = 32.0;
+  ServeOptions opt;
+  opt.deadline_factor = 2.0;  // twice the model's T_p, then abort
+  // Deadline aborts feed the breaker like any failure; disarm it here so
+  // the test isolates the deadline mechanism.
+  opt.breaker_threshold = 100;
+  const ServeReport report =
+      Server(opt).run(straggler_storm_scenario(scenario));
+  const TenantStats& storm = report.tenants.at("storm");
+  EXPECT_EQ(storm.submitted, 8u);
+  EXPECT_GT(storm.ok, 0u);                 // mild stragglers still finish
+  EXPECT_GT(storm.deadline_exceeded, 0u);  // extreme ones are cut off
+  EXPECT_EQ(storm.ok + storm.deadline_exceeded, 8u);
+  // Every aborted request paid exactly its budget, never more.
+  for (const RequestRecord& rec : report.requests) {
+    if (rec.outcome == ServeOutcome::kDeadlineExceeded) {
+      EXPECT_DOUBLE_EQ(rec.service_time, rec.deadline);
+    }
+  }
+}
+
+TEST(StragglerStorm, WithoutDeadlinesTheStormRunsLongButCompletes) {
+  StragglerStormOptions scenario;
+  scenario.requests = 4;
+  scenario.max_slowdown = 8.0;
+  const ServeReport report =
+      Server(ServeOptions{}).run(straggler_storm_scenario(scenario));
+  EXPECT_EQ(report.tenants.at("storm").ok, 4u);
+  // The last (most straggled) request is strictly slower than the first
+  // (clean) one.
+  EXPECT_GT(report.requests[3].service_time,
+            report.requests[0].service_time);
+}
+
+}  // namespace
+}  // namespace hpmm

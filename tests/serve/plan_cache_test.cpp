@@ -1,0 +1,122 @@
+#include "serve/plan_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "machine/params.hpp"
+#include "util/error.hpp"
+
+namespace hpmm {
+namespace {
+
+TenantRequest make_request(std::string algo, std::size_t n, std::size_t p) {
+  TenantRequest req;
+  req.algo = std::move(algo);
+  req.n = n;
+  req.p = p;
+  return req;
+}
+
+ServicePlan make_plan(std::string algorithm, double t_model) {
+  ServicePlan plan;
+  plan.applicable = true;
+  plan.algorithm = std::move(algorithm);
+  plan.t_model = t_model;
+  return plan;
+}
+
+TEST(PlanCacheKey, DependsOnEveryPlanningInput) {
+  const MachineParams ncube = machines::ncube2();
+  const TenantRequest base = make_request("cannon", 16, 16);
+  const std::string key = plan_cache_key(base, ncube);
+  EXPECT_NE(key, plan_cache_key(make_request("gk", 16, 16), ncube));
+  EXPECT_NE(key, plan_cache_key(make_request("cannon", 32, 16), ncube));
+  EXPECT_NE(key, plan_cache_key(make_request("cannon", 16, 4), ncube));
+  EXPECT_NE(key, plan_cache_key(base, machines::ideal()));
+  // Same class from a different tenant at a different time: same key.
+  TenantRequest twin = base;
+  twin.tenant = "other";
+  twin.arrival = 1e6;
+  twin.id = 99;
+  EXPECT_EQ(key, plan_cache_key(twin, ncube));
+}
+
+TEST(PlanCacheKey, FaultsAndDeadlinesDoNotChangeTheKey) {
+  // Planning ignores faults and deadlines, so a retried or chaos-wrapped
+  // request must share its clean twin's cache entry.
+  const MachineParams mp = machines::ncube2();
+  const TenantRequest clean = make_request("cannon", 16, 16);
+  TenantRequest chaotic = clean;
+  auto plan = std::make_shared<FaultPlan>();
+  plan->corrupt_prob = 0.5;
+  chaotic.faults = plan;
+  chaotic.deadline_factor = 2.0;
+  EXPECT_EQ(plan_cache_key(clean, mp), plan_cache_key(chaotic, mp));
+}
+
+TEST(PlanCache, MissThenHit) {
+  PlanCache cache(4);
+  EXPECT_EQ(cache.lookup("k"), nullptr);
+  cache.insert("k", make_plan("cannon", 100.0));
+  const ServicePlan* got = cache.lookup("k");
+  ASSERT_NE(got, nullptr);
+  EXPECT_TRUE(got->applicable);
+  EXPECT_EQ(got->algorithm, "cannon");
+  EXPECT_DOUBLE_EQ(got->t_model, 100.0);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.5);
+}
+
+TEST(PlanCache, HitRateIsZeroBeforeFirstLookup) {
+  PlanCache cache(2);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.0);
+}
+
+TEST(PlanCache, EvictsLeastRecentlyUsedAtCapacity) {
+  PlanCache cache(2);
+  cache.insert("a", make_plan("cannon", 1.0));
+  cache.insert("b", make_plan("gk", 2.0));
+  cache.insert("c", make_plan("dns", 3.0));  // evicts "a"
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.lookup("a"), nullptr);
+  EXPECT_NE(cache.lookup("b"), nullptr);
+  EXPECT_NE(cache.lookup("c"), nullptr);
+}
+
+TEST(PlanCache, LookupRefreshesRecency) {
+  PlanCache cache(2);
+  cache.insert("a", make_plan("cannon", 1.0));
+  cache.insert("b", make_plan("gk", 2.0));
+  ASSERT_NE(cache.lookup("a"), nullptr);   // "b" is now the LRU entry
+  cache.insert("c", make_plan("dns", 3.0));  // evicts "b", not "a"
+  EXPECT_NE(cache.lookup("a"), nullptr);
+  EXPECT_EQ(cache.lookup("b"), nullptr);
+}
+
+TEST(PlanCache, InsertOverwritesExistingKey) {
+  PlanCache cache(2);
+  cache.insert("a", make_plan("cannon", 1.0));
+  cache.insert("a", make_plan("gk", 2.0));
+  EXPECT_EQ(cache.size(), 1u);
+  const ServicePlan* got = cache.lookup("a");
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->algorithm, "gk");
+}
+
+TEST(PlanCache, CapacityOneStillCaches) {
+  PlanCache cache(1);
+  cache.insert("a", make_plan("cannon", 1.0));
+  EXPECT_NE(cache.lookup("a"), nullptr);
+  cache.insert("b", make_plan("gk", 2.0));
+  EXPECT_EQ(cache.lookup("a"), nullptr);
+  EXPECT_NE(cache.lookup("b"), nullptr);
+}
+
+TEST(PlanCache, ZeroCapacityIsRejected) {
+  EXPECT_THROW(PlanCache(0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace hpmm

@@ -1,0 +1,153 @@
+#include "serve/script.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace hpmm {
+namespace {
+
+std::string error_of(const std::string& script) {
+  try {
+    parse_serve_script(script);
+  } catch (const PreconditionError& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(ServeScript, ParsesFieldsCommentsAndBlankLines) {
+  const std::string text =
+      "# tenant alice runs cannon\n"
+      "\n"
+      "request tenant=alice arrival=0 algo=cannon n=16 p=16 machine=ideal\n"
+      "request tenant=bob arrival=500 n=32 p=8 deadline_factor=2.5\n";
+  const auto reqs = parse_serve_script(text);
+  ASSERT_EQ(reqs.size(), 2u);
+  EXPECT_EQ(reqs[0].id, 0u);
+  EXPECT_EQ(reqs[0].tenant, "alice");
+  EXPECT_DOUBLE_EQ(reqs[0].arrival, 0.0);
+  EXPECT_EQ(reqs[0].algo, "cannon");
+  EXPECT_EQ(reqs[0].n, 16u);
+  EXPECT_EQ(reqs[0].p, 16u);
+  EXPECT_EQ(reqs[0].machine, "ideal");
+  EXPECT_EQ(reqs[0].faults, nullptr);  // no fault key: no plan
+  EXPECT_EQ(reqs[1].id, 1u);
+  EXPECT_EQ(reqs[1].algo, "");  // selector's choice
+  EXPECT_DOUBLE_EQ(reqs[1].deadline_factor, 2.5);
+}
+
+TEST(ServeScript, StreamAndStringOverloadsAgree) {
+  const std::string text = "request tenant=a arrival=1 n=16 p=16\n";
+  std::istringstream in(text);
+  const auto from_stream = parse_serve_script(in);
+  const auto from_string = parse_serve_script(text);
+  ASSERT_EQ(from_stream.size(), from_string.size());
+  EXPECT_EQ(from_stream[0].tenant, from_string[0].tenant);
+}
+
+TEST(ServeScript, FaultKeysAttachAPlan) {
+  const auto reqs = parse_serve_script(
+      "request n=16 p=16 drop=0.1 delay=0.2 delay_factor=3 corrupt=0.05 "
+      "straggler=0:4 straggler=2:1.5 abft=correct fault_seed=7\n");
+  ASSERT_EQ(reqs.size(), 1u);
+  ASSERT_NE(reqs[0].faults, nullptr);
+  const FaultPlan& plan = *reqs[0].faults;
+  EXPECT_DOUBLE_EQ(plan.drop_prob, 0.1);
+  EXPECT_DOUBLE_EQ(plan.delay_prob, 0.2);
+  EXPECT_DOUBLE_EQ(plan.delay_factor, 3.0);
+  EXPECT_DOUBLE_EQ(plan.corrupt_prob, 0.05);
+  ASSERT_EQ(plan.stragglers.size(), 2u);
+  EXPECT_EQ(plan.stragglers[0].pid, 0u);
+  EXPECT_DOUBLE_EQ(plan.stragglers[0].factor, 4.0);
+  EXPECT_EQ(plan.abft, AbftMode::kCorrect);
+  EXPECT_EQ(plan.seed, 7u);
+}
+
+TEST(ServeScript, StrictErrorsNameTheLine) {
+  EXPECT_NE(error_of("request n=16 p=16\nrequest n=16 p=16 bogus=1\n")
+                .find("line 2"),
+            std::string::npos);
+  EXPECT_NE(error_of("request n=zero p=16\n").find("line 1"),
+            std::string::npos);
+  // Missing n or p, malformed probability, unknown machine and unknown abft
+  // mode are all parse-time errors.
+  EXPECT_FALSE(error_of("request p=16\n").empty());
+  EXPECT_FALSE(error_of("request n=16\n").empty());
+  EXPECT_FALSE(error_of("request n=16 p=16 drop=1.5\n").empty());
+  EXPECT_FALSE(error_of("request n=16 p=16 machine=pdp11\n").empty());
+  EXPECT_FALSE(error_of("request n=16 p=16 abft=sometimes\n").empty());
+  EXPECT_FALSE(error_of("request n=16 p=16 straggler=3\n").empty());
+  EXPECT_FALSE(error_of("launch n=16 p=16\n").empty());
+}
+
+TEST(ServeWorkload, SameOptionsSameStream) {
+  WorkloadOptions opt;
+  opt.requests = 24;
+  opt.tenants = 3;
+  opt.seed = 42;
+  opt.fault_fraction = 0.25;
+  const auto a = generate_workload(opt);
+  const auto b = generate_workload(opt);
+  ASSERT_EQ(a.size(), 24u);
+  ASSERT_EQ(b.size(), 24u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].tenant, b[i].tenant) << i;
+    EXPECT_EQ(a[i].algo, b[i].algo) << i;
+    EXPECT_EQ(a[i].n, b[i].n) << i;
+    EXPECT_EQ(a[i].p, b[i].p) << i;
+    EXPECT_DOUBLE_EQ(a[i].arrival, b[i].arrival) << i;
+    ASSERT_EQ(a[i].faults == nullptr, b[i].faults == nullptr) << i;
+    if (a[i].faults) EXPECT_EQ(a[i].faults->seed, b[i].faults->seed) << i;
+  }
+}
+
+TEST(ServeWorkload, SeedChangesTheStream) {
+  WorkloadOptions opt;
+  opt.requests = 24;
+  opt.seed = 1;
+  const auto a = generate_workload(opt);
+  opt.seed = 2;
+  const auto b = generate_workload(opt);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size() && !differs; ++i) {
+    differs = a[i].tenant != b[i].tenant || a[i].n != b[i].n ||
+              a[i].arrival != b[i].arrival;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ServeWorkload, FaultFractionBoundsThePlans) {
+  WorkloadOptions opt;
+  opt.requests = 20;
+  opt.fault_fraction = 0.5;
+  std::size_t with_plan = 0;
+  for (const auto& req : generate_workload(opt)) {
+    if (req.faults) {
+      ++with_plan;
+      EXPECT_GT(req.faults->corrupt_prob, 0.0);
+      EXPECT_EQ(req.faults->abft, AbftMode::kCorrect);
+    }
+  }
+  EXPECT_GT(with_plan, 0u);
+  EXPECT_LT(with_plan, 20u);
+  // Arrivals are non-decreasing (gaps are drawn, then accumulated).
+  const auto reqs = generate_workload(opt);
+  for (std::size_t i = 1; i < reqs.size(); ++i) {
+    EXPECT_GE(reqs[i].arrival, reqs[i - 1].arrival);
+  }
+}
+
+TEST(ServeWorkload, ZeroFaultFractionMeansNoPlans) {
+  WorkloadOptions opt;
+  opt.requests = 16;
+  for (const auto& req : generate_workload(opt)) {
+    EXPECT_EQ(req.faults, nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace hpmm

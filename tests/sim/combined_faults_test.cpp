@@ -1,0 +1,121 @@
+// Combined fault plans: drops, duplicates, delays and a straggler injected
+// in ONE plan. The categories must compose — reliable messaging still
+// masks every loss, the product stays exact, each category's counter
+// registers, and the whole run is seed-deterministic.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/registry.hpp"
+#include "matrix/kernels.hpp"
+#include "sim/fault.hpp"
+#include "util/rng.hpp"
+
+namespace hpmm {
+namespace {
+
+MachineParams test_params() {
+  MachineParams m;
+  m.t_s = 10.0;
+  m.t_w = 2.0;
+  return m;
+}
+
+Matrix int_matrix(std::size_t n, Rng& rng) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      m(i, j) = std::floor(rng.uniform(1.0, 9.0));
+    }
+  }
+  return m;
+}
+
+std::shared_ptr<FaultPlan> combined_plan(std::uint64_t seed) {
+  auto plan = std::make_shared<FaultPlan>();
+  plan->seed = seed;
+  plan->drop_prob = 0.05;
+  plan->duplicate_prob = 0.05;
+  plan->delay_prob = 0.15;
+  plan->delay_factor = 2.0;
+  plan->stragglers.push_back({1, 3.0});
+  return plan;
+}
+
+MatmulResult run_cannon(const Matrix& a, const Matrix& b,
+                        std::shared_ptr<const FaultPlan> plan) {
+  MachineParams mp = test_params();
+  mp.faults = std::move(plan);
+  return default_registry().implementation("cannon").run(a, b, 16, mp);
+}
+
+TEST(CombinedFaults, AllCategoriesComposeAndTheProductStaysExact) {
+  Rng rng(2026);
+  const Matrix a = int_matrix(16, rng);
+  const Matrix b = int_matrix(16, rng);
+  const Matrix reference = multiply(a, b);
+
+  const MatmulResult clean = run_cannon(a, b, nullptr);
+  const MatmulResult faulty = run_cannon(a, b, combined_plan(77));
+
+  // Reliable messaging masks the drops; every entry is still exact.
+  for (std::size_t i = 0; i < 16; ++i) {
+    for (std::size_t j = 0; j < 16; ++j) {
+      ASSERT_DOUBLE_EQ(faulty.c(i, j), reference(i, j))
+          << "at (" << i << ", " << j << ")";
+    }
+  }
+
+  // Each injected category left its fingerprint in the counters.
+  const FaultStats& fs = faulty.report.faults;
+  EXPECT_GT(fs.transmissions_dropped, 0u);
+  EXPECT_GT(fs.retransmissions, 0u);
+  EXPECT_GT(fs.duplicates_suppressed, 0u);
+  EXPECT_GT(fs.deliveries_delayed, 0u);
+  EXPECT_EQ(fs.messages_lost, 0u);  // reliable mode: nothing vanishes
+
+  // Retransmissions, delays and the 3x straggler all cost simulated time.
+  EXPECT_GT(faulty.report.t_parallel, clean.report.t_parallel);
+}
+
+TEST(CombinedFaults, SameSeedSamePlanIsBitIdentical) {
+  Rng rng(2027);
+  const Matrix a = int_matrix(16, rng);
+  const Matrix b = int_matrix(16, rng);
+  const MatmulResult first = run_cannon(a, b, combined_plan(5));
+  const MatmulResult second = run_cannon(a, b, combined_plan(5));
+  EXPECT_EQ(first.report.t_parallel, second.report.t_parallel);
+  const FaultStats& fa = first.report.faults;
+  const FaultStats& fb = second.report.faults;
+  EXPECT_EQ(fa.transmissions_dropped, fb.transmissions_dropped);
+  EXPECT_EQ(fa.retransmissions, fb.retransmissions);
+  EXPECT_EQ(fa.duplicates_suppressed, fb.duplicates_suppressed);
+  EXPECT_EQ(fa.deliveries_delayed, fb.deliveries_delayed);
+}
+
+TEST(CombinedFaults, CorruptionLayersOnTopWithAbftCorrection) {
+  // The full gauntlet: message-level chaos AND payload corruption, with
+  // ABFT correction masking the flips — the product must survive exact.
+  Rng rng(2028);
+  const Matrix a = int_matrix(16, rng);
+  const Matrix b = int_matrix(16, rng);
+  const Matrix reference = multiply(a, b);
+  auto plan = combined_plan(41);
+  plan->corrupt_prob = 0.05;
+  plan->abft = AbftMode::kCorrect;
+  const MatmulResult result = run_cannon(a, b, plan);
+  const FaultStats& fs = result.report.faults;
+  EXPECT_GT(fs.elements_corrupted, 0u);
+  EXPECT_EQ(fs.abft_detected, fs.abft_corrected);  // every flip repaired
+  for (std::size_t i = 0; i < 16; ++i) {
+    for (std::size_t j = 0; j < 16; ++j) {
+      ASSERT_DOUBLE_EQ(result.c(i, j), reference(i, j))
+          << "at (" << i << ", " << j << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hpmm

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/registry.hpp"
+#include "matrix/generate.hpp"
+#include "sim/fault.hpp"
+#include "sim/sim_machine.hpp"
+#include "topology/hypercube.hpp"
+#include "util/rng.hpp"
+
+namespace hpmm {
+namespace {
+
+SimMachine make_machine(unsigned dim, MachineParams mp) {
+  return SimMachine(std::make_shared<Hypercube>(dim), std::move(mp));
+}
+
+TEST(Deadline, ComputePastBudgetThrows) {
+  MachineParams mp = machines::ideal();
+  mp.deadline = 100.0;
+  SimMachine m = make_machine(1, mp);
+  m.compute(0, 100.0);  // lands exactly on the budget: still within it
+  EXPECT_DOUBLE_EQ(m.clock(0), 100.0);
+  try {
+    m.compute(0, 1.0);
+    FAIL() << "expected DeadlineExceeded";
+  } catch (const DeadlineExceeded& e) {
+    EXPECT_EQ(e.pid(), 0u);
+    EXPECT_DOUBLE_EQ(e.budget(), 100.0);
+    EXPECT_DOUBLE_EQ(e.at_time(), 101.0);
+  }
+}
+
+TEST(Deadline, ExchangePastBudgetThrows) {
+  MachineParams mp = machines::ncube2();  // t_s = 150 > the budget below
+  mp.deadline = 10.0;
+  SimMachine m = make_machine(1, mp);
+  std::vector<Message> msgs;
+  msgs.emplace_back(0, 1, 1, identity_matrix(2));
+  EXPECT_THROW(m.exchange(std::move(msgs)), DeadlineExceeded);
+}
+
+TEST(Deadline, ZeroDeadlineDisablesTheCheck) {
+  SimMachine m = make_machine(1, machines::ideal());
+  m.compute(0, 1e12);
+  EXPECT_DOUBLE_EQ(m.clock(0), 1e12);
+}
+
+TEST(Deadline, RunAbortsOnlyWhenBudgetTooSmall) {
+  // A full algorithm run under a generous budget is bit-identical to the
+  // unbounded run; a budget below its T_p aborts with DeadlineExceeded.
+  const auto& impl = default_registry().implementation("cannon");
+  Rng rng(11);
+  const Matrix a = random_matrix(16, 16, rng);
+  const Matrix b = random_matrix(16, 16, rng);
+
+  const MachineParams base = machines::ncube2();
+  const MatmulResult unbounded = impl.run(a, b, 16, base);
+
+  MachineParams roomy = base;
+  roomy.deadline = unbounded.report.t_parallel;  // exactly T_p: completes
+  const MatmulResult bounded = impl.run(a, b, 16, roomy);
+  EXPECT_DOUBLE_EQ(bounded.report.t_parallel, unbounded.report.t_parallel);
+  for (std::size_t i = 0; i < 16; ++i) {
+    for (std::size_t j = 0; j < 16; ++j) {
+      EXPECT_EQ(bounded.c(i, j), unbounded.c(i, j));
+    }
+  }
+
+  MachineParams tight = base;
+  tight.deadline = unbounded.report.t_parallel / 2.0;
+  EXPECT_THROW(impl.run(a, b, 16, tight), DeadlineExceeded);
+}
+
+TEST(Deadline, ModeledCollectiveChargesAreChecked) {
+  MachineParams mp = machines::ideal();
+  mp.deadline = 5.0;
+  SimMachine m = make_machine(2, mp);
+  const std::vector<ProcId> group{0, 1, 2, 3};
+  m.charge_group_comm(group, 4.0);
+  EXPECT_THROW(m.charge_group_comm(group, 4.0), DeadlineExceeded);
+}
+
+}  // namespace
+}  // namespace hpmm

@@ -404,5 +404,109 @@ TEST(Cli, ProfileDefaultsAndUsageMentionIt) {
   EXPECT_NE(usage.err.find("profile"), std::string::npos);
 }
 
+std::string slurp(const std::string& path) {
+  std::ifstream file(path);
+  std::stringstream ss;
+  ss << file.rdbuf();
+  return ss.str();
+}
+
+TEST(Cli, RunJsonAndProfileWriteOutFiles) {
+  const std::string run_path = ::testing::TempDir() + "hpmm_run_out.json";
+  const std::string run_flag = "--out=" + run_path;
+  const auto rj = run({"hpmm", "run", "--algorithm=cannon", "--n=16",
+                       "--p=16", "--format=json", run_flag.c_str()});
+  EXPECT_EQ(rj.code, 0);
+  EXPECT_NE(rj.out.find("wrote run report"), std::string::npos);
+  EXPECT_TRUE(json_valid(slurp(run_path)));
+  std::remove(run_path.c_str());
+
+  const std::string prof_path = ::testing::TempDir() + "hpmm_profile_out.txt";
+  const std::string prof_flag = "--out=" + prof_path;
+  const auto rp = run({"hpmm", "profile", "--algorithm=cannon", "--n=16",
+                       "--p=16", prof_flag.c_str()});
+  EXPECT_EQ(rp.code, 0);
+  EXPECT_NE(rp.out.find("wrote profile report"), std::string::npos);
+  EXPECT_NE(slurp(prof_path).find("startup (t_s)"), std::string::npos);
+  std::remove(prof_path.c_str());
+}
+
+TEST(Cli, UnwritableOutPathExitsOneNamingTheFile) {
+  // A directory path can be opened by neither ofstream nor written through:
+  // the hardened --out check must fail loudly, not quietly truncate.
+  const std::string out_flag = "--out=" + ::testing::TempDir();
+  const auto r = run({"hpmm", "run", "--algorithm=cannon", "--n=16", "--p=16",
+                      "--format=json", out_flag.c_str()});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--out"), std::string::npos);
+}
+
+TEST(Cli, ServeGeneratedWorkloadPrintsTenantTable) {
+  const auto r = run({"hpmm", "serve", "--requests=8", "--tenants=2",
+                      "--seed=5"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("tenant"), std::string::npos);
+  EXPECT_NE(r.out.find("p99"), std::string::npos);
+  EXPECT_NE(r.out.find("serve: 8 requests"), std::string::npos);
+}
+
+TEST(Cli, ServeJsonReportIsValidAndDeterministic) {
+  const auto a = run({"hpmm", "serve", "--requests=10", "--seed=3",
+                      "--fault-fraction=0.3", "--format=json"});
+  const auto b = run({"hpmm", "serve", "--requests=10", "--seed=3",
+                      "--fault-fraction=0.3", "--format=json",
+                      "--threads=4"});
+  EXPECT_EQ(a.code, 0);
+  EXPECT_TRUE(json_valid(a.out)) << a.out;
+  EXPECT_NE(a.out.find("\"tenants\""), std::string::npos);
+  EXPECT_NE(a.out.find("\"p99\""), std::string::npos);
+  // Byte-identical across host thread counts.
+  EXPECT_EQ(a.out, b.out);
+}
+
+TEST(Cli, ServeScriptFileDrivesTheServer) {
+  const std::string path = ::testing::TempDir() + "hpmm_serve_script.txt";
+  {
+    std::ofstream script(path);
+    script << "request tenant=alice arrival=0 algo=cannon n=16 p=16\n"
+              "request tenant=bob arrival=100 algo=gk n=16 p=8\n";
+  }
+  const std::string script_flag = "--script=" + path;
+  const auto r = run({"hpmm", "serve", script_flag.c_str()});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("alice"), std::string::npos);
+  EXPECT_NE(r.out.find("bob"), std::string::npos);
+  EXPECT_NE(r.out.find("ok=2"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, ServeChaosScenarioTripsTheNoisyTenant) {
+  const auto r = run({"hpmm", "serve", "--scenario=noisy-neighbor",
+                      "--healthy=6", "--noisy=6"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("steady"), std::string::npos);
+  EXPECT_NE(r.out.find("noisy"), std::string::npos);
+}
+
+TEST(Cli, ServeRejectsBadFlags) {
+  EXPECT_EQ(run({"hpmm", "serve", "--scenario=meteor-strike"}).code, 1);
+  EXPECT_EQ(run({"hpmm", "serve", "--slots=0"}).code, 1);
+  EXPECT_EQ(run({"hpmm", "serve", "--requests=-1"}).code, 1);
+  EXPECT_EQ(run({"hpmm", "serve", "--script=/nonexistent/x.txt"}).code, 1);
+  const auto both = run({"hpmm", "serve", "--script=x",
+                         "--scenario=noisy-neighbor"});
+  EXPECT_EQ(both.code, 1);
+  EXPECT_NE(both.err.find("mutually exclusive"), std::string::npos);
+}
+
+TEST(Cli, ServeHelpAndUsageMentionIt) {
+  const auto help = run({"hpmm", "serve", "--help"});
+  EXPECT_EQ(help.code, 0);
+  EXPECT_NE(help.out.find("--scenario"), std::string::npos);
+  EXPECT_NE(help.out.find("--breaker-threshold"), std::string::npos);
+  const auto usage = run({"hpmm"});
+  EXPECT_NE(usage.err.find("serve"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace hpmm::tools

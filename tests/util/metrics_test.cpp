@@ -7,6 +7,7 @@
 
 #include "util/error.hpp"
 #include "util/json.hpp"
+#include "util/rng.hpp"
 
 namespace hpmm {
 namespace {
@@ -141,6 +142,75 @@ TEST(MetricsRegistry, ResetZeroesEverything) {
   EXPECT_DOUBLE_EQ(reg.gauge("g").value(), 0.0);
   EXPECT_EQ(reg.find_histogram("h")->count(), 0u);
   EXPECT_EQ(reg.find_histogram("h")->buckets(), 2u);  // registration kept
+}
+
+TEST(Histogram, QuantileEmptyIsZero) {
+  Histogram h({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(Histogram, QuantileValidatesRange) {
+  Histogram h({1.0});
+  EXPECT_THROW(h.quantile(-0.01), PreconditionError);
+  EXPECT_THROW(h.quantile(1.01), PreconditionError);
+}
+
+TEST(Histogram, QuantileAllOverflowResolvesToMax) {
+  Histogram h({1.0, 2.0});
+  h.observe(10.0);
+  h.observe(50.0);
+  h.observe(30.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 50.0);
+}
+
+TEST(Histogram, QuantileSingleBucketInterpolates) {
+  Histogram h({8.0});
+  for (int i = 0; i < 4; ++i) h.observe(6.0);
+  // Four samples in [0, 8]: the q-th estimate walks the bucket linearly —
+  // rank ceil(0.5 * 4) = 2 of 4 lands at 8 * (2/4) = 4, capped by max 6.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 4.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 6.0);  // capped at the recorded max
+}
+
+TEST(Histogram, QuantileInterpolatesBetweenBounds) {
+  Histogram h({10.0, 20.0, 40.0});
+  for (int i = 0; i < 10; ++i) h.observe(5.0);    // bucket [0, 10]
+  for (int i = 0; i < 10; ++i) h.observe(15.0);   // bucket (10, 20]
+  // Rank ceil(0.75 * 20) = 15: the 5th of 10 samples in (10, 20] -> 15.
+  EXPECT_DOUBLE_EQ(h.quantile(0.75), 15.0);
+  // Rank 10 is the last sample of the first bucket -> its upper bound.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 10.0);
+  // q = 0 floors the rank at 1: first sample of the first bucket.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+}
+
+TEST(Histogram, QuantileMonotoneInQ) {
+  Histogram h(Histogram::pow2_bounds(16));
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) h.observe(rng.uniform(0.0, 40000.0));
+  double prev = 0.0;
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0}) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    EXPECT_LE(v, h.max());
+    prev = v;
+  }
+}
+
+TEST(MetricsRegistry, WriteJsonIncludesQuantiles) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("lat", {1.0, 2.0, 4.0});
+  h.observe(3.0);
+  std::ostringstream os;
+  reg.write_json(os);
+  const std::string out = os.str();
+  EXPECT_TRUE(json_valid(out)) << out;
+  EXPECT_NE(out.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(out.find("\"p95\":"), std::string::npos);
+  EXPECT_NE(out.find("\"p99\":"), std::string::npos);
 }
 
 TEST(MetricsRegistry, WriteJsonIsValidAndComplete) {
