@@ -29,6 +29,21 @@ enum class Routing : std::uint8_t { kCutThrough, kStoreAndForward };
 /// quantifying what that assumption hides.
 enum class Contention : std::uint8_t { kIgnore, kLinkLoad };
 
+/// How much accounting the simulator captures per run (DESIGN.md §12).
+/// kFull keeps everything: per-(phase, processor) cells, critical-path
+/// chains and message histograms. kAggregate keeps only whole-run and
+/// per-phase *totals* — O(phases) instead of O(phases x p) memory — which
+/// is what makes p ~ 10^6 runs fit; per-phase maxima and the critical-path
+/// decomposition read as zero in the report. Simulated clocks and results
+/// are bit-identical in both modes.
+enum class MetricsMode : std::uint8_t { kFull, kAggregate };
+
+/// Whether exchange() accumulates the per-(src, dst) traffic matrix.
+/// kAuto records it only when p <= MachineParams::kTrafficAutoThreshold
+/// (small runs keep their existing behaviour; extreme-scale runs skip the
+/// O(messages) hash-map churn and its memory). Timing is unaffected.
+enum class TrafficCapture : std::uint8_t { kAuto, kOn, kOff };
+
 /// Technology parameters of a machine, normalized so that one floating-point
 /// multiply-add takes one time unit (Section 2). A message of m words between
 /// adjacent processors costs t_s + t_w * m; cut-through adds t_h per hop.
@@ -57,6 +72,18 @@ struct MachineParams {
   /// runs are bit-identical to a machine without the field. Used by the
   /// serving layer (DESIGN.md "Serving mode & robustness envelope").
   double deadline = 0.0;
+  /// Capture sparsity for extreme-scale runs (DESIGN.md §12). Defaults
+  /// reproduce the historical full-capture behaviour bit for bit.
+  MetricsMode metrics_mode = MetricsMode::kFull;
+  TrafficCapture traffic_capture = TrafficCapture::kAuto;
+  /// Fraction of processors whose trace events are recorded when tracing is
+  /// on, selected by a seeded per-pid hash so samples are reproducible and
+  /// rank-independent. 1.0 (the default) records everyone — bit-identical
+  /// to the pre-sampling tracer; 0.0 records no one.
+  double trace_sample = 1.0;
+  std::uint64_t trace_sample_seed = 0;
+  /// kAuto traffic capture stays on up to this many processors.
+  static constexpr std::size_t kTrafficAutoThreshold = 65536;
   std::string label = "custom";
 
   /// Time for an m-word message traversing `hops` links.

@@ -15,9 +15,7 @@ std::string plan_cache_key(const TenantRequest& request,
   return key;
 }
 
-PlanCache::PlanCache(std::size_t capacity) : capacity_(capacity) {
-  require(capacity >= 1, "PlanCache: capacity must be >= 1");
-}
+PlanCache::PlanCache(std::size_t capacity) : capacity_(capacity) {}
 
 const ServicePlan* PlanCache::lookup(const std::string& key) {
   const auto it = index_.find(key);
@@ -31,13 +29,17 @@ const ServicePlan* PlanCache::lookup(const std::string& key) {
 }
 
 void PlanCache::insert(const std::string& key, ServicePlan plan) {
+  // Capacity 0 is a pass-through: nothing is ever stored, so there is
+  // nothing to evict (inserting then evicting the entry itself would churn
+  // the list for no benefit) and every lookup is an honest miss.
+  if (capacity_ == 0) return;
   const auto it = index_.find(key);
   if (it != index_.end()) {
     it->second->second = std::move(plan);
     entries_.splice(entries_.begin(), entries_, it->second);
     return;
   }
-  if (entries_.size() == capacity_) {
+  if (entries_.size() >= capacity_) {
     index_.erase(entries_.back().first);
     entries_.pop_back();
   }

@@ -30,10 +30,12 @@ std::string plan_cache_key(const TenantRequest& request,
 
 /// Bounded LRU cache of resolved plans with hit/miss counters. Lookups
 /// refresh recency; inserting at capacity evicts the least recently used
-/// entry. Single-threaded like the serve event loop that owns it.
+/// entry. Capacity 0 is a valid pass-through configuration: inserts are
+/// dropped and every lookup misses, which disables plan caching without a
+/// special case at the call site. Single-threaded like the serve event loop
+/// that owns it.
 class PlanCache {
  public:
-  /// `capacity` must be >= 1.
   explicit PlanCache(std::size_t capacity);
 
   /// The cached plan for `key` (refreshing its recency), or null on a miss.

@@ -175,12 +175,12 @@ Server::Server(ServeOptions options) : options_(options) {
   require(options.backoff_jitter >= 0.0, "serve: backoff_jitter must be >= 0");
   require(options.deadline_factor >= 0.0,
           "serve: deadline_factor must be >= 0");
-  // Queue, quota, breaker and cache limits are validated by the components
-  // that own them (AdmissionController, CircuitBreaker, PlanCache).
+  // Queue, quota and breaker limits are validated by the components that
+  // own them (AdmissionController, CircuitBreaker). Any plan-cache capacity
+  // is valid: 0 disables caching (PlanCache passes every lookup through).
   (void)AdmissionController({options.queue_capacity, options.tenant_quota,
                              options.breaker_threshold,
                              options.breaker_cooldown});
-  (void)PlanCache(options.plan_cache_capacity);
 }
 
 ServeReport Server::run(std::vector<TenantRequest> requests) const {

@@ -31,6 +31,7 @@ struct ServeOptions {
   /// (per-request TenantRequest::deadline_factor overrides); 0 = unbounded.
   double deadline_factor = 0.0;
   std::uint64_t seed = 1;  ///< jitter stream seed
+  /// LRU plan-cache entries; 0 disables caching (every request re-plans).
   std::size_t plan_cache_capacity = 64;
   bool keep_request_log = true;  ///< keep per-request records in the report
 };

@@ -46,6 +46,7 @@ std::vector<Matrix> broadcast_binomial(SimMachine& machine,
   for (unsigned s = 0; s < rounds; ++s) {
     std::vector<Message> msgs;
     const std::size_t half = std::size_t{1} << s;
+    msgs.reserve(half);
     for (std::size_t v = 0; v < half; ++v) {
       const std::size_t peer = v + half;
       if (peer >= g) continue;
@@ -84,7 +85,9 @@ Matrix reduce_binomial(SimMachine& machine, std::span<const ProcId> group,
   for (unsigned s = 0; s < rounds; ++s) {
     const std::size_t bit = std::size_t{1} << s;
     std::vector<Message> msgs;
+    msgs.reserve(g / (2 * bit) + 1);
     std::vector<std::size_t> receivers;
+    receivers.reserve(g / (2 * bit) + 1);
     for (std::size_t v = bit; v < g; v += 2 * bit) {
       const std::size_t from = vrank_to_pos(v, root_pos, g);
       const std::size_t to = vrank_to_pos(v - bit, root_pos, g);

@@ -86,6 +86,12 @@ struct RunReport {
   std::uint64_t total_words = 0;
   std::uint64_t max_peak_words = 0;
 
+  /// Host-side accounting snapshot of the simulator at report time
+  /// (SimMachine::approx_footprint_bytes): how much real memory the engine
+  /// held for this run. Diagnostic only — deliberately NOT serialized by
+  /// write_json, so reports stay byte-comparable across engine versions.
+  std::uint64_t engine_footprint_bytes = 0;
+
   /// Fault events observed during the run (all zero on an ideal machine).
   FaultStats faults;
 

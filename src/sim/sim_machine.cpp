@@ -14,18 +14,49 @@ SimMachine::SimMachine(std::shared_ptr<const Topology> topology,
     : topology_(std::move(topology)), params_(std::move(params)) {
   require(topology_ != nullptr, "SimMachine: topology must not be null");
   require(params_.exec.threads >= 1, "SimMachine: exec.threads must be >= 1");
+  require(params_.trace_sample >= 0.0 && params_.trace_sample <= 1.0,
+          "SimMachine: trace_sample must be in [0, 1]");
   if (params_.exec.threads > 1) {
     pool_ = std::make_unique<ThreadPool>(params_.exec.threads);
   }
-  stats_.resize(topology_->size());
-  inbox_.resize(topology_->size());
-  chain_.resize(topology_->size());
-  traffic_ = TrafficMatrix(topology_->size());
+  const std::size_t p = topology_->size();
+  stats_.resize(p);
+  inbox_head_.assign(p, kNilSlot);
+  inbox_tail_.assign(p, kNilSlot);
+  chain_.resize(p);
+  traffic_ = TrafficMatrix(p);
+  // Capture sparsity (DESIGN.md §12): aggregate metrics and traffic-matrix
+  // gating are resolved once so the per-message hot path only tests bools.
+  aggregate_ = params_.metrics_mode == MetricsMode::kAggregate;
+  traffic_on_ =
+      params_.traffic_capture == TrafficCapture::kOn ||
+      (params_.traffic_capture == TrafficCapture::kAuto &&
+       p <= MachineParams::kTrafficAutoThreshold);
+  trace_all_ = params_.trace_sample >= 1.0;
+  trace_threshold_ =
+      trace_all_ ? ~std::uint64_t{0}
+                 : static_cast<std::uint64_t>(params_.trace_sample *
+                                              18446744073709551616.0);
+  // Round scratch, allocated once; exchange() touches only participants.
+  scratch_.sends.assign(p, 0);
+  scratch_.recvs.assign(p, 0);
+  scratch_.send_busy.assign(p, 0.0);
+  scratch_.send_span.assign(p, 0.0);
+  scratch_.arrival_max.assign(p, 0.0);
+  scratch_.arrival_msg.assign(p, kNoMessage);
+  scratch_.busiest_msg.assign(p, kNoMessage);
+  scratch_.in_round.assign(p, 0);
   // Register the standard distributions up front so they appear in metric
-  // exports even before the first message.
-  metrics_.histogram("sim.message_words", Histogram::pow2_bounds(24));
-  metrics_.histogram("sim.message_hops", Histogram::pow2_bounds(8));
-  metrics_.histogram("sim.hop_latency", Histogram::pow2_bounds(24));
+  // exports even before the first message, and cache the hot-path
+  // instruments so exchange() never does a by-name lookup per message.
+  h_msg_words_ =
+      &metrics_.histogram("sim.message_words", Histogram::pow2_bounds(24));
+  h_msg_hops_ =
+      &metrics_.histogram("sim.message_hops", Histogram::pow2_bounds(8));
+  h_hop_latency_ =
+      &metrics_.histogram("sim.hop_latency", Histogram::pow2_bounds(24));
+  c_messages_ = &metrics_.counter("sim.messages");
+  c_words_ = &metrics_.counter("sim.words");
   tracing_ = params_.trace;
   // The fault path only exists when a plan can actually fire; an inactive
   // plan keeps the machine on the exact ideal code path (bit-identical
@@ -41,9 +72,22 @@ SimMachine::SimMachine(std::shared_ptr<const Topology> topology,
   }
 }
 
+bool SimMachine::trace_sampled(ProcId pid) const noexcept {
+  // splitmix64 finalizer over the (pid, seed) pair: a stateless, seeded,
+  // uniform hash, so the sampled processor set is reproducible and
+  // independent of event order and of p.
+  std::uint64_t z = static_cast<std::uint64_t>(pid) + 0x9e3779b97f4a7c15ull +
+                    params_.trace_sample_seed;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return z < trace_threshold_;
+}
+
 void SimMachine::record(ProcId pid, TraceEvent::Kind kind, double start,
                         double end, std::uint64_t words) {
   if (!tracing_ || end <= start) return;
+  if (!trace_all_ && !trace_sampled(pid)) return;
   trace_events_.push_back(
       TraceEvent{pid, kind, start, end, words, current_phase()});
 }
@@ -79,6 +123,11 @@ PhaseStats& SimMachine::phase_cell(PhaseId phase, ProcId pid) {
   return row[pid];
 }
 
+PhaseStats& SimMachine::phase_total(PhaseId phase) {
+  if (phase_totals_.size() <= phase) phase_totals_.resize(phase + 1u);
+  return phase_totals_[phase];
+}
+
 PathTerms& SimMachine::chain_cell(ProcId pid) {
   auto& row = chain_[pid];
   const PhaseId phase = current_phase();
@@ -99,10 +148,16 @@ void SimMachine::compute(ProcId pid, double flops) {
   st.clock += duration;
   st.compute_time += duration;
   st.flops += static_cast<std::uint64_t>(flops);
-  auto& cell = phase_cell(current_phase(), pid);
-  cell.compute_time += duration;
-  cell.flops += static_cast<std::uint64_t>(flops);
-  chain_cell(pid).compute += duration;
+  if (aggregate_) {
+    auto& cell = phase_total(current_phase());
+    cell.compute_time += duration;
+    cell.flops += static_cast<std::uint64_t>(flops);
+  } else {
+    auto& cell = phase_cell(current_phase(), pid);
+    cell.compute_time += duration;
+    cell.flops += static_cast<std::uint64_t>(flops);
+    chain_cell(pid).compute += duration;
+  }
   check_deadline(pid);
 }
 
@@ -176,8 +231,27 @@ double SimMachine::message_startup(const Message& m) const {
 
 void SimMachine::exchange(std::vector<Message> messages) {
   ++exchange_round_;  // identifies this round in fault-fate hashing
-  // Validate port-model constraints.
-  std::vector<unsigned> sends(procs(), 0), recvs(procs(), 0);
+  auto& rs = scratch_;
+  // Entry-time cleanup of the previous round's footprint: doing it here
+  // rather than on exit means an exception thrown mid-round (deadline,
+  // processor failure, precondition) cannot poison the next round.
+  for (const ProcId pid : rs.participants) {
+    rs.sends[pid] = 0;
+    rs.recvs[pid] = 0;
+    rs.send_busy[pid] = 0.0;
+    rs.send_span[pid] = 0.0;
+    rs.arrival_max[pid] = 0.0;
+    rs.arrival_msg[pid] = kNoMessage;
+    rs.busiest_msg[pid] = kNoMessage;
+    rs.in_round[pid] = 0;
+  }
+  rs.participants.clear();
+
+  // Validate endpoints and count sends/receives, discovering the round's
+  // participants. Everything below loops over participants or messages —
+  // never over all p processors — so a round between a handful of
+  // processors costs the same on a 16-processor machine as on a
+  // million-processor one (the "lazy clocks" half of DESIGN.md §12).
   for (const auto& m : messages) {
     require(m.src < procs() && m.dst < procs(),
             "SimMachine::exchange: endpoint out of range");
@@ -186,24 +260,36 @@ void SimMachine::exchange(std::vector<Message> messages) {
       check_alive(m.src);
       check_alive(m.dst);
     }
-    ++sends[m.src];
-    ++recvs[m.dst];
+    if (!rs.in_round[m.src]) {
+      rs.in_round[m.src] = 1;
+      rs.participants.push_back(m.src);
+    }
+    if (!rs.in_round[m.dst]) {
+      rs.in_round[m.dst] = 1;
+      rs.participants.push_back(m.dst);
+    }
+    ++rs.sends[m.src];
+    ++rs.recvs[m.dst];
   }
+  // Ascending pid order keeps the processor loops below byte-identical to
+  // the historical full 0..p-1 scans (which a non-participant passed
+  // through without effect).
+  std::sort(rs.participants.begin(), rs.participants.end());
   const bool one_port = params_.ports == PortModel::kOnePort;
-  for (ProcId pid = 0; pid < procs(); ++pid) {
-    const unsigned limit =
-        one_port ? 1u : std::max(1u, topology_->ports_per_proc());
-    require(sends[pid] <= limit,
+  const unsigned limit =
+      one_port ? 1u : std::max(1u, topology_->ports_per_proc());
+  for (const ProcId pid : rs.participants) {
+    require(rs.sends[pid] <= limit,
             "SimMachine::exchange: too many sends from one processor for the "
             "port model (split the pattern into multiple rounds)");
-    require(recvs[pid] <= limit,
+    require(rs.recvs[pid] <= limit,
             "SimMachine::exchange: too many receives at one processor for the "
             "port model (split the pattern into multiple rounds)");
   }
 
   // Optional contention model: each message's per-word time scales with the
   // worst link load along its route within this round.
-  std::vector<unsigned> load_factor(messages.size(), 1);
+  rs.load_factor.assign(messages.size(), 1);
   if (params_.contention == Contention::kLinkLoad && !messages.empty()) {
     std::vector<std::pair<ProcId, ProcId>> transfers;
     transfers.reserve(messages.size());
@@ -215,7 +301,7 @@ void SimMachine::exchange(std::vector<Message> messages) {
            route_on(*topology_, messages[i].src, messages[i].dst)) {
         worst = std::max(worst, loads.at(link));
       }
-      load_factor[i] = worst;
+      rs.load_factor[i] = worst;
     }
   }
 
@@ -226,33 +312,20 @@ void SimMachine::exchange(std::vector<Message> messages) {
   // retry schedule (sim/reliable.hpp): timeouts extend the sender's elapsed
   // span beyond its busy time, and the arrival moves to the successful
   // attempt (plus any in-flight delay).
-  std::vector<double> send_busy(procs(), 0.0);
-  std::vector<double> send_span(procs(), 0.0);
-  std::vector<double> arrival_max(procs(), 0.0);
-  std::vector<bool> deliver(messages.size(), true);
-  std::vector<bool> deliver_dup(messages.size(), false);
+  rs.deliver.assign(messages.size(), 1);
+  rs.deliver_dup.assign(messages.size(), 0);
   // Critical-path bookkeeping (pure metadata — never feeds back into the
   // clock arithmetic below): which message sets each receiver's arrival,
   // which sets each sender's busy time, and each message's startup/word/
   // other split. Retry timeouts, in-flight delays and straggler inflation
   // all land in `other`.
   const PhaseId cur = current_phase();
-  std::vector<int> arrival_msg(procs(), -1);
-  std::vector<int> busiest_msg(procs(), -1);
-  std::vector<double> msg_startup(messages.size(), 0.0);
-  std::vector<double> msg_word(messages.size(), 0.0);
-  std::vector<double> msg_other(messages.size(), 0.0);
-  Histogram& h_words =
-      metrics_.histogram("sim.message_words", Histogram::pow2_bounds(24));
-  Histogram& h_hops =
-      metrics_.histogram("sim.message_hops", Histogram::pow2_bounds(8));
-  Histogram& h_hop_latency =
-      metrics_.histogram("sim.hop_latency", Histogram::pow2_bounds(24));
-  Counter& c_messages = metrics_.counter("sim.messages");
-  Counter& c_words = metrics_.counter("sim.words");
+  rs.msg_startup.assign(messages.size(), 0.0);
+  rs.msg_word.assign(messages.size(), 0.0);
+  rs.msg_other.assign(messages.size(), 0.0);
   for (std::size_t i = 0; i < messages.size(); ++i) {
     auto& m = messages[i];
-    double cost = message_cost(m, load_factor[i]);
+    double cost = message_cost(m, rs.load_factor[i]);
     double busy = cost, span = cost, arrival_delay = 0.0;
     if (injector_) {
       cost *= injector_->slowdown(m.src);  // a straggler's sends run slower
@@ -261,7 +334,7 @@ void SimMachine::exchange(std::vector<Message> messages) {
       busy = out.busy;
       span = out.span();
       arrival_delay = out.delay;
-      deliver[i] = out.delivered;
+      rs.deliver[i] = out.delivered ? 1 : 0;
       auto& fs = fault_stats_;
       fs.transmissions_dropped += out.attempts - 1 + (out.delivered ? 0 : 1);
       fs.retransmissions += out.retransmissions();
@@ -274,7 +347,7 @@ void SimMachine::exchange(std::vector<Message> messages) {
         if (injector_->plan().reliable) {
           ++fs.duplicates_suppressed;
         } else {
-          deliver_dup[i] = out.delivered;
+          rs.deliver_dup[i] = out.delivered ? 1 : 0;
           if (out.delivered) ++fs.duplicates_delivered;
         }
       }
@@ -285,126 +358,184 @@ void SimMachine::exchange(std::vector<Message> messages) {
         ++fs.elements_corrupted;
       }
     }
-    if (deliver[i]) {
+    if (rs.deliver[i]) {
       const double arrival = stats_[m.src].clock + span + arrival_delay;
-      if (arrival > arrival_max[m.dst]) {
-        arrival_max[m.dst] = arrival;
-        arrival_msg[m.dst] = static_cast<int>(i);
+      if (arrival > rs.arrival_max[m.dst]) {
+        rs.arrival_max[m.dst] = arrival;
+        rs.arrival_msg[m.dst] = i;
       }
     }
-    if (busy > send_busy[m.src]) {
-      send_busy[m.src] = busy;
-      busiest_msg[m.src] = static_cast<int>(i);
+    if (busy > rs.send_busy[m.src]) {
+      rs.send_busy[m.src] = busy;
+      rs.busiest_msg[m.src] = i;
     }
-    send_span[m.src] = std::max(send_span[m.src], span);
+    rs.send_span[m.src] = std::max(rs.send_span[m.src], span);
     stats_[m.src].messages_sent += 1;
     stats_[m.src].words_sent += m.words();
     // Cost split: startup is the t_s/hop slice of the *base* cost, the rest
     // of the transfer time (contention included) is per-word, and everything
     // past the successful transfer (timeouts, delay, slowdown) is "other".
-    msg_startup[i] = std::min(message_startup(m), busy);
-    msg_word[i] = busy - msg_startup[i];
-    msg_other[i] = (span + arrival_delay) - busy;
-    auto& pcell = phase_cell(cur, m.src);
-    pcell.messages_sent += 1;
-    pcell.words_sent += m.words();
-    const unsigned hops = topology_->hops(m.src, m.dst);
-    h_words.observe(static_cast<double>(m.words()));
-    h_hops.observe(static_cast<double>(hops));
-    if (hops > 0) h_hop_latency.observe(cost / static_cast<double>(hops));
-    c_messages.add();
-    c_words.add(m.words());
-    traffic_.add(m.src, m.dst, m.words());
+    rs.msg_startup[i] = std::min(message_startup(m), busy);
+    rs.msg_word[i] = busy - rs.msg_startup[i];
+    rs.msg_other[i] = (span + arrival_delay) - busy;
+    if (aggregate_) {
+      auto& totals = phase_total(cur);
+      totals.messages_sent += 1;
+      totals.words_sent += m.words();
+    } else {
+      auto& pcell = phase_cell(cur, m.src);
+      pcell.messages_sent += 1;
+      pcell.words_sent += m.words();
+      const unsigned hops = topology_->hops(m.src, m.dst);
+      h_msg_words_->observe(static_cast<double>(m.words()));
+      h_msg_hops_->observe(static_cast<double>(hops));
+      if (hops > 0) h_hop_latency_->observe(cost / static_cast<double>(hops));
+    }
+    c_messages_->add();
+    c_words_->add(m.words());
+    if (traffic_on_) traffic_.add(m.src, m.dst, m.words());
   }
   // Receivers that end up waiting adopt the chain that produced their
   // arrival: the sender's pre-round decomposition plus this message's cost,
   // attributed to the phase open now (snapshot the chains before the
-  // mutation loop below touches them).
-  std::vector<std::vector<PathTerms>> adopted(procs());
-  for (ProcId pid = 0; pid < procs(); ++pid) {
-    const int mi = arrival_msg[pid];
-    if (mi < 0) continue;
-    const Message& m = messages[static_cast<std::size_t>(mi)];
-    auto& chain = adopted[pid];
-    chain = chain_[m.src];
-    if (chain.size() <= cur) chain.resize(cur + 1u);
-    chain[cur].startup += msg_startup[static_cast<std::size_t>(mi)];
-    chain[cur].word += msg_word[static_cast<std::size_t>(mi)];
-    chain[cur].other += msg_other[static_cast<std::size_t>(mi)];
+  // mutation loop below touches them). Aggregate capture keeps no chains.
+  if (!aggregate_) {
+    rs.adopted.resize(std::max(rs.adopted.size(), rs.participants.size()));
+    for (std::size_t k = 0; k < rs.participants.size(); ++k) {
+      const ProcId pid = rs.participants[k];
+      auto& chain = rs.adopted[k];
+      chain.clear();
+      const std::size_t mi = rs.arrival_msg[pid];
+      if (mi == kNoMessage) continue;
+      const Message& m = messages[mi];
+      chain = chain_[m.src];
+      if (chain.size() <= cur) chain.resize(cur + 1u);
+      chain[cur].startup += rs.msg_startup[mi];
+      chain[cur].word += rs.msg_word[mi];
+      chain[cur].other += rs.msg_other[mi];
+    }
   }
-  for (ProcId pid = 0; pid < procs(); ++pid) {
+  for (std::size_t k = 0; k < rs.participants.size(); ++k) {
+    const ProcId pid = rs.participants[k];
     auto& st = stats_[pid];
-    auto& pcell = phase_cell(cur, pid);
-    const double busy_until = st.clock + send_busy[pid];
+    const double busy_until = st.clock + rs.send_busy[pid];
     record(pid, TraceEvent::Kind::kSend, st.clock, busy_until);
-    st.comm_time += send_busy[pid];
-    pcell.comm_time += send_busy[pid];
-    if (busiest_msg[pid] >= 0) {
-      const auto mi = static_cast<std::size_t>(busiest_msg[pid]);
-      auto& cell = chain_cell(pid);
-      cell.startup += msg_startup[mi];
-      cell.word += msg_word[mi];
+    st.comm_time += rs.send_busy[pid];
+    if (aggregate_) {
+      phase_total(cur).comm_time += rs.send_busy[pid];
+    } else {
+      phase_cell(cur, pid).comm_time += rs.send_busy[pid];
+      if (rs.busiest_msg[pid] != kNoMessage) {
+        const std::size_t mi = rs.busiest_msg[pid];
+        auto& cell = chain_cell(pid);
+        cell.startup += rs.msg_startup[mi];
+        cell.word += rs.msg_word[mi];
+      }
     }
     double next = busy_until;
-    if (send_span[pid] > send_busy[pid]) {
+    if (rs.send_span[pid] > rs.send_busy[pid]) {
       // Timeout-and-retransmit overhead beyond the pure transfer time.
-      const double span_until = st.clock + send_span[pid];
+      const double span_until = st.clock + rs.send_span[pid];
       record(pid, TraceEvent::Kind::kRetry, next, span_until);
       st.idle_time += span_until - next;
-      pcell.idle_time += span_until - next;
-      chain_cell(pid).other += span_until - next;
+      if (aggregate_) {
+        phase_total(cur).idle_time += span_until - next;
+      } else {
+        phase_cell(cur, pid).idle_time += span_until - next;
+        chain_cell(pid).other += span_until - next;
+      }
       next = span_until;
     }
-    if (arrival_max[pid] > next) {
-      record(pid, TraceEvent::Kind::kWait, next, arrival_max[pid]);
-      st.idle_time += arrival_max[pid] - next;
-      pcell.idle_time += arrival_max[pid] - next;
-      // The wait ends at the arrival: pid's clock is now explained by the
-      // producing chain, not by what pid did this round.
-      if (arrival_msg[pid] >= 0) chain_[pid] = std::move(adopted[pid]);
-      next = arrival_max[pid];
+    if (rs.arrival_max[pid] > next) {
+      record(pid, TraceEvent::Kind::kWait, next, rs.arrival_max[pid]);
+      st.idle_time += rs.arrival_max[pid] - next;
+      if (aggregate_) {
+        phase_total(cur).idle_time += rs.arrival_max[pid] - next;
+      } else {
+        phase_cell(cur, pid).idle_time += rs.arrival_max[pid] - next;
+        // The wait ends at the arrival: pid's clock is now explained by the
+        // producing chain, not by what pid did this round.
+        if (rs.arrival_msg[pid] != kNoMessage) {
+          chain_[pid] = std::move(rs.adopted[k]);
+        }
+      }
+      next = rs.arrival_max[pid];
     }
     st.clock = next;
     check_deadline(pid);
   }
   // Deliver payloads.
   for (std::size_t i = 0; i < messages.size(); ++i) {
-    if (!deliver[i]) continue;
+    if (!rs.deliver[i]) continue;
     const ProcId dst = messages[i].dst;
-    if (deliver_dup[i]) inbox_[dst].push_back(messages[i]);
-    inbox_[dst].push_back(std::move(messages[i]));
+    if (rs.deliver_dup[i]) inbox_push(dst, Message(messages[i]));
+    inbox_push(dst, std::move(messages[i]));
   }
+}
+
+void SimMachine::inbox_push(ProcId dst, Message&& m) {
+  std::uint32_t slot;
+  if (inbox_free_ != kNilSlot) {
+    slot = inbox_free_;
+    inbox_free_ = inbox_slots_[slot].next;
+    inbox_slots_[slot].msg = std::move(m);
+  } else {
+    require(inbox_slots_.size() < kNilSlot,
+            "SimMachine::inbox_push: inbox arena full");
+    slot = static_cast<std::uint32_t>(inbox_slots_.size());
+    inbox_slots_.push_back(InboxSlot{std::move(m), kNilSlot});
+  }
+  inbox_slots_[slot].next = kNilSlot;
+  if (inbox_head_[dst] == kNilSlot) {
+    inbox_head_[dst] = slot;
+  } else {
+    inbox_slots_[inbox_tail_[dst]].next = slot;
+  }
+  inbox_tail_[dst] = slot;
+  ++pending_;
 }
 
 Message SimMachine::receive(ProcId pid, int tag) {
   require(pid < procs(), "SimMachine::receive: pid out of range");
-  auto& box = inbox_[pid];
-  const auto it = std::find_if(box.begin(), box.end(),
-                               [tag](const Message& m) { return m.tag == tag; });
-  require(it != box.end(),
-          "SimMachine::receive: no pending message with requested tag");
-  Message out = std::move(*it);
-  box.erase(it);
-  return out;
+  std::uint32_t prev = kNilSlot;
+  for (std::uint32_t s = inbox_head_[pid]; s != kNilSlot;
+       prev = s, s = inbox_slots_[s].next) {
+    if (inbox_slots_[s].msg.tag != tag) continue;
+    Message out = std::move(inbox_slots_[s].msg);
+    const std::uint32_t next = inbox_slots_[s].next;
+    if (prev == kNilSlot) {
+      inbox_head_[pid] = next;
+    } else {
+      inbox_slots_[prev].next = next;
+    }
+    if (inbox_tail_[pid] == s) inbox_tail_[pid] = prev;
+    // Release the payload's heap blocks now (the moved-from state may keep
+    // capacity) and recycle the slot.
+    inbox_slots_[s].msg = Message{};
+    inbox_slots_[s].next = inbox_free_;
+    inbox_free_ = s;
+    --pending_;
+    return out;
+  }
+  throw PreconditionError(
+      "SimMachine::receive: no pending message with requested tag");
 }
 
 bool SimMachine::has_message(ProcId pid, int tag) const {
   require(pid < procs(), "SimMachine::has_message: pid out of range");
-  const auto& box = inbox_[pid];
-  return std::any_of(box.begin(), box.end(),
-                     [tag](const Message& m) { return m.tag == tag; });
+  for (std::uint32_t s = inbox_head_[pid]; s != kNilSlot;
+       s = inbox_slots_[s].next) {
+    if (inbox_slots_[s].msg.tag == tag) return true;
+  }
+  return false;
 }
 
-std::size_t SimMachine::pending_messages() const noexcept {
-  std::size_t n = 0;
-  for (const auto& box : inbox_) n += box.size();
-  return n;
-}
+std::size_t SimMachine::pending_messages() const noexcept { return pending_; }
 
 void SimMachine::assert_clean_run() const {
   for (ProcId pid = 0; pid < procs(); ++pid) {
-    if (inbox_[pid].empty()) continue;
-    const Message& m = inbox_[pid].front();
+    if (inbox_head_[pid] == kNilSlot) continue;
+    const Message& m = inbox_slots_[inbox_head_[pid]].msg;
     throw InternalError(
         "SimMachine::assert_clean_run: leftover message with tag " +
         std::to_string(m.tag) + " pending at destination processor " +
@@ -431,10 +562,12 @@ double SimMachine::synchronize() {
   // time — their clock is now explained by its critical path.
   const PhaseId cur = current_phase();
   std::vector<PathTerms> crit_chain;
-  for (ProcId pid = 0; pid < procs(); ++pid) {
-    if (stats_[pid].clock == t) {
-      crit_chain = chain_[pid];
-      break;
+  if (!aggregate_) {
+    for (ProcId pid = 0; pid < procs(); ++pid) {
+      if (stats_[pid].clock == t) {
+        crit_chain = chain_[pid];
+        break;
+      }
     }
   }
   for (ProcId pid = 0; pid < procs(); ++pid) {
@@ -442,8 +575,12 @@ double SimMachine::synchronize() {
     record(pid, TraceEvent::Kind::kWait, st.clock, t);
     st.idle_time += t - st.clock;
     if (t > st.clock) {
-      phase_cell(cur, pid).idle_time += t - st.clock;
-      chain_[pid] = crit_chain;
+      if (aggregate_) {
+        phase_total(cur).idle_time += t - st.clock;
+      } else {
+        phase_cell(cur, pid).idle_time += t - st.clock;
+        chain_[pid] = crit_chain;
+      }
     }
     st.clock = t;
   }
@@ -461,10 +598,12 @@ void SimMachine::charge_group_comm(std::span<const ProcId> group, double time_co
   // adopt its chain; the modeled charge itself then lands on everyone.
   const PhaseId cur = current_phase();
   std::vector<PathTerms> crit_chain;
-  for (ProcId pid : group) {
-    if (stats_[pid].clock == start) {
-      crit_chain = chain_[pid];
-      break;
+  if (!aggregate_) {
+    for (ProcId pid : group) {
+      if (stats_[pid].clock == start) {
+        crit_chain = chain_[pid];
+        break;
+      }
     }
   }
   for (ProcId pid : group) {
@@ -472,13 +611,21 @@ void SimMachine::charge_group_comm(std::span<const ProcId> group, double time_co
     if (start > st.clock) {
       record(pid, TraceEvent::Kind::kWait, st.clock, start);
       st.idle_time += start - st.clock;
-      phase_cell(cur, pid).idle_time += start - st.clock;
-      chain_[pid] = crit_chain;
+      if (aggregate_) {
+        phase_total(cur).idle_time += start - st.clock;
+      } else {
+        phase_cell(cur, pid).idle_time += start - st.clock;
+        chain_[pid] = crit_chain;
+      }
     }
     record(pid, TraceEvent::Kind::kModeledComm, start, start + time_cost);
     st.comm_time += time_cost;
-    phase_cell(cur, pid).comm_time += time_cost;
-    chain_cell(pid).modeled += time_cost;
+    if (aggregate_) {
+      phase_total(cur).comm_time += time_cost;
+    } else {
+      phase_cell(cur, pid).comm_time += time_cost;
+      chain_cell(pid).modeled += time_cost;
+    }
     st.clock = start + time_cost;
     check_deadline(pid);
   }
@@ -514,6 +661,41 @@ double SimMachine::time() const noexcept {
   return t;
 }
 
+std::uint64_t SimMachine::approx_footprint_bytes() const noexcept {
+  const auto vec_bytes = [](const auto& v) noexcept -> std::uint64_t {
+    return static_cast<std::uint64_t>(v.capacity()) * sizeof(v[0]);
+  };
+  std::uint64_t total = sizeof(*this);
+  total += vec_bytes(stats_);
+  total += vec_bytes(inbox_head_) + vec_bytes(inbox_tail_);
+  total += vec_bytes(inbox_slots_);
+  for (const auto& slot : inbox_slots_) {
+    for (const auto& block : slot.msg.blocks) {
+      total += static_cast<std::uint64_t>(block.size()) * sizeof(double);
+    }
+  }
+  total += vec_bytes(trace_events_);
+  total += vec_bytes(phase_totals_);
+  for (const auto& row : phase_stats_) total += vec_bytes(row);
+  total += vec_bytes(phase_stats_);
+  total += vec_bytes(chain_);
+  for (const auto& row : chain_) total += vec_bytes(row);
+  total += vec_bytes(scratch_.sends) + vec_bytes(scratch_.recvs) +
+           vec_bytes(scratch_.send_busy) + vec_bytes(scratch_.send_span) +
+           vec_bytes(scratch_.arrival_max) + vec_bytes(scratch_.arrival_msg) +
+           vec_bytes(scratch_.busiest_msg) + vec_bytes(scratch_.in_round) +
+           vec_bytes(scratch_.participants) + vec_bytes(scratch_.load_factor) +
+           vec_bytes(scratch_.deliver) + vec_bytes(scratch_.deliver_dup) +
+           vec_bytes(scratch_.msg_startup) + vec_bytes(scratch_.msg_word) +
+           vec_bytes(scratch_.msg_other);
+  for (const auto& row : scratch_.adopted) total += vec_bytes(row);
+  total += vec_bytes(scratch_.adopted);
+  // Sparse traffic cells: unordered_map node ~= key + value + bucket/next
+  // pointers. 56 bytes is the usual libstdc++ figure for a 16-byte payload.
+  total += static_cast<std::uint64_t>(traffic_.links_used()) * 56;
+  return total;
+}
+
 RunReport SimMachine::report(std::string algorithm, std::size_t n,
                              double w_useful, bool keep_proc_stats) const {
   RunReport r;
@@ -533,10 +715,13 @@ RunReport SimMachine::report(std::string algorithm, std::size_t n,
     r.max_peak_words = std::max(r.max_peak_words, st.peak_words_stored);
   }
   r.faults = fault_stats_;
+  r.engine_footprint_bytes = approx_footprint_bytes();
   if (keep_proc_stats) r.procs = stats_;
   // Phase table + critical-path decomposition. The first processor whose
   // clock attains T_p carries a complete dependency chain for the run (its
-  // per-phase terms sum to exactly T_p).
+  // per-phase terms sum to exactly T_p). Aggregate capture keeps neither
+  // chains nor per-processor cells: per-phase totals fill the flops/
+  // messages/words columns, the maxima and path terms read as zero.
   ProcId crit = 0;
   for (ProcId pid = 0; pid < procs(); ++pid) {
     if (stats_[pid].clock == r.t_parallel) {
@@ -548,7 +733,13 @@ RunReport SimMachine::report(std::string algorithm, std::size_t n,
   for (std::size_t ph = 0; ph < phase_names_.size(); ++ph) {
     PhaseBreakdown b;
     b.name = phase_names_[ph];
-    if (ph < phase_stats_.size()) {
+    if (aggregate_) {
+      if (ph < phase_totals_.size()) {
+        b.flops = phase_totals_[ph].flops;
+        b.messages = phase_totals_[ph].messages_sent;
+        b.words = phase_totals_[ph].words_sent;
+      }
+    } else if (ph < phase_stats_.size()) {
       for (const auto& cell : phase_stats_[ph]) {
         b.max_compute_time = std::max(b.max_compute_time, cell.compute_time);
         b.max_comm_time = std::max(b.max_comm_time, cell.comm_time);
@@ -568,7 +759,14 @@ RunReport SimMachine::report(std::string algorithm, std::size_t n,
     if (ph == 0 && b.path.total() == 0.0 && b.max_compute_time == 0.0 &&
         b.max_comm_time == 0.0 && b.max_idle_time == 0.0 && b.flops == 0 &&
         b.messages == 0) {
-      continue;
+      // Aggregate capture has no maxima; consult the totals so unattributed
+      // idle/comm time still keeps the row.
+      if (!aggregate_ || phase_totals_.empty() ||
+          (phase_totals_[0].compute_time == 0.0 &&
+           phase_totals_[0].comm_time == 0.0 &&
+           phase_totals_[0].idle_time == 0.0)) {
+        continue;
+      }
     }
     r.phases.push_back(std::move(b));
   }
@@ -577,13 +775,31 @@ RunReport SimMachine::report(std::string algorithm, std::size_t n,
 
 void SimMachine::reset() {
   for (auto& st : stats_) st = ProcStats{};
-  for (auto& box : inbox_) box.clear();
+  inbox_slots_.clear();
+  inbox_free_ = kNilSlot;
+  std::fill(inbox_head_.begin(), inbox_head_.end(), kNilSlot);
+  std::fill(inbox_tail_.begin(), inbox_tail_.end(), kNilSlot);
+  pending_ = 0;
+  // Round scratch: clear whatever the last round touched (cheap, and makes
+  // reset() equivalent to a freshly constructed machine).
+  for (const ProcId pid : scratch_.participants) {
+    scratch_.sends[pid] = 0;
+    scratch_.recvs[pid] = 0;
+    scratch_.send_busy[pid] = 0.0;
+    scratch_.send_span[pid] = 0.0;
+    scratch_.arrival_max[pid] = 0.0;
+    scratch_.arrival_msg[pid] = kNoMessage;
+    scratch_.busiest_msg[pid] = kNoMessage;
+    scratch_.in_round[pid] = 0;
+  }
+  scratch_.participants.clear();
   trace_events_.clear();
   fault_stats_ = FaultStats{};
   exchange_round_ = 0;
   phase_names_.assign(1, std::string());
   phase_stack_.clear();
   phase_stats_.clear();
+  phase_totals_.clear();
   for (auto& row : chain_) row.clear();
   metrics_.reset();
   traffic_ = TrafficMatrix(procs());

@@ -1,7 +1,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <span>
 #include <string>
@@ -188,8 +187,20 @@ class SimMachine {
   MetricsRegistry& metrics() noexcept { return metrics_; }
   const MetricsRegistry& metrics() const noexcept { return metrics_; }
 
-  /// Words moved per directed processor pair over the whole run.
+  /// Words moved per directed processor pair over the whole run. Empty when
+  /// traffic capture is off (TrafficCapture::kOff, or kAuto above the p
+  /// threshold); traffic_captured() says which.
   const TrafficMatrix& traffic() const noexcept { return traffic_; }
+
+  /// Whether exchange() is accumulating the traffic matrix this run.
+  bool traffic_captured() const noexcept { return traffic_on_; }
+
+  /// Approximate resident bytes of the simulator state itself: processor
+  /// stats, inboxes (including buffered payload words), phase/chain
+  /// accounting, round scratch, trace events and the traffic matrix.
+  /// Intended for the bytes-per-processor scalability sweeps (bench/
+  /// sim_extreme.cpp); container overheads are estimated, not measured.
+  std::uint64_t approx_footprint_bytes() const noexcept;
 
   /// Assemble a RunReport for a problem of useful work `w_useful` ( = n^3).
   RunReport report(std::string algorithm, std::size_t n, double w_useful,
@@ -212,8 +223,14 @@ class SimMachine {
   /// The startup slice (t_s plus hop latency) of a message's base cost.
   double message_startup(const Message& m) const;
   PhaseStats& phase_cell(PhaseId phase, ProcId pid);
+  /// Whole-machine per-phase totals (aggregate capture mode only).
+  PhaseStats& phase_total(PhaseId phase);
   /// pid's critical-path cell for the currently open phase.
   PathTerms& chain_cell(ProcId pid);
+  /// Seeded per-pid trace-sampling decision (stateless splitmix64 hash).
+  bool trace_sampled(ProcId pid) const noexcept;
+  /// Append a delivered message to dst's inbox queue in the flat arena.
+  void inbox_push(ProcId dst, Message&& m);
   void record(ProcId pid, TraceEvent::Kind kind, double start, double end,
               std::uint64_t words = 0);
   /// Throws ProcessorFailure if pid's clock has reached its fail-stop time.
@@ -232,8 +249,63 @@ class SimMachine {
   /// Host threads for local numerics; non-null only when exec.threads > 1.
   std::unique_ptr<ThreadPool> pool_;
   std::vector<ProcStats> stats_;
-  std::vector<std::deque<Message>> inbox_;
+
+  /// --- Flat arena inboxes (DESIGN.md §12) ----------------------------
+  ///
+  /// Delivered-but-unreceived messages live in one shared slot arena;
+  /// each destination's queue is an index-linked list through it (FIFO, so
+  /// receive() scans in exactly the order the old per-processor deques
+  /// held). Freed slots recycle through a free list, so steady-state
+  /// delivery allocates nothing and an idle processor costs two 4-byte
+  /// indices instead of a ~500-byte empty deque — the difference between
+  /// p ~ 10^6 fitting in memory or not.
+  static constexpr std::uint32_t kNilSlot = 0xffffffffu;
+  struct InboxSlot {
+    Message msg;
+    std::uint32_t next = kNilSlot;
+  };
+  std::vector<InboxSlot> inbox_slots_;
+  std::uint32_t inbox_free_ = kNilSlot;  ///< head of the free-slot list
+  std::vector<std::uint32_t> inbox_head_;  ///< per pid; kNilSlot = empty
+  std::vector<std::uint32_t> inbox_tail_;
+  std::size_t pending_ = 0;  ///< undelivered messages across all inboxes
+
+  /// --- Per-round scratch -----------------------------------------------
+  ///
+  /// exchange() used to allocate ~10 O(p) vectors per call and walk all p
+  /// processors every round; at p ~ 10^6 that is the whole runtime. These
+  /// arrays are allocated once, only entries of processors that actually
+  /// participate in the current round are touched, and the participant
+  /// list drives their cleanup at the next round's entry — exchange() is
+  /// O(participants + messages) per call, and untouched processors' clocks
+  /// stay lazily where they were.
+  struct RoundScratch {
+    std::vector<std::uint32_t> sends, recvs;          // per pid
+    std::vector<double> send_busy, send_span, arrival_max;  // per pid
+    /// Message index (into the round's message vector) that set the entry;
+    /// kNoMessage when none. 64-bit so event counts can't wrap at scale.
+    std::vector<std::size_t> arrival_msg, busiest_msg;  // per pid
+    std::vector<std::uint8_t> in_round;  // per pid participation flag
+    /// Touched pids, sorted ascending for the round's processor loops.
+    /// Survives until the next round's entry, which uses it to clear the
+    /// per-pid entries above — entry-time cleanup, so an exception thrown
+    /// mid-round can't poison the following round.
+    std::vector<ProcId> participants;
+    // Per-message scratch, sized to the round's message count.
+    std::vector<unsigned> load_factor;
+    std::vector<std::uint8_t> deliver, deliver_dup;
+    std::vector<double> msg_startup, msg_word, msg_other;
+    /// Adopted chains, parallel to `participants` (full capture only).
+    std::vector<std::vector<PathTerms>> adopted;
+  };
+  static constexpr std::size_t kNoMessage = static_cast<std::size_t>(-1);
+  RoundScratch scratch_;
+
   bool tracing_ = false;
+  /// trace_sample >= 1: record every processor (no hashing on the hot
+  /// path). Otherwise trace_threshold_ is the 64-bit acceptance bound.
+  bool trace_all_ = true;
+  std::uint64_t trace_threshold_ = 0;
   std::vector<TraceEvent> trace_events_;
   /// Non-null only when params_.faults is an active plan; see fault.hpp.
   std::unique_ptr<FaultInjector> injector_;
@@ -242,6 +314,13 @@ class SimMachine {
 
   std::vector<std::string> phase_names_{std::string()};
   std::vector<PhaseId> phase_stack_;
+  /// Aggregate capture mode (MetricsMode::kAggregate): keep per-phase
+  /// *totals* only — phase_totals_ replaces phase_stats_ and chain_, and
+  /// the message histograms are skipped. O(phases) accounting memory.
+  bool aggregate_ = false;
+  std::vector<PhaseStats> phase_totals_;
+  /// Whether the traffic matrix is being accumulated (TrafficCapture).
+  bool traffic_on_ = true;
   /// [phase][pid] busy-time/traffic accounting, lazily sized per phase.
   std::vector<std::vector<PhaseStats>> phase_stats_;
   /// [pid][phase] critical-path decomposition: each processor carries the
@@ -250,6 +329,15 @@ class SimMachine {
   /// processor they waited on), so Sum over phases == clock for every pid.
   std::vector<std::vector<PathTerms>> chain_;
   MetricsRegistry metrics_;
+  /// Hot-path instruments resolved once at construction — a map lookup per
+  /// message would dominate at extreme p. MetricsRegistry guarantees
+  /// reference stability for the registry's lifetime (std::map nodes), and
+  /// reset() zeroes values without invalidating them.
+  Histogram* h_msg_words_ = nullptr;
+  Histogram* h_msg_hops_ = nullptr;
+  Histogram* h_hop_latency_ = nullptr;
+  Counter* c_messages_ = nullptr;
+  Counter* c_words_ = nullptr;
   TrafficMatrix traffic_;
 };
 

@@ -196,6 +196,29 @@ MachineParams machine_from_args(const CliArgs& args) {
   require(threads >= 1, "--threads: must be >= 1, got " +
                             std::to_string(threads));
   mp.exec.threads = static_cast<unsigned>(threads);
+  // Capture sparsity for extreme-scale runs (docs/cli.md, DESIGN.md §12).
+  // Defaults reproduce the historical full-capture output byte for byte.
+  const std::string metrics = args.get("metrics", "full");
+  if (metrics == "aggregate") {
+    mp.metrics_mode = MetricsMode::kAggregate;
+  } else {
+    require(metrics == "full",
+            "--metrics: expected 'full' or 'aggregate', got '" + metrics + "'");
+  }
+  const std::string traffic = args.get("traffic", "auto");
+  if (traffic == "on") {
+    mp.traffic_capture = TrafficCapture::kOn;
+  } else if (traffic == "off") {
+    mp.traffic_capture = TrafficCapture::kOff;
+  } else {
+    require(traffic == "auto",
+            "--traffic: expected 'auto', 'on' or 'off', got '" + traffic + "'");
+  }
+  mp.trace_sample = args.get_double("trace-sample", 1.0);
+  require(mp.trace_sample >= 0.0 && mp.trace_sample <= 1.0,
+          "--trace-sample: must be in [0, 1]");
+  mp.trace_sample_seed =
+      static_cast<std::uint64_t>(args.get_int("trace-seed", 0));
   return mp;
 }
 
@@ -745,7 +768,7 @@ int cmd_serve(const CliArgs& args, std::ostream& os) {
   opt.deadline_factor = args.get_double("deadline-factor", 0.0);
   opt.seed = seed;
   opt.plan_cache_capacity =
-      static_cast<std::size_t>(serve_int_flag(args, "cache", 64, 1));
+      static_cast<std::size_t>(serve_int_flag(args, "cache", 64, 0));
   opt.keep_request_log = args.get_bool("log", true);
 
   const Server server(opt);

@@ -30,18 +30,27 @@ unsigned exact_log2(std::uint64_t x) {
 
 std::uint64_t isqrt(std::uint64_t x) noexcept {
   if (x == 0) return 0;
+  // Largest root whose square fits in 64 bits: floor(sqrt(2^64 - 1)).
+  constexpr std::uint64_t kMaxRoot = 0xffffffffull;
   auto r = static_cast<std::uint64_t>(std::sqrt(static_cast<double>(x)));
-  // std::sqrt can be off by one ulp for large inputs; fix up exactly.
+  if (r > kMaxRoot) r = kMaxRoot;
+  // std::sqrt can be off by one ulp for large inputs; fix up exactly. Both
+  // the clamp above and the r < kMaxRoot guard keep the products from
+  // wrapping for x near 2^64, where the unguarded fix-up loop would compare
+  // against a wrapped square and walk r upward ~2^31 times.
   while (r > 0 && r * r > x) --r;
-  while ((r + 1) * (r + 1) <= x) ++r;
+  while (r < kMaxRoot && (r + 1) * (r + 1) <= x) ++r;
   return r;
 }
 
 std::uint64_t icbrt(std::uint64_t x) noexcept {
   if (x == 0) return 0;
+  // Largest root whose cube fits in 64 bits: floor(cbrt(2^64 - 1)).
+  constexpr std::uint64_t kMaxRoot = 2642245ull;
   auto r = static_cast<std::uint64_t>(std::cbrt(static_cast<double>(x)));
+  if (r > kMaxRoot) r = kMaxRoot;
   while (r > 0 && r * r * r > x) --r;
-  while ((r + 1) * (r + 1) * (r + 1) <= x) ++r;
+  while (r < kMaxRoot && (r + 1) * (r + 1) * (r + 1) <= x) ++r;
   return r;
 }
 

@@ -25,7 +25,9 @@ void Histogram::observe(double v) noexcept {
   ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
   ++count_;
   sum_ += v;
-  max_ = std::max(max_, v);
+  // Seed from the first sample so all-negative distributions report their
+  // true maximum (a 0.0-initialised running max would win otherwise).
+  max_ = count_ == 1 ? v : std::max(max_, v);
 }
 
 double Histogram::bucket_bound(std::size_t i) const {

@@ -51,6 +51,8 @@ class Histogram {
 
   std::uint64_t count() const noexcept { return count_; }
   double sum() const noexcept { return sum_; }
+  /// Largest observed sample (exact, not bucketed); 0 before any
+  /// observation. Correct for all-negative distributions too.
   double max() const noexcept { return max_; }
   double mean() const noexcept {
     return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <string>
 
 #include "machine/params.hpp"
@@ -114,8 +115,33 @@ TEST(PlanCache, CapacityOneStillCaches) {
   EXPECT_NE(cache.lookup("b"), nullptr);
 }
 
-TEST(PlanCache, ZeroCapacityIsRejected) {
-  EXPECT_THROW(PlanCache(0), PreconditionError);
+TEST(PlanCache, ZeroCapacityIsAPassThrough) {
+  PlanCache cache(0);
+  EXPECT_EQ(cache.capacity(), 0u);
+  // Inserts are dropped — never insert-then-evict-self, never touch an
+  // empty eviction list.
+  cache.insert("a", make_plan("cannon", 1.0));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.lookup("a"), nullptr);
+  // Overwrite-style insert on a missing key is equally a no-op.
+  cache.insert("a", make_plan("gk", 2.0));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.lookup("a"), nullptr);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.0);
+}
+
+TEST(PlanCache, HitRateWithZeroLookupsIsZeroNotNaN) {
+  PlanCache cache(4);
+  EXPECT_EQ(cache.hits() + cache.misses(), 0u);
+  const double rate = cache.hit_rate();
+  EXPECT_FALSE(std::isnan(rate));
+  EXPECT_DOUBLE_EQ(rate, 0.0);
+
+  PlanCache empty(0);
+  EXPECT_FALSE(std::isnan(empty.hit_rate()));
+  EXPECT_DOUBLE_EQ(empty.hit_rate(), 0.0);
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 
 #include "serve/script.hpp"
 #include "util/error.hpp"
+#include "util/json.hpp"
 
 namespace hpmm {
 namespace {
@@ -217,6 +218,30 @@ TEST(Server, PlanCacheHitsForRepeatedRequestClasses) {
   EXPECT_DOUBLE_EQ(report.cache_hit_rate(), 2.0 / 3.0);
 }
 
+TEST(Server, ZeroCapacityPlanCacheServesEveryRequestAsAMiss) {
+  ServeOptions opt;
+  opt.plan_cache_capacity = 0;
+  const Server server(opt);
+  std::vector<TenantRequest> reqs = {clean_request(0.0),
+                                     clean_request(50000.0),
+                                     clean_request(100000.0, "b")};
+  const ServeReport report = server.run(reqs);
+  // Identical request classes, yet nothing is cached: all misses, all ok.
+  EXPECT_EQ(report.cache_hits, 0u);
+  EXPECT_EQ(report.cache_misses, 3u);
+  EXPECT_DOUBLE_EQ(report.cache_hit_rate(), 0.0);
+  for (const auto& rec : report.requests) {
+    EXPECT_EQ(rec.outcome, ServeOutcome::kOk);
+    EXPECT_FALSE(rec.cache_hit);
+  }
+  // The exported JSON stays numerically valid (no NaN hit rate). Match the
+  // bare token, not the substring (field names like "tenant" contain "nan").
+  const std::string json = json_of(report);
+  EXPECT_TRUE(json_valid(json)) << json;
+  EXPECT_EQ(json.find(": nan"), std::string::npos) << json;
+  EXPECT_EQ(json.find(":nan"), std::string::npos) << json;
+}
+
 TEST(Server, ReportIsByteIdenticalAcrossRunsAndThreadCounts) {
   WorkloadOptions wl;
   wl.requests = 24;
@@ -284,9 +309,10 @@ TEST(Server, InvalidOptionsAreRejected) {
   opt = ServeOptions{};
   opt.queue_capacity = 0;
   EXPECT_THROW(Server{opt}, PreconditionError);
+  // Plan-cache capacity 0 is valid: it disables caching (pass-through).
   opt = ServeOptions{};
   opt.plan_cache_capacity = 0;
-  EXPECT_THROW(Server{opt}, PreconditionError);
+  EXPECT_NO_THROW(Server{opt});
   opt = ServeOptions{};
   opt.breaker_threshold = 0;
   EXPECT_THROW(Server{opt}, PreconditionError);

@@ -1,0 +1,98 @@
+// Byte-identity property test (DESIGN.md §12): the arena/sparse-capture
+// engine must reproduce the pre-refactor run reports *byte for byte* in the
+// default capture mode. The files under tests/golden/reports/ were generated
+// by the dense engine (one per algorithm x seed, plus machine variants) via
+//   hpmm run --algorithm=<a> --n=<n> --p=<p> --seed=<s> [flags] --format=json
+// and are never regenerated automatically — a diff here means the refactor
+// changed observable behaviour.
+#include "tools/commands.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace hpmm::tools {
+namespace {
+
+std::string run_json(std::vector<std::string> args) {
+  args.insert(args.begin(), {"hpmm", "run"});
+  args.push_back("--format=json");
+  std::vector<const char*> argv;
+  argv.reserve(args.size());
+  for (const auto& a : args) argv.push_back(a.c_str());
+  std::ostringstream os, es;
+  const int code =
+      dispatch(CliArgs(static_cast<int>(argv.size()), argv.data()), os, es);
+  EXPECT_EQ(code, 0) << es.str();
+  return os.str();
+}
+
+std::string golden(const std::string& name) {
+  const std::string path =
+      std::string(HPMM_SOURCE_DIR) + "/tests/golden/reports/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing golden file " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+struct GoldenCase {
+  std::string file;
+  std::vector<std::string> args;
+};
+
+std::vector<GoldenCase> cases() {
+  std::vector<GoldenCase> c;
+  for (const std::string seed : {"42", "7"}) {
+    const std::string tag = "_s" + seed + ".json";
+    const std::string sf = "--seed=" + seed;
+    c.push_back({"simple_n16_p16" + tag,
+                 {"--algorithm=simple", "--n=16", "--p=16", sf}});
+    c.push_back({"cannon_n16_p16" + tag,
+                 {"--algorithm=cannon", "--n=16", "--p=16", sf}});
+    c.push_back(
+        {"fox_n16_p16" + tag, {"--algorithm=fox", "--n=16", "--p=16", sf}});
+    c.push_back(
+        {"dns_n8_p64" + tag, {"--algorithm=dns", "--n=8", "--p=64", sf}});
+    c.push_back({"berntsen_n16_p64" + tag,
+                 {"--algorithm=berntsen", "--n=16", "--p=64", sf}});
+    c.push_back(
+        {"gk_n16_p64" + tag, {"--algorithm=gk", "--n=16", "--p=64", sf}});
+    c.push_back({"cannon25d_n16_p32" + tag,
+                 {"--algorithm=cannon25d", "--n=16", "--p=32", "--c=2", sf}});
+  }
+  c.push_back({"gk_n16_p64_s42_ideal.json",
+               {"--algorithm=gk", "--n=16", "--p=64", "--seed=42",
+                "--machine=ideal"}});
+  c.push_back({"cannon_n16_p16_s42_cm5.json",
+               {"--algorithm=cannon", "--n=16", "--p=16", "--seed=42",
+                "--machine=cm5"}});
+  return c;
+}
+
+TEST(GoldenReports, AllSevenAlgorithmsAreByteIdenticalToPreRefactorEngine) {
+  for (const auto& gc : cases()) {
+    const std::string expect = golden(gc.file);
+    ASSERT_FALSE(expect.empty()) << gc.file;
+    const std::string got = run_json(gc.args);
+    EXPECT_EQ(got, expect) << "run report diverged from golden " << gc.file;
+  }
+}
+
+TEST(GoldenReports, ExplicitDefaultCaptureFlagsStayOnTheGoldenPath) {
+  // Spelling out the defaults (--metrics=full --traffic=auto
+  // --trace-sample=1.0) must not change a single byte either.
+  const std::string expect = golden("gk_n16_p64_s42.json");
+  const std::string got =
+      run_json({"--algorithm=gk", "--n=16", "--p=64", "--seed=42",
+                "--metrics=full", "--traffic=auto", "--trace-sample=1.0",
+                "--trace-seed=0"});
+  EXPECT_EQ(got, expect);
+}
+
+}  // namespace
+}  // namespace hpmm::tools

@@ -123,5 +123,40 @@ TEST(Bits, Pow8Range) {
   EXPECT_EQ(v[3], 512u);
 }
 
+TEST(Bits, IsqrtNearUint64Max) {
+  // The floating-point seed estimate can overshoot near 2^64; the fixup must
+  // clamp instead of wrapping r*r and walking ~2^31 steps (an effective hang
+  // before the clamp existed).
+  constexpr std::uint64_t kRoot = 0xffffffffull;  // 2^32 - 1
+  EXPECT_EQ(isqrt(~std::uint64_t{0}), kRoot);
+  EXPECT_EQ(isqrt(kRoot * kRoot), kRoot);
+  EXPECT_EQ(isqrt(kRoot * kRoot - 1), kRoot - 1);
+  EXPECT_EQ(isqrt(kRoot * kRoot + 1), kRoot);  // still floor(sqrt)
+  EXPECT_EQ(isqrt(std::uint64_t{1} << 62), std::uint64_t{1} << 31);
+}
+
+TEST(Bits, IcbrtNearUint64Max) {
+  constexpr std::uint64_t kRoot = 2642245ull;  // floor(cbrt(2^64 - 1))
+  constexpr std::uint64_t kCube = kRoot * kRoot * kRoot;
+  EXPECT_EQ(icbrt(~std::uint64_t{0}), kRoot);
+  EXPECT_EQ(icbrt(kCube), kRoot);
+  EXPECT_EQ(icbrt(kCube - 1), kRoot - 1);
+  EXPECT_EQ(icbrt(std::uint64_t{1} << 63), std::uint64_t{1} << 21);
+}
+
+TEST(Bits, LargePScaleRoundTrips) {
+  // p ~ 10^5-10^6 operating points used by the extreme-scale engine.
+  for (const std::uint64_t p :
+       {std::uint64_t{1} << 18, std::uint64_t{1} << 20, std::uint64_t{1} << 21,
+        std::uint64_t{1} << 30}) {
+    EXPECT_TRUE(is_pow2(p));
+    EXPECT_EQ(std::uint64_t{1} << exact_log2(p), p);
+    EXPECT_EQ(isqrt(p * p), p);
+    if (p <= (std::uint64_t{1} << 21)) EXPECT_EQ(icbrt(p * p * p), p);
+  }
+  EXPECT_EQ(exact_cbrt(std::uint64_t{1} << 18), std::uint64_t{1} << 6);
+  EXPECT_EQ(exact_sqrt(std::uint64_t{1} << 20), std::uint64_t{1} << 10);
+}
+
 }  // namespace
 }  // namespace hpmm

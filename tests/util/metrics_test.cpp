@@ -227,5 +227,55 @@ TEST(MetricsRegistry, WriteJsonIsValidAndComplete) {
   EXPECT_NE(out.find("\"le\":\"inf\""), std::string::npos);
 }
 
+TEST(Histogram, QuantileSingleSample) {
+  // One observation: every quantile resolves to (at most) that value.
+  Histogram h({1.0, 2.0, 4.0});
+  h.observe(3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 3.0);
+}
+
+TEST(Histogram, QuantileAllSamplesInOneBucket) {
+  // Ten identical samples in the (2, 4] bucket: interpolation through the
+  // bucket is capped by the recorded max, so p50/p95/p99 agree.
+  Histogram h({1.0, 2.0, 4.0});
+  for (int i = 0; i < 10; ++i) h.observe(2.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 2.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 2.5);
+  EXPECT_EQ(h.count(), 10u);
+}
+
+TEST(Histogram, MaxTracksAllNegativeSamples) {
+  // The running max must seed from the first sample, not from 0.0 —
+  // otherwise an all-negative distribution reports max() == 0.
+  Histogram h({1.0});
+  h.observe(-5.0);
+  h.observe(-2.0);
+  EXPECT_DOUBLE_EQ(h.max(), -2.0);
+  // Quantiles stay clamped to the true max, never above it.
+  EXPECT_LE(h.quantile(0.5), -2.0);
+  EXPECT_LE(h.quantile(0.99), -2.0);
+}
+
+TEST(MetricsRegistry, WriteJsonAlwaysValidOnEdgeCaseHistograms) {
+  MetricsRegistry reg;
+  reg.histogram("empty", {1.0, 2.0});              // no samples at all
+  reg.histogram("negative", {1.0}).observe(-3.0);  // all-negative
+  Histogram& single = reg.histogram("single", {8.0});
+  single.observe(6.0);
+  std::ostringstream os;
+  reg.write_json(os);
+  const std::string out = os.str();
+  EXPECT_TRUE(json_valid(out)) << out;
+  // No bare NaN/inf tokens may leak into the numeric fields.
+  EXPECT_EQ(out.find(":nan"), std::string::npos) << out;
+  EXPECT_EQ(out.find(": nan"), std::string::npos) << out;
+  EXPECT_EQ(out.find(":-nan"), std::string::npos) << out;
+}
+
 }  // namespace
 }  // namespace hpmm
