@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Compare a bench JSON against its checked-in baseline (perf trajectory gate).
+
+Two kinds of input:
+
+  serve  BENCH_serve.json written by bench/serve_load: points are keyed by
+         (scenario, threads) and the gated metric is req_per_sec. The
+         current run must also report deterministic=true on every point —
+         a byte-level divergence across host threads fails the gate even
+         if throughput held.
+  sim    BENCH_sim.json written by bench/sim_extreme (google-benchmark
+         JSON): points are keyed by benchmark name and the gated metric is
+         the events_per_sec counter.
+
+Only keys present in BOTH files are compared (the ctest smoke runs a
+filtered subset of the CI sweep), and the intersection must be non-empty.
+A point regresses when current < baseline * (1 - tolerance); improvements
+never fail. Baselines are machine-relative: after an intentional perf
+change, or on hardware unlike the one that recorded them, regenerate with
+--update (copies current over the baseline).
+
+  python3 bench/compare_bench.py --kind=serve \
+      --baseline=bench/baselines/BENCH_serve.json --current=BENCH_serve.json
+
+Exit codes: 0 ok, 1 regression (or lost determinism), 2 bad input.
+"""
+
+import argparse
+import json
+import shutil
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit(f"compare_bench: cannot read {path}: {e}")
+
+
+def serve_points(doc, path):
+    sweeps = doc.get("sweeps")
+    if not isinstance(sweeps, list) or not sweeps:
+        sys.exit(f"compare_bench: {path} has no 'sweeps' array")
+    points = {}
+    for pt in sweeps:
+        key = (str(pt["scenario"]), int(pt["threads"]))
+        points[key] = pt
+    return points
+
+
+def sim_points(doc, path):
+    benches = doc.get("benchmarks")
+    if not isinstance(benches, list) or not benches:
+        sys.exit(f"compare_bench: {path} has no 'benchmarks' array")
+    points = {}
+    for b in benches:
+        if "events_per_sec" in b:
+            points[str(b["name"])] = b
+    if not points:
+        sys.exit(f"compare_bench: {path} has no events_per_sec counters")
+    return points
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--kind", required=True, choices=["serve", "sim"])
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--current", required=True)
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed fractional drop (default 0.25)")
+    ap.add_argument("--update", action="store_true",
+                    help="copy current over the baseline instead of comparing")
+    args = ap.parse_args()
+    if not 0.0 <= args.tolerance < 1.0:
+        sys.exit("compare_bench: --tolerance must be in [0, 1)")
+
+    if args.update:
+        shutil.copyfile(args.current, args.baseline)
+        print(f"compare_bench: baseline {args.baseline} updated from "
+              f"{args.current}")
+        return 0
+
+    pick = serve_points if args.kind == "serve" else sim_points
+    metric = "req_per_sec" if args.kind == "serve" else "events_per_sec"
+    base = pick(load(args.baseline), args.baseline)
+    cur = pick(load(args.current), args.current)
+
+    shared = sorted(set(base) & set(cur), key=str)
+    if not shared:
+        sys.exit("compare_bench: baseline and current share no points")
+
+    floor_frac = 1.0 - args.tolerance
+    failures = []
+    for key in shared:
+        was = float(base[key][metric])
+        now = float(cur[key][metric])
+        floor = was * floor_frac
+        change = (now - was) / was * 100.0 if was > 0.0 else 0.0
+        status = "ok"
+        if was > 0.0 and now < floor:
+            status = "REGRESSION"
+            failures.append(key)
+        print(f"  {key}: {metric} {was:.1f} -> {now:.1f} "
+              f"({change:+.1f}%, floor {floor:.1f}) {status}")
+        if args.kind == "serve" and not cur[key].get("deterministic", False):
+            failures.append(key)
+            print(f"  {key}: deterministic=false — serve output diverged "
+                  "across host threads")
+
+    skipped = len(set(base) | set(cur)) - len(shared)
+    if skipped:
+        print(f"compare_bench: {skipped} point(s) outside the intersection "
+              "were not compared")
+    if failures:
+        print(f"compare_bench: {len(failures)} point(s) regressed more than "
+              f"{args.tolerance * 100:.0f}% (or lost determinism) vs "
+              f"{args.baseline}", file=sys.stderr)
+        return 1
+    print(f"compare_bench: {len(shared)} point(s) within "
+          f"{args.tolerance * 100:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -62,6 +62,15 @@ CircuitBreaker::State CircuitBreaker::state(double now) const noexcept {
   return state_;
 }
 
+const char* to_string(CircuitBreaker::State state) noexcept {
+  switch (state) {
+    case CircuitBreaker::State::kClosed: return "closed";
+    case CircuitBreaker::State::kOpen: return "open";
+    case CircuitBreaker::State::kHalfOpen: return "half_open";
+  }
+  return "unknown";
+}
+
 AdmissionController::AdmissionController(AdmissionConfig config)
     : config_(config) {
   require(config.queue_capacity >= 1,

@@ -42,6 +42,8 @@ class CircuitBreaker {
   unsigned consecutive_failures() const noexcept { return failures_; }
   /// Times the breaker transitioned to open (initial trips and re-trips).
   std::uint64_t trips() const noexcept { return trips_; }
+  /// Whether the half-open probe has been handed out and is unresolved.
+  bool probe_in_flight() const noexcept { return probe_in_flight_; }
 
  private:
   unsigned threshold_;
@@ -52,6 +54,9 @@ class CircuitBreaker {
   bool probe_in_flight_ = false;
   std::uint64_t trips_ = 0;
 };
+
+/// "closed", "open" or "half_open" — the journal's breaker-state tokens.
+const char* to_string(CircuitBreaker::State state) noexcept;
 
 /// Admission limits; see ServeOptions for the serving-level defaults.
 struct AdmissionConfig {

@@ -1,0 +1,90 @@
+#include "serve/journal.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "util/json.hpp"
+
+namespace hpmm {
+
+const char* to_string(JournalKind kind) noexcept {
+  switch (kind) {
+    case JournalKind::kArrival: return "arrival";
+    case JournalKind::kPlanCacheHit: return "plan_cache_hit";
+    case JournalKind::kPlanCacheMiss: return "plan_cache_miss";
+    case JournalKind::kAdmit: return "admit";
+    case JournalKind::kRejectInvalid: return "reject_invalid";
+    case JournalKind::kRejectInfeasible: return "reject_infeasible";
+    case JournalKind::kRejectBreaker: return "reject_breaker";
+    case JournalKind::kRejectQueueFull: return "reject_queue_full";
+    case JournalKind::kRejectQuota: return "reject_quota";
+    case JournalKind::kDispatch: return "dispatch";
+    case JournalKind::kRetry: return "retry";
+    case JournalKind::kDeadlineAbort: return "deadline_abort";
+    case JournalKind::kBreakerOpen: return "breaker_open";
+    case JournalKind::kBreakerHalfOpen: return "breaker_half_open";
+    case JournalKind::kBreakerClose: return "breaker_close";
+    case JournalKind::kComplete: return "complete";
+  }
+  return "unknown";
+}
+
+const char* journal_value_key(JournalKind kind) noexcept {
+  switch (kind) {
+    case JournalKind::kAdmit: return "deadline";
+    case JournalKind::kRetry: return "backoff";
+    case JournalKind::kDeadlineAbort: return "deadline";
+    case JournalKind::kBreakerOpen: return "cooldown";
+    case JournalKind::kComplete: return "latency";
+    default: return "";
+  }
+}
+
+void EventJournal::append(JournalEvent event) {
+  event.seq = events_.size();
+  events_.push_back(std::move(event));
+}
+
+std::vector<JournalEvent> EventJournal::of_kind(JournalKind kind) const {
+  std::vector<JournalEvent> out;
+  for (const auto& e : events_) {
+    if (e.kind == kind) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<JournalEvent> EventJournal::of_tenant(
+    const std::string& tenant) const {
+  std::vector<JournalEvent> out;
+  for (const auto& e : events_) {
+    if (e.tenant == tenant) out.push_back(e);
+  }
+  return out;
+}
+
+void EventJournal::write_jsonl(std::ostream& os) const {
+  for (const auto& e : events_) {
+    os << "{\"seq\":" << e.seq << ",\"t\":" << json_number(e.time)
+       << ",\"event\":" << json_quote(to_string(e.kind));
+    if (e.request >= 0) os << ",\"request\":" << e.request;
+    if (!e.tenant.empty()) os << ",\"tenant\":" << json_quote(e.tenant);
+    if (e.slot >= 0) os << ",\"slot\":" << e.slot;
+    if (e.attempt >= 0) os << ",\"attempt\":" << e.attempt;
+    if (e.has_value) {
+      const char* key = journal_value_key(e.kind);
+      os << ",\"" << (*key != '\0' ? key : "value")
+         << "\":" << json_number(e.value);
+    }
+    if (!e.cause.empty()) os << ",\"cause\":" << json_quote(e.cause);
+    if (!e.detail.empty()) os << ",\"detail\":" << json_quote(e.detail);
+    os << "}\n";
+  }
+}
+
+std::string EventJournal::jsonl() const {
+  std::ostringstream out;
+  write_jsonl(out);
+  return out.str();
+}
+
+}  // namespace hpmm

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hpmm {
+
+/// Every decision the server journals (DESIGN.md §13). One journal line per
+/// decision, in the exact order the serial event loop took them — the
+/// journal is the flight recorder the serve report is reconstructed from.
+enum class JournalKind : std::uint8_t {
+  kArrival,           ///< a request reached the server
+  kPlanCacheHit,      ///< its service plan came from the LRU cache
+  kPlanCacheMiss,     ///< its plan was resolved fresh (and cached)
+  kAdmit,             ///< admission accepted it (value = deadline budget)
+  kRejectInvalid,     ///< unknown algorithm or zero n/p
+  kRejectInfeasible,  ///< no formulation applicable at (n, p)
+  kRejectBreaker,     ///< the tenant's circuit breaker was open
+  kRejectQueueFull,   ///< the server-wide queue bound was reached
+  kRejectQuota,       ///< the tenant's in-flight quota was exhausted
+  kDispatch,          ///< an attempt entered an executor slot
+  kRetry,             ///< a failed attempt scheduled a retry (value = backoff)
+  kDeadlineAbort,     ///< the simulator aborted at the deadline budget
+  kBreakerOpen,       ///< a breaker tripped open (value = cooldown)
+  kBreakerHalfOpen,   ///< cooldown elapsed; the next admission is the probe
+  kBreakerClose,      ///< a probe (or any final success) closed the breaker
+  kComplete,          ///< final outcome recorded (value = latency)
+};
+
+/// The journal token ("arrival", "reject_queue_full", "breaker_open", ...).
+const char* to_string(JournalKind kind) noexcept;
+
+/// One journaled decision. Fields that do not apply to the kind keep their
+/// sentinel (-1 / absent) and are omitted from the JSONL line.
+struct JournalEvent {
+  std::uint64_t seq = 0;  ///< journal position, the total order
+  double time = 0.0;      ///< virtual time of the decision
+  JournalKind kind = JournalKind::kArrival;
+  std::int64_t request = -1;  ///< request id; -1 for breaker transitions
+  std::string tenant;
+  std::int64_t slot = -1;     ///< executor slot (dispatch/retry/complete)
+  std::int64_t attempt = -1;  ///< 1-based attempt number
+  bool has_value = false;
+  double value = 0.0;  ///< kind-specific: deadline, backoff, cooldown, latency
+  std::string cause;   ///< machine token (outcome name, failure class)
+  std::string detail;  ///< free-text explanation for humans
+};
+
+/// The key the kind-specific `value` is serialized under ("deadline",
+/// "backoff", "cooldown", "latency"), or "" when the kind carries none.
+const char* journal_value_key(JournalKind kind) noexcept;
+
+/// Append-only, virtual-time-stamped record of every server decision.
+/// Filled exclusively by the serial event loop, so its bytes are identical
+/// for every host --threads and across repeated same-seed runs.
+class EventJournal {
+ public:
+  /// Stamps seq and stores the event.
+  void append(JournalEvent event);
+
+  std::size_t size() const noexcept { return events_.size(); }
+  bool empty() const noexcept { return events_.empty(); }
+  const std::vector<JournalEvent>& events() const noexcept { return events_; }
+
+  /// Events of one kind / one tenant, in journal order.
+  std::vector<JournalEvent> of_kind(JournalKind kind) const;
+  std::vector<JournalEvent> of_tenant(const std::string& tenant) const;
+
+  /// One JSON object per line (JSONL): {"seq","t","event","request",
+  /// "tenant"[,"slot"][,"attempt"][,<value key>][,"cause"][,"detail"]}.
+  void write_jsonl(std::ostream& os) const;
+
+  /// write_jsonl into a string (the determinism gates hash this).
+  std::string jsonl() const;
+
+ private:
+  std::vector<JournalEvent> events_;
+};
+
+}  // namespace hpmm

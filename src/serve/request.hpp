@@ -75,6 +75,8 @@ struct RequestRecord {
   TenantRequest request;
   ServeOutcome outcome = ServeOutcome::kOk;
   unsigned attempts = 0;      ///< service attempts run (0 for rejections)
+  std::int64_t slot = -1;     ///< executor slot of the last attempt (-1 if
+                              ///< the request was never dispatched)
   bool cache_hit = false;     ///< plan came from the plan cache
   std::string algorithm;      ///< formulation actually run ("" if rejected)
   double deadline = 0.0;      ///< virtual-time budget (0 = unbounded)

@@ -139,10 +139,44 @@ TenantRequest parse_request_line(std::size_t line_no, std::istringstream& in) {
   return req;
 }
 
-}  // namespace
+void parse_slo_line(std::size_t line_no, std::istringstream& in,
+                    SloTargets& slos) {
+  std::string tenant = "*";
+  SloTarget target;
+  std::string token;
+  while (in >> token) {
+    const auto eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      fail(line_no, "expected key=value, got '" + token + "'");
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "tenant") {
+      if (value.empty()) fail(line_no, "tenant must not be empty");
+      tenant = value;
+    } else if (key == "slo_p99") {
+      target.p99 = parse_double(line_no, key, value);
+      if (target.p99 <= 0.0) fail(line_no, "slo_p99 must be > 0");
+    } else if (key == "slo_availability") {
+      target.availability = parse_double(line_no, key, value);
+      if (target.availability <= 0.0 || target.availability >= 1.0) {
+        fail(line_no, "slo_availability must be within (0, 1), got '" +
+                          value + "'");
+      }
+    } else {
+      fail(line_no, "unknown key '" + key + "'");
+    }
+  }
+  if (!target.any()) {
+    fail(line_no, "slo line must set slo_p99 and/or slo_availability");
+  }
+  if (!slos.emplace(tenant, target).second) {
+    fail(line_no, "duplicate slo for tenant '" + tenant + "'");
+  }
+}
 
-std::vector<TenantRequest> parse_serve_script(std::istream& in) {
-  std::vector<TenantRequest> requests;
+ServeWorkload parse_workload(std::istream& in, bool allow_slo) {
+  ServeWorkload workload;
   std::string line;
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
@@ -150,20 +184,42 @@ std::vector<TenantRequest> parse_serve_script(std::istream& in) {
     std::istringstream tokens(line);
     std::string head;
     if (!(tokens >> head) || head[0] == '#') continue;
+    if (allow_slo && head == "slo") {
+      parse_slo_line(line_no, tokens, workload.slos);
+      continue;
+    }
     if (head != "request") {
-      fail(line_no, "expected 'request ...' or a # comment, got '" + head +
-                        "'");
+      fail(line_no, allow_slo
+                        ? "expected 'request ...', 'slo ...' or a # comment, "
+                          "got '" + head + "'"
+                        : "expected 'request ...' or a # comment, got '" +
+                              head + "'");
     }
     TenantRequest req = parse_request_line(line_no, tokens);
-    req.id = requests.size();
-    requests.push_back(std::move(req));
+    req.id = workload.requests.size();
+    workload.requests.push_back(std::move(req));
   }
-  return requests;
+  return workload;
+}
+
+}  // namespace
+
+std::vector<TenantRequest> parse_serve_script(std::istream& in) {
+  return parse_workload(in, /*allow_slo=*/false).requests;
 }
 
 std::vector<TenantRequest> parse_serve_script(const std::string& text) {
   std::istringstream in(text);
   return parse_serve_script(in);
+}
+
+ServeWorkload parse_serve_workload(std::istream& in) {
+  return parse_workload(in, /*allow_slo=*/true);
+}
+
+ServeWorkload parse_serve_workload(const std::string& text) {
+  std::istringstream in(text);
+  return parse_serve_workload(in);
 }
 
 std::vector<TenantRequest> generate_workload(const WorkloadOptions& options) {

@@ -6,8 +6,16 @@
 #include <vector>
 
 #include "serve/request.hpp"
+#include "serve/slo.hpp"
 
 namespace hpmm {
+
+/// A parsed serve workload: the request stream plus any per-tenant SLO
+/// directives the script declared.
+struct ServeWorkload {
+  std::vector<TenantRequest> requests;
+  SloTargets slos;
+};
 
 /// Parse a serve script: one request per line, strict key=value fields.
 ///
@@ -26,6 +34,21 @@ std::vector<TenantRequest> parse_serve_script(std::istream& in);
 
 /// parse_serve_script over an in-memory script.
 std::vector<TenantRequest> parse_serve_script(const std::string& text);
+
+/// parse_serve_script extended with per-tenant objective lines:
+///
+///   slo tenant=alice slo_p99=80000 slo_availability=0.99
+///   slo slo_availability=0.95            # no tenant= -> the "*" default
+///
+/// `slo_p99` is a virtual-time latency bound on the tenant's p99;
+/// `slo_availability` is the target success fraction in (0, 1). A line must
+/// set at least one objective; a second slo line for the same tenant, an
+/// out-of-range value or an unknown key throws PreconditionError naming the
+/// line (same strictness as the request lines).
+ServeWorkload parse_serve_workload(std::istream& in);
+
+/// parse_serve_workload over an in-memory script.
+ServeWorkload parse_serve_workload(const std::string& text);
 
 /// Knobs of the seeded workload generator.
 struct WorkloadOptions {

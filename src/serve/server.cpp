@@ -143,7 +143,8 @@ void write_options_json(std::ostream& os, const ServeOptions& o) {
      << ",\"backoff_jitter\":" << json_number(o.backoff_jitter)
      << ",\"deadline_factor\":" << json_number(o.deadline_factor)
      << ",\"seed\":" << o.seed
-     << ",\"plan_cache_capacity\":" << o.plan_cache_capacity << "}";
+     << ",\"plan_cache_capacity\":" << o.plan_cache_capacity
+     << ",\"window\":" << json_number(o.window) << "}";
 }
 
 void write_record_json(std::ostream& os, const RequestRecord& r) {
@@ -154,7 +155,7 @@ void write_record_json(std::ostream& os, const RequestRecord& r) {
      << ",\"p\":" << r.request.p
      << ",\"machine\":" << json_quote(r.request.machine)
      << ",\"outcome\":" << json_quote(to_string(r.outcome))
-     << ",\"attempts\":" << r.attempts
+     << ",\"attempts\":" << r.attempts << ",\"slot\":" << r.slot
      << ",\"cache_hit\":" << (r.cache_hit ? "true" : "false")
      << ",\"algorithm\":" << json_quote(r.algorithm)
      << ",\"deadline\":" << json_number(r.deadline)
@@ -163,6 +164,19 @@ void write_record_json(std::ostream& os, const RequestRecord& r) {
      << ",\"latency\":" << json_number(r.latency)
      << ",\"service_time\":" << json_number(r.service_time)
      << ",\"detail\":" << json_quote(r.detail) << "}";
+}
+
+/// The journal event recording an admission-time rejection.
+JournalKind reject_kind(ServeOutcome outcome) noexcept {
+  switch (outcome) {
+    case ServeOutcome::kRejectedInvalid: return JournalKind::kRejectInvalid;
+    case ServeOutcome::kRejectedInfeasible:
+      return JournalKind::kRejectInfeasible;
+    case ServeOutcome::kRejectedBreaker: return JournalKind::kRejectBreaker;
+    case ServeOutcome::kRejectedQueueFull:
+      return JournalKind::kRejectQueueFull;
+    default: return JournalKind::kRejectQuota;
+  }
 }
 
 }  // namespace
@@ -175,6 +189,13 @@ Server::Server(ServeOptions options) : options_(options) {
   require(options.backoff_jitter >= 0.0, "serve: backoff_jitter must be >= 0");
   require(options.deadline_factor >= 0.0,
           "serve: deadline_factor must be >= 0");
+  require(options.window > 0.0, "serve: window must be > 0");
+  for (const auto& [tenant, target] : options.slos) {
+    require(!tenant.empty(), "serve: slo tenant must not be empty");
+    // evaluate_slo validates the target's ranges; fail now, not at report
+    // time.
+    (void)evaluate_slo(tenant, target, 0, 0, 0.0, nullptr, nullptr);
+  }
   // Queue, quota and breaker limits are validated by the components that
   // own them (AdmissionController, CircuitBreaker). Any plan-cache capacity
   // is valid: 0 disables caching (PlanCache passes every lookup through).
@@ -232,6 +253,69 @@ ServeReport Server::run(std::vector<TenantRequest> requests) const {
                                     Histogram::pow2_bounds(44));
   };
 
+  // Windowed per-tenant observability (DESIGN.md §13). Everything below —
+  // series observations, journal appends, breaker-transition detection —
+  // happens only in the serial event loop, so the journal, the series and
+  // the report stay byte-identical for every host thread count.
+  auto series = [&](const std::string& tenant, const char* what)
+      -> TimeSeries& {
+    return report.metrics.series("serve.series." + tenant + "." + what,
+                                 opt.window);
+  };
+  auto latency_series = [&](const std::string& tenant) -> TimeSeries& {
+    return report.metrics.series("serve.series." + tenant + ".latency",
+                                 opt.window, Histogram::pow2_bounds(44));
+  };
+
+  EventJournal& journal = report.journal;
+  auto jot = [&](double now, JournalKind kind, std::size_t i) {
+    JournalEvent e;
+    e.time = now;
+    e.kind = kind;
+    e.request = static_cast<std::int64_t>(i);
+    e.tenant = requests[i].tenant;
+    return e;
+  };
+
+  // Breaker transitions are journaled by observing each tenant's breaker
+  // against the last state we reported for it: after every final outcome
+  // (open / close happen there) and at every arrival (the open -> half-open
+  // cooldown expiry is lazy — it becomes visible when the next arrival
+  // observes the breaker).
+  std::map<std::string, CircuitBreaker::State> breaker_seen;
+  auto journal_breaker = [&](const std::string& tenant, double now) {
+    const CircuitBreaker* b = admission.breaker(tenant);
+    if (b == nullptr) return;
+    const CircuitBreaker::State st = b->state(now);
+    const auto it = breaker_seen.emplace(tenant, CircuitBreaker::State::kClosed)
+                        .first;
+    if (st == it->second) return;
+    it->second = st;
+    JournalEvent e;
+    e.time = now;
+    e.tenant = tenant;
+    switch (st) {
+      case CircuitBreaker::State::kOpen:
+        e.kind = JournalKind::kBreakerOpen;
+        e.has_value = true;
+        e.value = opt.breaker_cooldown;
+        e.cause = "consecutive_failures";
+        e.detail = std::to_string(b->consecutive_failures()) +
+                   " consecutive final failures (threshold " +
+                   std::to_string(opt.breaker_threshold) + ")";
+        break;
+      case CircuitBreaker::State::kHalfOpen:
+        e.kind = JournalKind::kBreakerHalfOpen;
+        e.cause = "cooldown_elapsed";
+        break;
+      case CircuitBreaker::State::kClosed:
+        e.kind = JournalKind::kBreakerClose;
+        e.cause = "final_success";
+        break;
+    }
+    journal.append(std::move(e));
+  };
+
   auto finalize = [&](std::size_t i, double now, ServeOutcome outcome,
                       const std::string& detail) {
     const TenantRequest& req = requests[i];
@@ -250,14 +334,47 @@ ServeReport Server::run(std::vector<TenantRequest> requests) const {
       case ServeOutcome::kRejectedQueueFull: ++ts.rejected_queue_full; break;
       case ServeOutcome::kRejectedQuota: ++ts.rejected_quota; break;
     }
-    if (!is_rejection(outcome)) {
-      rec.latency = now - req.arrival;
-      admission.on_final(req.tenant, now, outcome == ServeOutcome::kOk);
-      if (outcome == ServeOutcome::kOk) {
-        ts.ok_latency_sum += rec.latency;
-        latency_hist(req.tenant).observe(rec.latency);
-      }
+    series(req.tenant, "finals").observe(now, 1.0);
+    if (outcome != ServeOutcome::kOk) {
+      series(req.tenant, "errors").observe(now, 1.0);
     }
+    if (is_rejection(outcome)) {
+      JournalEvent e = jot(now, reject_kind(outcome), i);
+      e.cause = to_string(outcome);
+      e.detail = detail;
+      journal.append(std::move(e));
+      return;
+    }
+    rec.latency = now - req.arrival;
+    admission.on_final(req.tenant, now, outcome == ServeOutcome::kOk);
+    series(req.tenant, "in_flight")
+        .observe(now,
+                 static_cast<double>(admission.tenant_in_flight(req.tenant)));
+    if (outcome == ServeOutcome::kOk) {
+      ts.ok_latency_sum += rec.latency;
+      latency_hist(req.tenant).observe(rec.latency);
+      series(req.tenant, "ok").observe(now, 1.0);
+      latency_series(req.tenant).observe(now, rec.latency);
+    }
+    if (outcome == ServeOutcome::kDeadlineExceeded) {
+      JournalEvent e = jot(now, JournalKind::kDeadlineAbort, i);
+      e.slot = rec.slot;
+      e.attempt = static_cast<std::int64_t>(rec.attempts);
+      e.has_value = true;
+      e.value = rec.deadline;
+      e.cause = "budget_exhausted";
+      e.detail = detail;
+      journal.append(std::move(e));
+    }
+    JournalEvent e = jot(now, JournalKind::kComplete, i);
+    e.slot = rec.slot;
+    e.attempt = static_cast<std::int64_t>(rec.attempts);
+    e.has_value = true;
+    e.value = rec.latency;
+    e.cause = to_string(outcome);
+    e.detail = detail;
+    journal.append(std::move(e));
+    journal_breaker(req.tenant, now);
   };
 
   // Ready-to-serve queues, one per tenant, drained round-robin in tenant
@@ -288,15 +405,31 @@ ServeReport Server::run(std::vector<TenantRequest> requests) const {
     events.push({requests[i].arrival, EventKind::kArrival, seq++, i});
   }
 
+  // Executor slots, lowest free index first: slot assignment is a pure
+  // function of the event order, so the journal's and timeline's slot lanes
+  // are as deterministic as the schedule itself.
+  std::vector<char> slot_busy(opt.slots, 0);
   std::size_t free_slots = opt.slots;
   auto dispatch = [&](double now) {
     while (free_slots > 0) {
       const auto picked = pop_ready();
       if (!picked) break;
       const std::size_t i = *picked;
+      std::size_t slot = 0;
+      while (slot_busy[slot] != 0) ++slot;
+      slot_busy[slot] = 1;
       --free_slots;
       Pending& st = state[i];
       if (st.attempts == 0) records[i].start = now;
+      records[i].slot = static_cast<std::int64_t>(slot);
+      series(requests[i].tenant, "queue_depth")
+          .observe(now,
+                   static_cast<double>(ready[requests[i].tenant].size()));
+      JournalEvent e = jot(now, JournalKind::kDispatch, i);
+      e.slot = static_cast<std::int64_t>(slot);
+      e.attempt = static_cast<std::int64_t>(st.attempts + 1);
+      e.cause = st.plan.algorithm;
+      journal.append(std::move(e));
       st.last = run_attempt(i, st.attempts);
       ++st.attempts;
       events.push({now + st.last.service_time, EventKind::kCompletion, seq++, i});
@@ -316,6 +449,8 @@ ServeReport Server::run(std::vector<TenantRequest> requests) const {
         TenantStats& ts = report.tenants[req.tenant];
         ++ts.submitted;
         report.metrics.counter("serve.submitted").add();
+        series(req.tenant, "arrivals").observe(now, 1.0);
+        journal.append(jot(now, JournalKind::kArrival, i));
         if (req.n == 0 || req.p == 0) {
           finalize(i, now, ServeOutcome::kRejectedInvalid,
                    "n and p must be positive");
@@ -336,12 +471,24 @@ ServeReport Server::run(std::vector<TenantRequest> requests) const {
           plan = resolve_plan(req, machine[i]);
           cache.insert(key, plan);
         }
+        {
+          JournalEvent e = jot(now,
+                               records[i].cache_hit
+                                   ? JournalKind::kPlanCacheHit
+                                   : JournalKind::kPlanCacheMiss,
+                               i);
+          e.cause = plan.applicable ? plan.algorithm : "infeasible";
+          journal.append(std::move(e));
+        }
         if (!plan.applicable) {
           finalize(i, now, ServeOutcome::kRejectedInfeasible,
                    "no formulation applicable at n=" + std::to_string(req.n) +
                        ", p=" + std::to_string(req.p));
           break;
         }
+        // Observe the breaker before the admission decision so an open ->
+        // half-open cooldown expiry is journaled ahead of the probe admit.
+        journal_breaker(req.tenant, now);
         const ServeOutcome admitted = admission.try_admit(req.tenant, now);
         if (admitted != ServeOutcome::kOk) {
           finalize(i, now, admitted, "admission rejected the request");
@@ -352,19 +499,34 @@ ServeReport Server::run(std::vector<TenantRequest> requests) const {
         st.deadline = deadline_for(req, st.plan, opt);
         records[i].algorithm = st.plan.algorithm;
         records[i].deadline = st.deadline;
+        {
+          JournalEvent e = jot(now, JournalKind::kAdmit, i);
+          e.has_value = true;
+          e.value = st.deadline;
+          e.cause = st.plan.algorithm;
+          journal.append(std::move(e));
+        }
+        series(req.tenant, "in_flight")
+            .observe(now, static_cast<double>(
+                              admission.tenant_in_flight(req.tenant)));
         ready[req.tenant].push_back(i);
+        series(req.tenant, "queue_depth")
+            .observe(now, static_cast<double>(ready[req.tenant].size()));
         dispatch(now);
         break;
       }
       case EventKind::kRetry: {
         ready[req.tenant].push_back(i);
+        series(req.tenant, "queue_depth")
+            .observe(now, static_cast<double>(ready[req.tenant].size()));
         dispatch(now);
         break;
       }
       case EventKind::kCompletion: {
-        ++free_slots;
         Pending& st = state[i];
         RequestRecord& rec = records[i];
+        slot_busy[static_cast<std::size_t>(rec.slot)] = 0;
+        ++free_slots;
         rec.attempts = st.attempts;
         rec.service_time = st.last.service_time;
         if (st.last.outcome == ServeOutcome::kFailed &&
@@ -372,12 +534,21 @@ ServeReport Server::run(std::vector<TenantRequest> requests) const {
           TenantStats& ts = report.tenants[req.tenant];
           ++ts.retries;
           report.metrics.counter("serve.retries").add();
+          series(req.tenant, "retries").observe(now, 1.0);
           const double backoff =
               opt.backoff_base *
               std::pow(opt.backoff_factor,
                        static_cast<double>(st.attempts - 1)) *
               (1.0 + opt.backoff_jitter *
                          jitter_unit(opt.seed, req.id, st.attempts));
+          JournalEvent e = jot(now, JournalKind::kRetry, i);
+          e.slot = rec.slot;
+          e.attempt = static_cast<std::int64_t>(st.attempts);
+          e.has_value = true;
+          e.value = backoff;
+          e.cause = "attempt_failed";
+          e.detail = st.last.detail;
+          journal.append(std::move(e));
           events.push({now + backoff, EventKind::kRetry, seq++, i});
         } else {
           finalize(i, now, st.last.outcome, st.last.detail);
@@ -402,8 +573,24 @@ ServeReport Server::run(std::vector<TenantRequest> requests) const {
     report.metrics.counter("serve.deadline_exceeded").add(ts.deadline_exceeded);
     report.metrics.counter("serve.rejected").add(ts.rejected());
   }
+  for (const auto& [tenant, ts] : report.tenants) {
+    const SloTarget target = slo_target_for(opt.slos, tenant);
+    if (!target.any()) continue;
+    report.slo.push_back(evaluate_slo(
+        tenant, target, ts.submitted, ts.submitted - ts.ok,
+        report.latency_quantile(tenant, 0.99),
+        report.metrics.find_series("serve.series." + tenant + ".finals"),
+        report.metrics.find_series("serve.series." + tenant + ".errors")));
+  }
   if (opt.keep_request_log) report.requests = std::move(records);
   return report;
+}
+
+bool ServeReport::slo_breached() const noexcept {
+  for (const auto& v : slo) {
+    if (v.breached()) return true;
+  }
+  return false;
 }
 
 double ServeReport::latency_quantile(const std::string& tenant,
@@ -493,7 +680,16 @@ void ServeReport::write_json(std::ostream& os) const {
        << ",\"p95\":" << json_number(latency_quantile(tenant, 0.95))
        << ",\"p99\":" << json_number(latency_quantile(tenant, 0.99)) << "}";
   }
-  os << "},\"requests\":[";
+  os << "}";
+  if (!slo.empty()) {
+    os << ",\"slo\":[";
+    for (std::size_t i = 0; i < slo.size(); ++i) {
+      if (i) os << ",";
+      slo[i].write_json(os);
+    }
+    os << "]";
+  }
+  os << ",\"journal_events\":" << journal.size() << ",\"requests\":[";
   for (std::size_t i = 0; i < requests.size(); ++i) {
     if (i) os << ",";
     write_record_json(os, requests[i]);

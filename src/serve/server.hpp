@@ -7,8 +7,10 @@
 #include <vector>
 
 #include "serve/admission.hpp"
+#include "serve/journal.hpp"
 #include "serve/plan_cache.hpp"
 #include "serve/request.hpp"
+#include "serve/slo.hpp"
 #include "util/metrics.hpp"
 #include "util/table.hpp"
 
@@ -34,6 +36,12 @@ struct ServeOptions {
   /// LRU plan-cache entries; 0 disables caching (every request re-plans).
   std::size_t plan_cache_capacity = 64;
   bool keep_request_log = true;  ///< keep per-request records in the report
+  /// Virtual-time width of the per-tenant observability windows (the
+  /// serve.series.* time series and the SLO burn rates).
+  double window = 50000.0;
+  /// Per-tenant objectives; the "*" entry is the default for tenants
+  /// without one. Empty = no SLO accounting.
+  SloTargets slos;
 };
 
 /// Per-tenant outcome and robustness counters.
@@ -69,9 +77,17 @@ struct ServeReport {
   double makespan = 0.0;  ///< virtual time of the last processed event
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
-  /// serve.latency.<tenant> histograms (ok requests only) plus serve.*
-  /// counters mirroring the aggregate tallies.
+  /// serve.latency.<tenant> histograms (ok requests only), serve.* counters
+  /// mirroring the aggregate tallies, and the windowed per-tenant
+  /// serve.series.<tenant>.* time series (arrivals, ok, errors, finals,
+  /// retries, queue_depth, in_flight, latency — DESIGN.md §13).
   MetricsRegistry metrics;
+  /// Every decision the event loop took, in order (DESIGN.md §13);
+  /// byte-identical for every host thread count.
+  EventJournal journal;
+  /// One verdict per tenant with an objective (options.slos); empty when no
+  /// SLO was configured.
+  std::vector<SloVerdict> slo;
 
   /// Bucket-interpolated latency quantile of the tenant's completed
   /// requests; 0 when the tenant completed none.
@@ -84,6 +100,10 @@ struct ServeReport {
 
   /// One-line aggregate summary.
   std::string summary() const;
+
+  /// Any configured objective breached (exhausted availability budget or
+  /// p99 above target) — the `hpmm serve --slo-strict` exit condition.
+  bool slo_breached() const noexcept;
 
   /// The full report as one JSON object.
   void write_json(std::ostream& os) const;

@@ -1,0 +1,100 @@
+#include "serve/slo.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace hpmm {
+namespace {
+
+/// Burn rate of `errors` out of `finals` against the allowed error rate;
+/// 0 when nothing reached a final disposition.
+double burn(double errors, double finals, double allowed) {
+  if (finals <= 0.0) return 0.0;
+  return (errors / finals) / allowed;
+}
+
+}  // namespace
+
+SloTarget slo_target_for(const SloTargets& targets,
+                         const std::string& tenant) {
+  const auto it = targets.find(tenant);
+  if (it != targets.end()) return it->second;
+  const auto any = targets.find("*");
+  return any != targets.end() ? any->second : SloTarget{};
+}
+
+SloVerdict evaluate_slo(const std::string& tenant, const SloTarget& target,
+                        std::uint64_t submitted, std::uint64_t errors,
+                        double p99_observed, const TimeSeries* finals,
+                        const TimeSeries* errors_series) {
+  require(target.p99 >= 0.0, "slo: p99 target must be >= 0");
+  require(target.availability == 0.0 ||
+              (target.availability > 0.0 && target.availability < 1.0),
+          "slo: availability target must be within (0, 1)");
+
+  SloVerdict v;
+  v.tenant = tenant;
+  v.target = target;
+  v.submitted = submitted;
+  v.errors = errors;
+  v.p99_observed = p99_observed;
+  v.p99_breached = target.p99 > 0.0 && p99_observed > target.p99;
+
+  if (target.availability > 0.0) {
+    const double allowed = 1.0 - target.availability;
+    v.error_budget = allowed * static_cast<double>(submitted);
+    v.budget_remaining = v.error_budget - static_cast<double>(errors);
+    v.availability_breached = v.budget_remaining < 0.0;
+    v.burn_overall = burn(static_cast<double>(errors),
+                          static_cast<double>(submitted), allowed);
+    if (finals != nullptr) {
+      // Fast burn: the worst single window. Slow burn: the worst rolling
+      // span of 6 consecutive window indices, evaluated at every window
+      // that saw a final disposition (the series are sparse; empty windows
+      // contribute nothing to either sum).
+      for (const auto& [index, w] : finals->windows()) {
+        const TimeSeries::Window* ew =
+            errors_series != nullptr ? errors_series->find(index) : nullptr;
+        const double werr = ew != nullptr ? ew->sum : 0.0;
+        v.burn_fast = std::max(v.burn_fast, burn(werr, w.sum, allowed));
+
+        double span_finals = 0.0;
+        double span_errors = 0.0;
+        for (std::int64_t i = index - 5; i <= index; ++i) {
+          if (const TimeSeries::Window* fw = finals->find(i)) {
+            span_finals += fw->sum;
+          }
+          if (errors_series != nullptr) {
+            if (const TimeSeries::Window* sw = errors_series->find(i)) {
+              span_errors += sw->sum;
+            }
+          }
+        }
+        v.burn_slow =
+            std::max(v.burn_slow, burn(span_errors, span_finals, allowed));
+      }
+    }
+  }
+  return v;
+}
+
+void SloVerdict::write_json(std::ostream& os) const {
+  os << "{\"tenant\":" << json_quote(tenant)
+     << ",\"slo_p99\":" << json_number(target.p99)
+     << ",\"slo_availability\":" << json_number(target.availability)
+     << ",\"submitted\":" << submitted << ",\"errors\":" << errors
+     << ",\"error_budget\":" << json_number(error_budget)
+     << ",\"budget_remaining\":" << json_number(budget_remaining)
+     << ",\"burn_overall\":" << json_number(burn_overall)
+     << ",\"burn_fast\":" << json_number(burn_fast)
+     << ",\"burn_slow\":" << json_number(burn_slow)
+     << ",\"availability_breached\":" << (availability_breached ? "true" : "false")
+     << ",\"p99\":" << json_number(p99_observed)
+     << ",\"p99_breached\":" << (p99_breached ? "true" : "false")
+     << ",\"breached\":" << (breached() ? "true" : "false") << "}";
+}
+
+}  // namespace hpmm

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "util/metrics.hpp"
+
+namespace hpmm {
+
+/// Per-tenant service-level objectives, both optional (0 = not set).
+/// Latency is in virtual-time units (the same units as t_s and t_w);
+/// availability is the target fraction of submitted requests that must end
+/// kOk, in (0, 1) — every other final disposition (failure, deadline abort,
+/// any rejection) spends error budget.
+struct SloTarget {
+  double p99 = 0.0;           ///< latency objective for the tenant's p99
+  double availability = 0.0;  ///< target success fraction
+
+  bool any() const noexcept { return p99 > 0.0 || availability > 0.0; }
+};
+
+/// Map of tenant name -> objective. The special key "*" supplies a default
+/// applied to every tenant without an explicit entry.
+using SloTargets = std::map<std::string, SloTarget>;
+
+/// The target governing `tenant`: its own entry, else the "*" default,
+/// else an empty target.
+SloTarget slo_target_for(const SloTargets& targets, const std::string& tenant);
+
+/// End-of-run SLO accounting for one tenant (DESIGN.md §13). Error budget
+/// is the absolute number of allowed errors, (1 - availability) x
+/// submitted; burn rates divide an observed error rate by the allowed rate
+/// (1 - availability), so burn 1.0 spends the budget exactly at the
+/// end of the run, and burn k spends it k times too fast.
+struct SloVerdict {
+  std::string tenant;
+  SloTarget target;
+
+  std::uint64_t submitted = 0;
+  std::uint64_t errors = 0;       ///< final dispositions that were not kOk
+  double error_budget = 0.0;      ///< allowed errors for the whole run
+  double budget_remaining = 0.0;  ///< budget - errors; negative = exhausted
+  double burn_overall = 0.0;      ///< whole-run error rate / allowed rate
+  double burn_fast = 0.0;         ///< worst single-window burn rate
+  double burn_slow = 0.0;         ///< worst rolling-6-window burn rate
+  bool availability_breached = false;  ///< budget_remaining < 0
+
+  double p99_observed = 0.0;
+  bool p99_breached = false;  ///< p99 target set and observed p99 above it
+
+  bool breached() const noexcept {
+    return availability_breached || p99_breached;
+  }
+
+  /// One JSON object with every field above (targets serialized as
+  /// "slo_p99" / "slo_availability", 0 = not set).
+  void write_json(std::ostream& os) const;
+};
+
+/// Evaluate one tenant's objectives. `finals` and `errors_series` are the
+/// per-window final-disposition and error counts (the serve.series.* time
+/// series); either may be null, in which case the windowed burn rates read
+/// 0. Throws PreconditionError for an availability target outside (0, 1)
+/// or a negative p99 target.
+SloVerdict evaluate_slo(const std::string& tenant, const SloTarget& target,
+                        std::uint64_t submitted, std::uint64_t errors,
+                        double p99_observed, const TimeSeries* finals,
+                        const TimeSeries* errors_series);
+
+}  // namespace hpmm

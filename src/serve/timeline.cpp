@@ -1,0 +1,114 @@
+#include "serve/timeline.hpp"
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "util/json.hpp"
+
+namespace hpmm {
+namespace {
+
+bool is_instant(JournalKind kind) noexcept {
+  switch (kind) {
+    case JournalKind::kRejectInvalid:
+    case JournalKind::kRejectInfeasible:
+    case JournalKind::kRejectBreaker:
+    case JournalKind::kRejectQueueFull:
+    case JournalKind::kRejectQuota:
+    case JournalKind::kDeadlineAbort:
+    case JournalKind::kBreakerOpen:
+    case JournalKind::kBreakerHalfOpen:
+    case JournalKind::kBreakerClose:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+void write_serve_timeline(std::ostream& os, const EventJournal& journal,
+                          std::size_t slots) {
+  // Tenant lanes are sorted by name so the timeline's bytes depend only on
+  // the journal's content, never on discovery order.
+  std::map<std::string, std::int64_t> tenant_tid;
+  for (const auto& e : journal.events()) {
+    if (!e.tenant.empty()) tenant_tid.emplace(e.tenant, 0);
+  }
+  std::int64_t next_tid = 0;
+  for (auto& [tenant, tid] : tenant_tid) tid = next_tid++;
+
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+        "\"args\":{\"name\":\"executor slots\"}}";
+  os << ",{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+        "\"args\":{\"name\":\"tenants\"}}";
+  for (std::size_t s = 0; s < slots; ++s) {
+    os << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << s
+       << ",\"args\":{\"name\":\"slot " << s << "\"}}";
+  }
+  for (const auto& [tenant, tid] : tenant_tid) {
+    os << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+       << ",\"args\":{\"name\":" << json_quote(tenant) << "}}";
+  }
+
+  // Each dispatch opens an attempt span; the retry or completion that
+  // releases its slot closes it.
+  std::map<std::int64_t, JournalEvent> open;
+  for (const auto& e : journal.events()) {
+    if (e.kind == JournalKind::kDispatch) {
+      open[e.request] = e;
+      continue;
+    }
+    if ((e.kind == JournalKind::kRetry || e.kind == JournalKind::kComplete) &&
+        e.request >= 0) {
+      const auto it = open.find(e.request);
+      if (it != open.end()) {
+        const JournalEvent& d = it->second;
+        const std::string name = d.tenant + " #" + std::to_string(d.request) +
+                                 " a" + std::to_string(d.attempt);
+        const std::string cause =
+            e.kind == JournalKind::kRetry ? "retry" : e.cause;
+        const auto span = [&](std::int64_t pid, std::int64_t tid) {
+          os << ",{\"name\":" << json_quote(name)
+             << ",\"cat\":\"attempt\",\"ph\":\"X\",\"ts\":"
+             << json_number(d.time)
+             << ",\"dur\":" << json_number(e.time - d.time) << ",\"pid\":"
+             << pid << ",\"tid\":" << tid << ",\"args\":{\"tenant\":"
+             << json_quote(d.tenant) << ",\"request\":" << d.request
+             << ",\"attempt\":" << d.attempt
+             << ",\"outcome\":" << json_quote(cause) << "}}";
+        };
+        span(0, d.slot);
+        span(1, tenant_tid[d.tenant]);
+        open.erase(it);
+      }
+    }
+    if (is_instant(e.kind) && !e.tenant.empty()) {
+      os << ",{\"name\":" << json_quote(to_string(e.kind))
+         << ",\"cat\":\"decision\",\"ph\":\"i\",\"s\":\"t\",\"ts\":"
+         << json_number(e.time) << ",\"pid\":1,\"tid\":"
+         << tenant_tid[e.tenant] << ",\"args\":{";
+      bool first = true;
+      if (e.request >= 0) {
+        os << "\"request\":" << e.request;
+        first = false;
+      }
+      if (!e.cause.empty()) {
+        if (!first) os << ',';
+        os << "\"cause\":" << json_quote(e.cause);
+        first = false;
+      }
+      if (!e.detail.empty()) {
+        if (!first) os << ',';
+        os << "\"detail\":" << json_quote(e.detail);
+      }
+      os << "}}";
+    }
+  }
+  os << "]}\n";
+}
+
+}  // namespace hpmm

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+
+#include "serve/journal.hpp"
+
+namespace hpmm {
+
+/// Chrome-trace / Perfetto JSON timeline of a serve run, reconstructed
+/// entirely from the event journal (so it needs no per-request log and is
+/// byte-identical whenever the journal is). Two lanes groups:
+///   pid 0 "executor slots" — one tid per slot (0..slots-1), an "X"
+///     duration event per service attempt (dispatch -> slot release);
+///   pid 1 "tenants" — one tid per tenant (sorted by name), the same
+///     attempt spans plus "i" instant events for rejections, deadline
+///     aborts and breaker transitions.
+/// Load the file in chrome://tracing or ui.perfetto.dev.
+void write_serve_timeline(std::ostream& os, const EventJournal& journal,
+                          std::size_t slots);
+
+}  // namespace hpmm

@@ -23,6 +23,7 @@
 #include "serve/chaos.hpp"
 #include "serve/script.hpp"
 #include "serve/server.hpp"
+#include "serve/timeline.hpp"
 #include "sim/fault.hpp"
 #include "util/error.hpp"
 #include "util/json.hpp"
@@ -689,7 +690,19 @@ int cmd_serve(const CliArgs& args, std::ostream& os) {
           "  --seed=<u64>        workload + retry-jitter seed (default 1)\n"
           "  --cache=<k>         plan cache capacity (default 64)\n"
           "  --log=0|1           keep per-request records in the JSON "
-          "report (default 1)\n";
+          "report (default 1)\n"
+          "observability (DESIGN.md 13):\n"
+          "  --journal=FILE      write the decision journal (JSONL, one "
+          "event per line)\n"
+          "  --timeline=FILE     write a Chrome-trace/Perfetto timeline "
+          "(slot + tenant lanes)\n"
+          "  --window=<t>        virtual-time window of the per-tenant "
+          "series (default 50000)\n"
+          "  --slo-p99=<t> --slo-availability=<f>\n"
+          "                      default per-tenant objectives (script "
+          "'slo' lines override)\n"
+          "  --slo-strict        exit 3 when any tenant's objective is "
+          "breached\n";
     return 0;
   }
 
@@ -700,10 +713,13 @@ int cmd_serve(const CliArgs& args, std::ostream& os) {
           "serve: --script and --scenario are mutually exclusive");
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   std::vector<TenantRequest> requests;
+  SloTargets slos;
   if (!script.empty()) {
     std::ifstream in(script);
     require(in.good(), "serve: cannot open --script file '" + script + "'");
-    requests = parse_serve_script(in);
+    ServeWorkload workload = parse_serve_workload(in);
+    requests = std::move(workload.requests);
+    slos = std::move(workload.slos);
   } else if (scenario == "noisy-neighbor") {
     NoisyNeighborOptions o;
     o.healthy_requests = static_cast<std::size_t>(serve_int_flag(
@@ -770,9 +786,43 @@ int cmd_serve(const CliArgs& args, std::ostream& os) {
   opt.plan_cache_capacity =
       static_cast<std::size_t>(serve_int_flag(args, "cache", 64, 0));
   opt.keep_request_log = args.get_bool("log", true);
+  opt.window = args.get_double("window", 50000.0);
+  // The CLI objectives become the "*" default; script `slo` lines keep
+  // their per-tenant precedence over it.
+  if (args.has("slo-p99")) slos["*"].p99 = args.get_double("slo-p99", 0.0);
+  if (args.has("slo-availability")) {
+    slos["*"].availability = args.get_double("slo-availability", 0.0);
+  }
+  opt.slos = std::move(slos);
 
   const Server server(opt);
   const ServeReport report = server.run(std::move(requests));
+
+  const auto write_file = [](const std::string& flag, const std::string& path,
+                             const std::function<void(std::ostream&)>& writer) {
+    std::ofstream file(path);
+    require(file.good(),
+            "serve: cannot open --" + flag + " file '" + path + "'");
+    writer(file);
+    file.flush();
+    require(file.good(), "serve: writing --" + flag + " file '" + path +
+                             "' failed (disk full or device error?)");
+  };
+  const std::string journal_path = args.get("journal", "");
+  if (!journal_path.empty()) {
+    write_file("journal", journal_path, [&report](std::ostream& s) {
+      report.journal.write_jsonl(s);
+    });
+    os << "wrote journal (" << report.journal.size() << " events) to "
+       << journal_path << "\n";
+  }
+  const std::string timeline_path = args.get("timeline", "");
+  if (!timeline_path.empty()) {
+    write_file("timeline", timeline_path, [&report](std::ostream& s) {
+      write_serve_timeline(s, report.journal, report.options.slots);
+    });
+    os << "wrote timeline to " << timeline_path << "\n";
+  }
 
   if (args.get("format", "aligned") == "json") {
     write_output(args, os, "serve", "serve report", [&report](std::ostream& s) {
@@ -784,6 +834,14 @@ int cmd_serve(const CliArgs& args, std::ostream& os) {
       print_table(args, report.tenant_table(), s);
       s << report.summary() << "\n";
     });
+  }
+  if (args.get_bool("slo-strict", false) && report.slo_breached()) {
+    os << "serve: SLO breached:";
+    for (const auto& v : report.slo) {
+      if (v.breached()) os << " " << v.tenant;
+    }
+    os << "\n";
+    return 3;
   }
   return 0;
 }

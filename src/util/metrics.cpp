@@ -54,7 +54,18 @@ double Histogram::quantile(double q) const {
     const auto below = static_cast<double>(cumulative);
     cumulative += counts_[i];
     if (static_cast<double>(cumulative) < target) continue;
-    if (i >= bounds_.size()) return max_;  // overflow bucket: no upper bound
+    if (i >= bounds_.size()) {
+      // Overflow bucket: no finite upper bound. Interpolate between the top
+      // finite bound and the exactly-tracked max, so a rank landing here
+      // yields an estimate in (bounds.back(), max] instead of collapsing
+      // every overflow quantile to the single largest sample.
+      if (bounds_.empty()) return max_;
+      const double lo = bounds_.back();
+      if (max_ <= lo) return max_;  // defensive: max never entered overflow
+      const double within =
+          (target - below) / static_cast<double>(counts_[i]);  // (0, 1]
+      return lo + (max_ - lo) * within;
+    }
     const double hi = bounds_[i];
     const double lo = i == 0 ? std::min(0.0, hi) : bounds_[i - 1];
     const double within =
@@ -79,6 +90,68 @@ std::vector<double> Histogram::pow2_bounds(unsigned n) {
     bounds[i] = static_cast<double>(std::uint64_t{1} << i);
   }
   return bounds;
+}
+
+TimeSeries::TimeSeries(double window_width, std::vector<double> hist_bounds)
+    : width_(window_width), hist_bounds_(std::move(hist_bounds)) {
+  require(width_ > 0.0, "TimeSeries: window_width must be positive");
+  if (!hist_bounds_.empty()) {
+    (void)Histogram(hist_bounds_);  // validates the bounds eagerly
+  }
+}
+
+void TimeSeries::observe(double time, double value) {
+  require(width_ > 0.0, "TimeSeries::observe: series has no window width");
+  const auto index = static_cast<std::int64_t>(std::floor(time / width_));
+  auto it = windows_.find(index);
+  if (it == windows_.end()) {
+    Window w;
+    w.index = index;
+    if (!hist_bounds_.empty()) w.hist = Histogram(hist_bounds_);
+    it = windows_.emplace(index, std::move(w)).first;
+  }
+  Window& w = it->second;
+  w.max = w.count == 0 ? value : std::max(w.max, value);
+  ++w.count;
+  w.sum += value;
+  if (!hist_bounds_.empty()) w.hist.observe(value);
+}
+
+const TimeSeries::Window* TimeSeries::find(std::int64_t index) const {
+  const auto it = windows_.find(index);
+  return it == windows_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t TimeSeries::total_count() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& [index, w] : windows_) total += w.count;
+  return total;
+}
+
+double TimeSeries::total_sum() const noexcept {
+  double total = 0.0;
+  for (const auto& [index, w] : windows_) total += w.sum;
+  return total;
+}
+
+void TimeSeries::write_json(std::ostream& os) const {
+  os << "{\"window_width\":" << json_number(width_) << ",\"windows\":[";
+  bool first = true;
+  for (const auto& [index, w] : windows_) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"index\":" << index
+       << ",\"start\":" << json_number(static_cast<double>(index) * width_)
+       << ",\"count\":" << w.count << ",\"sum\":" << json_number(w.sum)
+       << ",\"max\":" << json_number(w.max);
+    if (!hist_bounds_.empty()) {
+      os << ",\"p50\":" << json_number(w.hist.quantile(0.50))
+         << ",\"p95\":" << json_number(w.hist.quantile(0.95))
+         << ",\"p99\":" << json_number(w.hist.quantile(0.99));
+    }
+    os << '}';
+  }
+  os << "]}";
 }
 
 void TrafficMatrix::add(std::size_t src, std::size_t dst,
@@ -137,6 +210,16 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
       .first->second;
 }
 
+TimeSeries& MetricsRegistry::series(const std::string& name,
+                                    double window_width,
+                                    std::vector<double> hist_bounds) {
+  const auto it = series_.find(name);
+  if (it != series_.end()) return it->second;
+  return series_
+      .emplace(name, TimeSeries(window_width, std::move(hist_bounds)))
+      .first->second;
+}
+
 const Counter* MetricsRegistry::find_counter(const std::string& name) const {
   const auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : &it->second;
@@ -151,6 +234,11 @@ const Histogram* MetricsRegistry::find_histogram(
     const std::string& name) const {
   const auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : &it->second;
+}
+
+const TimeSeries* MetricsRegistry::find_series(const std::string& name) const {
+  const auto it = series_.find(name);
+  return it == series_.end() ? nullptr : &it->second;
 }
 
 namespace {
@@ -172,11 +260,15 @@ std::vector<std::string> MetricsRegistry::gauge_names() const {
 std::vector<std::string> MetricsRegistry::histogram_names() const {
   return keys_of(histograms_);
 }
+std::vector<std::string> MetricsRegistry::series_names() const {
+  return keys_of(series_);
+}
 
 void MetricsRegistry::reset() noexcept {
   for (auto& [name, c] : counters_) c.reset();
   for (auto& [name, g] : gauges_) g.reset();
   for (auto& [name, h] : histograms_) h.reset();
+  for (auto& [name, s] : series_) s.reset();
 }
 
 void MetricsRegistry::write_json(std::ostream& os) const {
@@ -218,7 +310,21 @@ void MetricsRegistry::write_json(std::ostream& os) const {
     }
     os << "]}";
   }
-  os << "}}";
+  os << '}';
+  // Only emit the section when something registered a series: exports that
+  // predate TimeSeries stay byte-identical.
+  if (!series_.empty()) {
+    os << ",\"series\":{";
+    first = true;
+    for (const auto& [name, s] : series_) {
+      if (!first) os << ',';
+      first = false;
+      os << json_quote(name) << ':';
+      s.write_json(os);
+    }
+    os << '}';
+  }
+  os << '}';
 }
 
 }  // namespace hpmm

@@ -61,9 +61,12 @@ class Histogram {
   /// Bucket-interpolated quantile estimate for q in [0, 1]: find the bucket
   /// holding the q-th ranked sample and interpolate linearly between its
   /// bounds (the first bucket interpolates up from min(0, its bound)).
-  /// Samples in the overflow bucket resolve to max(), and every estimate is
-  /// capped at max() — the one order statistic tracked exactly. An empty
-  /// histogram returns 0. Throws PreconditionError for q outside [0, 1].
+  /// Ranks that land in the overflow bucket — samples above the last finite
+  /// bound — interpolate between that bound and max(), the one order
+  /// statistic tracked exactly (so a p99 past the top edge no longer
+  /// collapses to the single largest sample); every estimate is capped at
+  /// max(). An empty histogram returns 0. Throws PreconditionError for q
+  /// outside [0, 1].
   double quantile(double q) const;
 
   void reset() noexcept;
@@ -78,6 +81,60 @@ class Histogram {
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
   double max_ = 0.0;
+};
+
+/// Fixed-width virtual-time windowed accumulator: every observation lands
+/// in window floor(time / width), and windows are stored sparsely, so an
+/// arbitrarily long virtual timeline costs memory only where something
+/// happened. Each window tracks count, sum and max of the observed values;
+/// when histogram bounds are supplied at construction, each window also
+/// carries a fixed-bucket Histogram so per-window quantiles (e.g. latency
+/// p99 over time) survive aggregation. The serve-mode per-tenant time
+/// series (DESIGN.md §13) are built from these.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  /// `window_width` must be positive. A non-empty `hist_bounds` (strictly
+  /// ascending) attaches a per-window histogram.
+  explicit TimeSeries(double window_width,
+                      std::vector<double> hist_bounds = {});
+
+  void observe(double time, double value);
+
+  double window_width() const noexcept { return width_; }
+  bool empty() const noexcept { return windows_.empty(); }
+  bool has_histograms() const noexcept { return !hist_bounds_.empty(); }
+
+  struct Window {
+    std::int64_t index = 0;   ///< floor(time / window_width)
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double max = 0.0;
+    Histogram hist;  ///< per-window samples; default-empty without bounds
+  };
+
+  /// Sparse, index-sorted windows.
+  const std::map<std::int64_t, Window>& windows() const noexcept {
+    return windows_;
+  }
+  /// The window containing `index`, or null if nothing landed there.
+  const Window* find(std::int64_t index) const;
+
+  /// Sum of counts over every window.
+  std::uint64_t total_count() const noexcept;
+  /// Sum of sums over every window.
+  double total_sum() const noexcept;
+
+  void reset() noexcept { windows_.clear(); }
+
+  /// {"window_width": W, "windows": [{"index", "start", "count", "sum",
+  /// "max"[, "p50", "p95", "p99"]}]} — quantiles only with histograms.
+  void write_json(std::ostream& os) const;
+
+ private:
+  double width_ = 0.0;
+  std::vector<double> hist_bounds_;
+  std::map<std::int64_t, Window> windows_;
 };
 
 /// Words transferred per directed (src, dst) processor pair. Stored sparsely
@@ -124,28 +181,36 @@ class MetricsRegistry {
   /// `upper_bounds` applies on first creation only (non-empty, ascending).
   Histogram& histogram(const std::string& name,
                        std::vector<double> upper_bounds);
+  /// `window_width` and `hist_bounds` apply on first creation only.
+  TimeSeries& series(const std::string& name, double window_width,
+                     std::vector<double> hist_bounds = {});
 
   /// Lookup without creating; null when absent.
   const Counter* find_counter(const std::string& name) const;
   const Gauge* find_gauge(const std::string& name) const;
   const Histogram* find_histogram(const std::string& name) const;
+  const TimeSeries* find_series(const std::string& name) const;
 
   std::vector<std::string> counter_names() const;
   std::vector<std::string> gauge_names() const;
   std::vector<std::string> histogram_names() const;
+  std::vector<std::string> series_names() const;
 
   /// Zero every metric, keeping registrations (and histogram buckets).
   void reset() noexcept;
 
   /// One JSON object: {"counters": {...}, "gauges": {...},
   /// "histograms": {name: {count, sum, mean, max, p50, p95, p99,
-  /// buckets: [...]}}}.
+  /// buckets: [...]}}, "series": {name: {window_width, windows: [...]}}}.
+  /// The "series" section appears only when at least one TimeSeries is
+  /// registered, keeping pre-existing exports byte-stable.
   void write_json(std::ostream& os) const;
 
  private:
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Histogram> histograms_;
+  std::map<std::string, TimeSeries> series_;
 };
 
 }  // namespace hpmm

@@ -1,0 +1,328 @@
+#include "serve/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/chaos.hpp"
+#include "serve/server.hpp"
+#include "serve/timeline.hpp"
+#include "util/json.hpp"
+
+namespace hpmm {
+namespace {
+
+TenantRequest clean_request(double arrival, const std::string& tenant = "a",
+                            std::size_t n = 16, std::size_t p = 16) {
+  TenantRequest req;
+  req.tenant = tenant;
+  req.arrival = arrival;
+  req.algo = "cannon";
+  req.n = n;
+  req.p = p;
+  return req;
+}
+
+/// Detect-only ABFT over certain corruption: every attempt completes but
+/// reports uncorrected corruption — the retryable failure.
+std::shared_ptr<FaultPlan> corrupting_plan(std::uint64_t seed) {
+  auto plan = std::make_shared<FaultPlan>();
+  plan->corrupt_prob = 1.0;
+  plan->abft = AbftMode::kDetect;
+  plan->seed = seed;
+  return plan;
+}
+
+std::vector<JournalKind> kinds_of(const std::vector<JournalEvent>& events) {
+  std::vector<JournalKind> out;
+  out.reserve(events.size());
+  for (const auto& e : events) out.push_back(e.kind);
+  return out;
+}
+
+TEST(EventJournal, CleanRequestSequence) {
+  const Server server(ServeOptions{});
+  const ServeReport report = server.run({clean_request(0.0)});
+  const auto kinds = kinds_of(report.journal.events());
+  const std::vector<JournalKind> expected = {
+      JournalKind::kArrival, JournalKind::kPlanCacheMiss, JournalKind::kAdmit,
+      JournalKind::kDispatch, JournalKind::kComplete};
+  EXPECT_EQ(kinds, expected);
+  const JournalEvent& dispatch = report.journal.events()[3];
+  EXPECT_EQ(dispatch.slot, 0);
+  EXPECT_EQ(dispatch.attempt, 1);
+  EXPECT_EQ(dispatch.cause, "cannon");
+  const JournalEvent& complete = report.journal.events()[4];
+  EXPECT_EQ(complete.cause, "ok");
+  EXPECT_TRUE(complete.has_value);
+  EXPECT_DOUBLE_EQ(complete.value, report.requests[0].latency);
+}
+
+TEST(EventJournal, JsonlLinesAreEachValidJson) {
+  ServeOptions opt;
+  opt.max_retries = 1;
+  const Server server(opt);
+  TenantRequest failing = clean_request(0.0, "f");
+  failing.faults = corrupting_plan(9);
+  const ServeReport report = server.run({clean_request(0.0), failing});
+  const std::string jsonl = report.journal.jsonl();
+  std::istringstream lines(jsonl);
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_TRUE(json_valid(line)) << line;
+    ++count;
+  }
+  EXPECT_EQ(count, report.journal.size());
+  // seq is the journal position.
+  for (std::size_t i = 0; i < report.journal.size(); ++i) {
+    EXPECT_EQ(report.journal.events()[i].seq, i);
+  }
+}
+
+TEST(EventJournal, RetryRecordsBackoffSchedule) {
+  ServeOptions opt;
+  opt.max_retries = 2;
+  opt.backoff_base = 400.0;
+  opt.backoff_factor = 3.0;
+  opt.backoff_jitter = 0.0;  // deterministic schedule without the jitter draw
+  const Server server(opt);
+  TenantRequest failing = clean_request(0.0, "f");
+  failing.faults = corrupting_plan(9);
+  const ServeReport report = server.run({failing});
+  const auto retries = report.journal.of_kind(JournalKind::kRetry);
+  ASSERT_EQ(retries.size(), 2u);
+  EXPECT_EQ(retries[0].attempt, 1);
+  EXPECT_DOUBLE_EQ(retries[0].value, 400.0);
+  EXPECT_EQ(retries[1].attempt, 2);
+  EXPECT_DOUBLE_EQ(retries[1].value, 1200.0);  // base * factor^1
+  EXPECT_EQ(retries[0].cause, "attempt_failed");
+  EXPECT_NE(retries[0].detail.find("abft detected"), std::string::npos);
+  // Three dispatches (initial + both retries), then the final failure.
+  EXPECT_EQ(report.journal.of_kind(JournalKind::kDispatch).size(), 3u);
+  const auto completes = report.journal.of_kind(JournalKind::kComplete);
+  ASSERT_EQ(completes.size(), 1u);
+  EXPECT_EQ(completes[0].cause, "failed");
+}
+
+TEST(EventJournal, RejectionCausesAreMachineReadable) {
+  ServeOptions opt;
+  opt.queue_capacity = 1;
+  const Server server(opt);
+  TenantRequest invalid = clean_request(0.0, "bad");
+  invalid.algo = "no-such-algorithm";
+  // The second concurrent request finds the single queue unit taken.
+  const ServeReport report = server.run(
+      {invalid, clean_request(10.0, "a"), clean_request(11.0, "b")});
+  const auto inv = report.journal.of_kind(JournalKind::kRejectInvalid);
+  ASSERT_EQ(inv.size(), 1u);
+  EXPECT_EQ(inv[0].tenant, "bad");
+  EXPECT_EQ(inv[0].cause, "rejected_invalid");
+  EXPECT_NE(inv[0].detail.find("no-such-algorithm"), std::string::npos);
+  const auto full = report.journal.of_kind(JournalKind::kRejectQueueFull);
+  ASSERT_EQ(full.size(), 1u);
+  EXPECT_EQ(full[0].tenant, "b");
+  EXPECT_EQ(full[0].cause, "rejected_queue_full");
+}
+
+TEST(EventJournal, QuotaRejectionAttributed) {
+  ServeOptions opt;
+  opt.tenant_quota = 1;
+  const Server server(opt);
+  const ServeReport report =
+      server.run({clean_request(0.0, "a"), clean_request(1.0, "a")});
+  const auto quota = report.journal.of_kind(JournalKind::kRejectQuota);
+  ASSERT_EQ(quota.size(), 1u);
+  EXPECT_EQ(quota[0].tenant, "a");
+  EXPECT_EQ(quota[0].request, 1);
+  EXPECT_EQ(quota[0].cause, "rejected_quota");
+}
+
+TEST(EventJournal, BreakerLifecycleObservedThroughJournal) {
+  ServeOptions opt;
+  opt.breaker_threshold = 1;
+  opt.breaker_cooldown = 100000.0;
+  opt.max_retries = 0;
+  const Server server(opt);
+  TenantRequest failing = clean_request(0.0, "b");
+  failing.faults = corrupting_plan(7);
+  // Service takes a few thousand time units, so the breaker opens well
+  // before 50000: that arrival lands mid-cooldown and is rejected, the
+  // far-later one is the half-open probe.
+  const ServeReport report = server.run(
+      {failing, clean_request(50000.0, "b"), clean_request(500000.0, "b")});
+  std::vector<JournalKind> breaker_kinds;
+  for (const auto& e : report.journal.of_tenant("b")) {
+    if (e.kind == JournalKind::kBreakerOpen ||
+        e.kind == JournalKind::kBreakerHalfOpen ||
+        e.kind == JournalKind::kBreakerClose) {
+      breaker_kinds.push_back(e.kind);
+    }
+  }
+  const std::vector<JournalKind> expected = {JournalKind::kBreakerOpen,
+                                             JournalKind::kBreakerHalfOpen,
+                                             JournalKind::kBreakerClose};
+  EXPECT_EQ(breaker_kinds, expected);
+  const auto opens = report.journal.of_kind(JournalKind::kBreakerOpen);
+  ASSERT_EQ(opens.size(), 1u);
+  EXPECT_TRUE(opens[0].has_value);
+  EXPECT_DOUBLE_EQ(opens[0].value, 100000.0);  // the cooldown
+  EXPECT_EQ(opens[0].cause, "consecutive_failures");
+  // The mid-cooldown arrival was rejected by the breaker; the probe closed
+  // it again.
+  EXPECT_EQ(report.journal.of_kind(JournalKind::kRejectBreaker).size(), 1u);
+  EXPECT_EQ(report.tenants.at("b").ok, 1u);
+}
+
+TEST(EventJournal, QueueFullRejectionDoesNotConsumeHalfOpenProbe) {
+  ServeOptions opt;
+  opt.breaker_threshold = 1;
+  opt.breaker_cooldown = 100.0;
+  opt.max_retries = 0;
+  opt.queue_capacity = 1;
+  const Server server(opt);
+  TenantRequest failing = clean_request(0.0, "b");
+  failing.faults = corrupting_plan(7);
+  // The hog is admitted after b's failure freed the queue unit and is still
+  // in service (its span is thousands of time units) when b's half-open
+  // arrival hits the full queue; b's last arrival comes long after.
+  const ServeReport report = server.run(
+      {failing, clean_request(20000.0, "hog", 32, 16),
+       clean_request(21000.0, "b"), clean_request(500000.0, "b")});
+  // Exactly one half-open transition: the queue-full rejection did not
+  // consume the probe, so the late arrival could still be admitted and
+  // close the breaker. Had the probe been consumed, the late arrival would
+  // have been rejected_breaker and the breaker never closed.
+  EXPECT_EQ(report.journal.of_kind(JournalKind::kBreakerHalfOpen).size(), 1u);
+  const auto full = report.journal.of_kind(JournalKind::kRejectQueueFull);
+  ASSERT_EQ(full.size(), 1u);
+  EXPECT_EQ(full[0].tenant, "b");
+  EXPECT_EQ(report.journal.of_kind(JournalKind::kBreakerClose).size(), 1u);
+  EXPECT_EQ(report.tenants.at("b").rejected_breaker, 0u);
+  EXPECT_EQ(report.tenants.at("b").ok, 1u);
+}
+
+TEST(EventJournal, DeadlineAbortJournaled) {
+  ServeOptions opt;
+  opt.deadline_factor = 0.01;  // far below the achievable service time
+  const Server server(opt);
+  const ServeReport report = server.run({clean_request(0.0)});
+  const auto aborts = report.journal.of_kind(JournalKind::kDeadlineAbort);
+  ASSERT_EQ(aborts.size(), 1u);
+  EXPECT_EQ(aborts[0].cause, "budget_exhausted");
+  EXPECT_TRUE(aborts[0].has_value);
+  EXPECT_DOUBLE_EQ(aborts[0].value, report.requests[0].deadline);
+  const auto completes = report.journal.of_kind(JournalKind::kComplete);
+  ASSERT_EQ(completes.size(), 1u);
+  EXPECT_EQ(completes[0].cause, "deadline_exceeded");
+}
+
+TEST(EventJournal, ByteIdenticalAcrossThreadsAndRuns) {
+  NoisyNeighborOptions o;
+  auto run_with = [&](unsigned threads) {
+    ServeOptions opt;
+    opt.threads = threads;
+    opt.max_retries = 1;
+    const Server server(opt);
+    const ServeReport report = server.run(noisy_neighbor_scenario(o));
+    std::ostringstream timeline;
+    write_serve_timeline(timeline, report.journal, opt.slots);
+    std::ostringstream json;
+    report.write_json(json);
+    return std::make_pair(report.journal.jsonl(),
+                          timeline.str() + "\x1f" + json.str());
+  };
+  const auto first = run_with(1);
+  const auto again = run_with(1);
+  const auto threaded = run_with(4);
+  EXPECT_EQ(first.first, again.first);    // same seed, same bytes
+  EXPECT_EQ(first.second, again.second);
+  EXPECT_EQ(first.first, threaded.first);  // host threads are invisible
+  EXPECT_EQ(first.second, threaded.second);
+  EXPECT_FALSE(first.first.empty());
+}
+
+TEST(ServeTimeline, ValidJsonWithSlotAndTenantLanes) {
+  ServeOptions opt;
+  opt.slots = 2;
+  const Server server(opt);
+  const ServeReport report = server.run(
+      {clean_request(0.0, "a"), clean_request(0.0, "b")});
+  std::ostringstream os;
+  write_serve_timeline(os, report.journal, opt.slots);
+  const std::string timeline = os.str();
+  EXPECT_TRUE(json_valid(timeline)) << timeline;
+  EXPECT_NE(timeline.find("\"executor slots\""), std::string::npos);
+  EXPECT_NE(timeline.find("\"tenants\""), std::string::npos);
+  EXPECT_NE(timeline.find("\"slot 1\""), std::string::npos);
+  EXPECT_NE(timeline.find("\"ph\":\"X\""), std::string::npos);
+  // Both tenants' attempts appear as duration events.
+  EXPECT_NE(timeline.find("a #0 a1"), std::string::npos);
+  EXPECT_NE(timeline.find("b #1 a1"), std::string::npos);
+}
+
+TEST(ServeTimeline, RejectionsAndBreakerTransitionsAreInstants) {
+  ServeOptions opt;
+  opt.breaker_threshold = 1;
+  opt.max_retries = 0;
+  const Server server(opt);
+  TenantRequest failing = clean_request(0.0, "b");
+  failing.faults = corrupting_plan(7);
+  const ServeReport report =
+      server.run({failing, clean_request(5000.0, "b")});
+  std::ostringstream os;
+  write_serve_timeline(os, report.journal, opt.slots);
+  const std::string timeline = os.str();
+  EXPECT_TRUE(json_valid(timeline)) << timeline;
+  EXPECT_NE(timeline.find("\"breaker_open\""), std::string::npos);
+  EXPECT_NE(timeline.find("\"ph\":\"i\""), std::string::npos);
+}
+
+TEST(EventJournal, NoisyNeighborRunIsAttributable) {
+  ServeOptions opt;
+  opt.max_retries = 1;
+  SloTarget target;
+  target.availability = 0.9;
+  opt.slos["*"] = target;
+  const Server server(opt);
+  const ServeReport report =
+      server.run(noisy_neighbor_scenario(NoisyNeighborOptions{}));
+  // Every breaker-open event belongs to the noisy tenant.
+  const auto opens = report.journal.of_kind(JournalKind::kBreakerOpen);
+  ASSERT_FALSE(opens.empty());
+  for (const auto& e : opens) EXPECT_EQ(e.tenant, "noisy");
+  // Every rejection carries a machine-readable cause token.
+  for (const auto& e : report.journal.events()) {
+    if (e.kind == JournalKind::kRejectBreaker ||
+        e.kind == JournalKind::kRejectQueueFull ||
+        e.kind == JournalKind::kRejectQuota) {
+      EXPECT_FALSE(e.cause.empty());
+      EXPECT_EQ(e.tenant, "noisy");  // isolation: only the bully is shed
+    }
+  }
+  // SLO verdicts: the healthy tenant passes, the noisy tenant exhausts its
+  // error budget.
+  ASSERT_EQ(report.slo.size(), 2u);
+  for (const auto& v : report.slo) {
+    if (v.tenant == "steady") {
+      EXPECT_FALSE(v.breached());
+    } else {
+      EXPECT_EQ(v.tenant, "noisy");
+      EXPECT_TRUE(v.availability_breached);
+    }
+  }
+  EXPECT_TRUE(report.slo_breached());
+  // The report JSON carries the journal size and the verdicts.
+  std::ostringstream os;
+  report.write_json(os);
+  EXPECT_TRUE(json_valid(os.str()));
+  EXPECT_NE(os.str().find("\"journal_events\":"), std::string::npos);
+  EXPECT_NE(os.str().find("\"slo\":["), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hpmm

@@ -149,5 +149,67 @@ TEST(ServeWorkload, ZeroFaultFractionMeansNoPlans) {
   }
 }
 
+std::string workload_error_of(const std::string& script) {
+  try {
+    parse_serve_workload(script);
+  } catch (const PreconditionError& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(ServeWorkloadScript, SloLinesParsedAlongsideRequests) {
+  const std::string text =
+      "# objectives first, requests after\n"
+      "slo tenant=alice slo_p99=80000 slo_availability=0.99\n"
+      "slo slo_availability=0.9\n"
+      "request tenant=alice arrival=0 algo=cannon n=16 p=16\n";
+  const ServeWorkload workload = parse_serve_workload(text);
+  ASSERT_EQ(workload.requests.size(), 1u);
+  ASSERT_EQ(workload.slos.size(), 2u);
+  EXPECT_DOUBLE_EQ(workload.slos.at("alice").p99, 80000.0);
+  EXPECT_DOUBLE_EQ(workload.slos.at("alice").availability, 0.99);
+  // A tenant-less slo line is the "*" default.
+  EXPECT_DOUBLE_EQ(workload.slos.at("*").availability, 0.9);
+  EXPECT_DOUBLE_EQ(workload.slos.at("*").p99, 0.0);
+  std::istringstream in(text);
+  const ServeWorkload from_stream = parse_serve_workload(in);
+  EXPECT_EQ(from_stream.slos.size(), workload.slos.size());
+}
+
+TEST(ServeWorkloadScript, SloLineErrors) {
+  EXPECT_NE(workload_error_of("slo tenant=a\n")
+                .find("slo line must set slo_p99 and/or slo_availability"),
+            std::string::npos);
+  EXPECT_NE(workload_error_of("slo tenant=a slo_p99=0\n")
+                .find("slo_p99 must be > 0"),
+            std::string::npos);
+  EXPECT_NE(workload_error_of("slo slo_availability=1\n")
+                .find("slo_availability must be within (0, 1)"),
+            std::string::npos);
+  EXPECT_NE(workload_error_of("slo tenant=a slo_p99=1\n"
+                              "slo tenant=a slo_availability=0.5\n")
+                .find("duplicate slo for tenant 'a'"),
+            std::string::npos);
+  EXPECT_NE(workload_error_of("slo tenant=a n=16\n").find("unknown key 'n'"),
+            std::string::npos);
+  // Line numbers in errors count every script line, slo lines included.
+  EXPECT_NE(workload_error_of("slo slo_availability=0.5\n"
+                              "request n=16\n")
+                .find("line 2"),
+            std::string::npos);
+}
+
+TEST(ServeWorkloadScript, RequestOnlyParserStillRejectsSloLines) {
+  // parse_serve_script predates objectives and keeps its contract: a
+  // request list only, with the original error message.
+  EXPECT_NE(error_of("slo slo_availability=0.5\n")
+                .find("expected 'request ...' or a # comment"),
+            std::string::npos);
+  EXPECT_NE(workload_error_of("budget tenant=a\n")
+                .find("expected 'request ...', 'slo ...' or a # comment"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace hpmm

@@ -1,0 +1,215 @@
+#include "serve/slo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "serve/script.hpp"
+#include "serve/server.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/metrics.hpp"
+
+namespace hpmm {
+namespace {
+
+TenantRequest clean_request(double arrival, const std::string& tenant = "a") {
+  TenantRequest req;
+  req.tenant = tenant;
+  req.arrival = arrival;
+  req.algo = "cannon";
+  req.n = 16;
+  req.p = 16;
+  return req;
+}
+
+std::shared_ptr<FaultPlan> corrupting_plan(std::uint64_t seed) {
+  auto plan = std::make_shared<FaultPlan>();
+  plan->corrupt_prob = 1.0;
+  plan->abft = AbftMode::kDetect;
+  plan->seed = seed;
+  return plan;
+}
+
+TEST(SloTargetFor, TenantEntryThenWildcardThenEmpty) {
+  SloTargets targets;
+  targets["a"].p99 = 10.0;
+  targets["*"].availability = 0.9;
+  EXPECT_DOUBLE_EQ(slo_target_for(targets, "a").p99, 10.0);
+  EXPECT_DOUBLE_EQ(slo_target_for(targets, "a").availability, 0.0);
+  EXPECT_DOUBLE_EQ(slo_target_for(targets, "b").availability, 0.9);
+  EXPECT_FALSE(slo_target_for(SloTargets{}, "a").any());
+}
+
+TEST(EvaluateSlo, BudgetAndOverallBurn) {
+  SloTarget target;
+  target.availability = 0.9;  // allowed error rate 0.1
+  const SloVerdict v = evaluate_slo("t", target, 100, 5, 0.0, nullptr,
+                                    nullptr);
+  EXPECT_DOUBLE_EQ(v.error_budget, 10.0);
+  EXPECT_DOUBLE_EQ(v.budget_remaining, 5.0);
+  EXPECT_FALSE(v.availability_breached);
+  // 5% observed error rate / 10% allowed = burning at half speed.
+  EXPECT_DOUBLE_EQ(v.burn_overall, 0.5);
+  EXPECT_FALSE(v.breached());
+}
+
+TEST(EvaluateSlo, ExhaustedBudgetBreaches) {
+  SloTarget target;
+  target.availability = 0.75;  // exact in binary: allowed rate 0.25
+  const SloVerdict v = evaluate_slo("t", target, 100, 30, 0.0, nullptr,
+                                    nullptr);
+  EXPECT_DOUBLE_EQ(v.error_budget, 25.0);
+  EXPECT_DOUBLE_EQ(v.budget_remaining, -5.0);
+  EXPECT_TRUE(v.availability_breached);
+  EXPECT_DOUBLE_EQ(v.burn_overall, 1.2);
+  EXPECT_TRUE(v.breached());
+}
+
+TEST(EvaluateSlo, WindowedBurnRates) {
+  SloTarget target;
+  target.availability = 0.9;  // allowed 0.1
+  TimeSeries finals(100.0);
+  TimeSeries errors(100.0);
+  // Window 0: 10 finals, 0 errors. Window 1: 10 finals, 5 errors (burn 5).
+  // Window 9 (outside any 6-window span with window 1): 10 finals, 1 error.
+  for (int i = 0; i < 10; ++i) finals.observe(0.0 + i, 1.0);
+  for (int i = 0; i < 10; ++i) finals.observe(100.0 + i, 1.0);
+  for (int i = 0; i < 5; ++i) errors.observe(100.0 + i, 1.0);
+  for (int i = 0; i < 10; ++i) finals.observe(900.0 + i, 1.0);
+  errors.observe(900.0, 1.0);
+  const SloVerdict v =
+      evaluate_slo("t", target, 30, 6, 0.0, &finals, &errors);
+  // Fast burn: worst single window is window 1 with 5/10 errors -> 5.0.
+  EXPECT_DOUBLE_EQ(v.burn_fast, 5.0);
+  // Slow burn: spans ending at windows 1..6 cover windows 0 and 1 only ->
+  // 5 errors over 20 finals -> 2.5; the span ending at window 9 sees
+  // 1/10 -> 1.0.
+  EXPECT_DOUBLE_EQ(v.burn_slow, 2.5);
+  EXPECT_DOUBLE_EQ(v.burn_overall, 2.0);
+}
+
+TEST(EvaluateSlo, P99Objective) {
+  SloTarget target;
+  target.p99 = 1000.0;
+  const SloVerdict over =
+      evaluate_slo("t", target, 10, 0, 1500.0, nullptr, nullptr);
+  EXPECT_TRUE(over.p99_breached);
+  EXPECT_TRUE(over.breached());
+  EXPECT_FALSE(over.availability_breached);
+  const SloVerdict under =
+      evaluate_slo("t", target, 10, 0, 900.0, nullptr, nullptr);
+  EXPECT_FALSE(under.p99_breached);
+  EXPECT_FALSE(under.breached());
+}
+
+TEST(EvaluateSlo, ValidatesTargets) {
+  SloTarget bad_avail;
+  bad_avail.availability = 1.0;
+  EXPECT_THROW(evaluate_slo("t", bad_avail, 1, 0, 0.0, nullptr, nullptr),
+               PreconditionError);
+  bad_avail.availability = -0.5;
+  EXPECT_THROW(evaluate_slo("t", bad_avail, 1, 0, 0.0, nullptr, nullptr),
+               PreconditionError);
+  SloTarget bad_p99;
+  bad_p99.p99 = -1.0;
+  EXPECT_THROW(evaluate_slo("t", bad_p99, 1, 0, 0.0, nullptr, nullptr),
+               PreconditionError);
+}
+
+TEST(EvaluateSlo, VerdictJsonIsValid) {
+  SloTarget target;
+  target.availability = 0.75;
+  target.p99 = 5000.0;
+  const SloVerdict v =
+      evaluate_slo("t", target, 100, 26, 6000.0, nullptr, nullptr);
+  std::ostringstream os;
+  v.write_json(os);
+  EXPECT_TRUE(json_valid(os.str())) << os.str();
+  EXPECT_NE(os.str().find("\"budget_remaining\":-1"), std::string::npos);
+  EXPECT_NE(os.str().find("\"breached\":true"), std::string::npos);
+}
+
+TEST(ServerSlo, VerdictsAndSeriesInReport) {
+  ServeOptions opt;
+  opt.max_retries = 0;
+  SloTarget target;
+  target.availability = 0.75;
+  opt.slos["*"] = target;
+  const Server server(opt);
+  TenantRequest failing = clean_request(10.0, "a");
+  failing.faults = corrupting_plan(3);
+  const ServeReport report = server.run(
+      {clean_request(0.0, "a"), failing, clean_request(0.0, "b")});
+  // "a": 2 submitted, 1 error -> budget 0.5 exhausted. "b": clean.
+  ASSERT_EQ(report.slo.size(), 2u);
+  EXPECT_EQ(report.slo[0].tenant, "a");
+  EXPECT_EQ(report.slo[0].errors, 1u);
+  EXPECT_TRUE(report.slo[0].availability_breached);
+  EXPECT_GT(report.slo[0].burn_fast, 0.0);
+  EXPECT_EQ(report.slo[1].tenant, "b");
+  EXPECT_FALSE(report.slo[1].breached());
+  EXPECT_TRUE(report.slo_breached());
+  // The windowed per-tenant series back the burn rates and land in the
+  // report's metrics JSON.
+  EXPECT_NE(report.metrics.find_series("serve.series.a.finals"), nullptr);
+  EXPECT_NE(report.metrics.find_series("serve.series.a.errors"), nullptr);
+  EXPECT_NE(report.metrics.find_series("serve.series.b.arrivals"), nullptr);
+  std::ostringstream os;
+  report.write_json(os);
+  EXPECT_TRUE(json_valid(os.str()));
+  EXPECT_NE(os.str().find("\"slo\":["), std::string::npos);
+  EXPECT_NE(os.str().find("\"series\":{"), std::string::npos);
+  EXPECT_NE(os.str().find("\"serve.series.a.finals\""), std::string::npos);
+}
+
+TEST(ServerSlo, NoTargetsMeansNoVerdictsOrSection) {
+  const Server server(ServeOptions{});
+  const ServeReport report = server.run({clean_request(0.0)});
+  EXPECT_TRUE(report.slo.empty());
+  EXPECT_FALSE(report.slo_breached());
+  std::ostringstream os;
+  report.write_json(os);
+  EXPECT_EQ(os.str().find("\"slo\":["), std::string::npos);
+}
+
+TEST(ServerSlo, ScriptSlosFlowIntoReport) {
+  const std::string script =
+      "# workload with objectives\n"
+      "slo tenant=alice slo_p99=1 slo_availability=0.99\n"
+      "slo slo_availability=0.5\n"
+      "request tenant=alice arrival=0 algo=cannon n=16 p=16\n"
+      "request tenant=bob arrival=0 algo=cannon n=16 p=16\n";
+  const ServeWorkload workload = parse_serve_workload(script);
+  ASSERT_EQ(workload.requests.size(), 2u);
+  ASSERT_EQ(workload.slos.size(), 2u);
+  ServeOptions opt;
+  opt.slos = workload.slos;
+  const Server server(opt);
+  const ServeReport report = server.run(workload.requests);
+  ASSERT_EQ(report.slo.size(), 2u);
+  // alice's p99 objective of 1 time unit is impossibly tight; bob falls
+  // back to the "*" availability default and passes.
+  EXPECT_EQ(report.slo[0].tenant, "alice");
+  EXPECT_TRUE(report.slo[0].p99_breached);
+  EXPECT_EQ(report.slo[1].tenant, "bob");
+  EXPECT_FALSE(report.slo[1].breached());
+  EXPECT_TRUE(report.slo_breached());
+}
+
+TEST(ServerSlo, ConstructorValidatesTargetsAndWindow) {
+  ServeOptions bad_window;
+  bad_window.window = 0.0;
+  EXPECT_THROW(Server{bad_window}, PreconditionError);
+  ServeOptions bad_target;
+  bad_target.slos["a"].availability = 2.0;
+  EXPECT_THROW(Server{bad_target}, PreconditionError);
+  ServeOptions empty_tenant;
+  empty_tenant.slos[""].availability = 0.9;
+  EXPECT_THROW(Server{empty_tenant}, PreconditionError);
+}
+
+}  // namespace
+}  // namespace hpmm

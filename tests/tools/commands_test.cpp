@@ -493,10 +493,65 @@ TEST(Cli, ServeRejectsBadFlags) {
   EXPECT_EQ(run({"hpmm", "serve", "--slots=0"}).code, 1);
   EXPECT_EQ(run({"hpmm", "serve", "--requests=-1"}).code, 1);
   EXPECT_EQ(run({"hpmm", "serve", "--script=/nonexistent/x.txt"}).code, 1);
+  EXPECT_EQ(run({"hpmm", "serve", "--requests=4", "--window=0"}).code, 1);
+  EXPECT_EQ(
+      run({"hpmm", "serve", "--requests=4", "--slo-availability=1.5"}).code,
+      1);
   const auto both = run({"hpmm", "serve", "--script=x",
                          "--scenario=noisy-neighbor"});
   EXPECT_EQ(both.code, 1);
   EXPECT_NE(both.err.find("mutually exclusive"), std::string::npos);
+}
+
+TEST(Cli, ServeJournalAndTimelineFilesAreValid) {
+  const std::string journal = ::testing::TempDir() + "hpmm_journal.jsonl";
+  const std::string timeline = ::testing::TempDir() + "hpmm_timeline.json";
+  const std::string journal_flag = "--journal=" + journal;
+  const std::string timeline_flag = "--timeline=" + timeline;
+  const auto r = run({"hpmm", "serve", "--requests=6", "--tenants=2",
+                      "--seed=5", journal_flag.c_str(),
+                      timeline_flag.c_str()});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("wrote journal ("), std::string::npos);
+  EXPECT_NE(r.out.find("wrote timeline to"), std::string::npos);
+  std::ifstream jf(journal);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(jf, line)) {
+    EXPECT_TRUE(json_valid(line)) << line;
+    ++lines;
+  }
+  EXPECT_GT(lines, 6u);  // at least arrival + terminal event per request
+  std::ifstream tf(timeline);
+  std::stringstream timeline_json;
+  timeline_json << tf.rdbuf();
+  EXPECT_TRUE(json_valid(timeline_json.str()));
+  EXPECT_NE(timeline_json.str().find("\"executor slots\""),
+            std::string::npos);
+  std::remove(journal.c_str());
+  std::remove(timeline.c_str());
+  EXPECT_EQ(run({"hpmm", "serve", "--requests=4",
+                 "--journal=/nonexistent/dir/j.jsonl"})
+                .code,
+            1);
+}
+
+TEST(Cli, ServeSloStrictExitsThreeOnBreach) {
+  // An impossibly tight p99 objective breaches for every tenant.
+  const auto strict = run({"hpmm", "serve", "--requests=6", "--seed=5",
+                           "--slo-p99=1", "--slo-strict"});
+  EXPECT_EQ(strict.code, 3);
+  EXPECT_NE(strict.out.find("SLO breached"), std::string::npos);
+  // Same breach without --slo-strict: verdicts are reported, exit stays 0.
+  const auto lax = run({"hpmm", "serve", "--requests=6", "--seed=5",
+                        "--slo-p99=1", "--format=json"});
+  EXPECT_EQ(lax.code, 0);
+  EXPECT_NE(lax.out.find("\"slo\":["), std::string::npos);
+  EXPECT_NE(lax.out.find("\"p99_breached\":true"), std::string::npos);
+  // A generous objective passes under --slo-strict.
+  const auto healthy = run({"hpmm", "serve", "--requests=6", "--seed=5",
+                            "--slo-availability=0.01", "--slo-strict"});
+  EXPECT_EQ(healthy.code, 0);
 }
 
 TEST(Cli, ServeHelpAndUsageMentionIt) {

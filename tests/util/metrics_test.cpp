@@ -157,13 +157,40 @@ TEST(Histogram, QuantileValidatesRange) {
   EXPECT_THROW(h.quantile(1.01), PreconditionError);
 }
 
-TEST(Histogram, QuantileAllOverflowResolvesToMax) {
+TEST(Histogram, QuantileOverflowInterpolatesToMax) {
   Histogram h({1.0, 2.0});
   h.observe(10.0);
   h.observe(50.0);
   h.observe(30.0);
-  EXPECT_DOUBLE_EQ(h.quantile(0.5), 50.0);
-  EXPECT_DOUBLE_EQ(h.quantile(0.99), 50.0);
+  // All three samples land in the overflow bucket. A rank there used to
+  // collapse every quantile to the single largest sample; it now walks
+  // (bounds.back(), max] linearly: rank ceil(0.5 * 3) = 2 of 3 gives
+  // 2 + (50 - 2) * 2/3 = 34, and rank 3 reaches max exactly.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 34.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 50.0);
+}
+
+TEST(Histogram, QuantileP99BeyondLastBucketEdge) {
+  // Regression: 99 samples inside the buckets and one far outside. The p99
+  // lands on the last in-bounds sample; the p100 must report the true max,
+  // and quantiles between them interpolate instead of jumping to max.
+  Histogram h({10.0, 20.0});
+  for (int i = 0; i < 99; ++i) h.observe(15.0);
+  h.observe(5000.0);
+  EXPECT_LE(h.quantile(0.99), 20.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 5000.0);
+  const double p995 = h.quantile(0.995);
+  EXPECT_GT(p995, 20.0);
+  EXPECT_LE(p995, 5000.0);
+}
+
+TEST(Histogram, QuantileOverflowMaxAtBoundIsDefensive) {
+  // max <= bounds.back() can only happen when every sample sits exactly on
+  // the top bound; an overflow rank is then impossible, but the guard keeps
+  // the estimate finite if it ever were.
+  Histogram h({1.0, 50.0});
+  h.observe(50.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 50.0);
 }
 
 TEST(Histogram, QuantileSingleBucketInterpolates) {
@@ -275,6 +302,80 @@ TEST(MetricsRegistry, WriteJsonAlwaysValidOnEdgeCaseHistograms) {
   EXPECT_EQ(out.find(":nan"), std::string::npos) << out;
   EXPECT_EQ(out.find(": nan"), std::string::npos) << out;
   EXPECT_EQ(out.find(":-nan"), std::string::npos) << out;
+}
+
+TEST(TimeSeries, ObservationsLandInFloorWindow) {
+  TimeSeries s(100.0);
+  s.observe(0.0, 1.0);
+  s.observe(99.9, 2.0);
+  s.observe(100.0, 4.0);  // exactly on the edge -> next window
+  s.observe(250.0, 8.0);
+  ASSERT_EQ(s.windows().size(), 3u);
+  const TimeSeries::Window* w0 = s.find(0);
+  ASSERT_NE(w0, nullptr);
+  EXPECT_EQ(w0->count, 2u);
+  EXPECT_DOUBLE_EQ(w0->sum, 3.0);
+  EXPECT_DOUBLE_EQ(w0->max, 2.0);
+  EXPECT_EQ(s.find(1)->count, 1u);
+  EXPECT_EQ(s.find(2)->count, 1u);
+  EXPECT_EQ(s.find(3), nullptr);
+  EXPECT_EQ(s.total_count(), 4u);
+  EXPECT_DOUBLE_EQ(s.total_sum(), 15.0);
+}
+
+TEST(TimeSeries, NegativeTimesAndValues) {
+  TimeSeries s(10.0);
+  s.observe(-5.0, -3.0);  // floor(-0.5) = -1
+  ASSERT_NE(s.find(-1), nullptr);
+  EXPECT_DOUBLE_EQ(s.find(-1)->max, -3.0);  // max seeds from first sample
+}
+
+TEST(TimeSeries, PerWindowQuantilesWithHistograms) {
+  TimeSeries s(100.0, {8.0, 64.0});
+  for (int i = 0; i < 10; ++i) s.observe(50.0, 4.0);
+  s.observe(150.0, 100.0);
+  ASSERT_TRUE(s.has_histograms());
+  EXPECT_DOUBLE_EQ(s.find(0)->hist.quantile(0.99), 4.0);  // capped at max
+  EXPECT_DOUBLE_EQ(s.find(1)->hist.max(), 100.0);
+  std::ostringstream os;
+  s.write_json(os);
+  EXPECT_TRUE(json_valid(os.str())) << os.str();
+  EXPECT_NE(os.str().find("\"p99\""), std::string::npos);
+}
+
+TEST(TimeSeries, ValidatesConstruction) {
+  EXPECT_THROW(TimeSeries(0.0), PreconditionError);
+  EXPECT_THROW(TimeSeries(-1.0), PreconditionError);
+  EXPECT_THROW(TimeSeries(10.0, {2.0, 1.0}), PreconditionError);
+}
+
+TEST(MetricsRegistry, SeriesFetchOrCreateAndJsonSection) {
+  MetricsRegistry reg;
+  reg.counter("c").add(1);
+  // No series registered: no "series" section (byte-stability of the
+  // pre-existing exports).
+  std::ostringstream before;
+  reg.write_json(before);
+  EXPECT_EQ(before.str().find("\"series\""), std::string::npos);
+
+  reg.series("s", 100.0).observe(10.0, 1.0);
+  reg.series("s", 999.0).observe(20.0, 2.0);  // same instrument; width kept
+  const TimeSeries* s = reg.find_series("s");
+  ASSERT_NE(s, nullptr);
+  EXPECT_DOUBLE_EQ(s->window_width(), 100.0);
+  EXPECT_EQ(s->total_count(), 2u);
+  EXPECT_EQ(reg.find_series("missing"), nullptr);
+  ASSERT_EQ(reg.series_names().size(), 1u);
+  EXPECT_EQ(reg.series_names()[0], "s");
+
+  std::ostringstream after;
+  reg.write_json(after);
+  EXPECT_TRUE(json_valid(after.str())) << after.str();
+  EXPECT_NE(after.str().find("\"series\""), std::string::npos);
+  EXPECT_NE(after.str().find("\"window_width\":100"), std::string::npos);
+
+  reg.reset();
+  EXPECT_TRUE(reg.find_series("s")->empty());  // registration kept
 }
 
 }  // namespace
