@@ -1,0 +1,78 @@
+// Distance-from-optimal sweep (DESIGN.md §14): simulate every registry
+// algorithm at a small grid of paper-scale (n, p) points and score its
+// exact measured word count against the communication lower bound at the
+// model's own memory footprint. Prints the scoreboard and writes the rows
+// as JSON for the CI perf-trajectory gate:
+//
+//   ./bounds_sweep [--out=BENCH_bounds.json]
+//
+// The gated metric is the ratio measured/bound: it is deterministic (no
+// wall-clock in it), must never drop below 1 (that would mean an algorithm
+// beat a lower bound — an accounting bug), and must not creep upward past
+// the checked-in baseline (a communication regression).
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "analysis/bounds.hpp"
+#include "core/distance.hpp"
+#include "core/registry.hpp"
+#include "machine/params.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace hpmm;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const std::string out_path = args.get("out", "BENCH_bounds.json");
+  const MachineParams mp = machines::ncube2();
+
+  Table pretty({"algorithm", "class", "n", "p", "measured words",
+                "bound words", "ratio"});
+  Table json({"algorithm", "class", "n", "p", "measured_words", "bound_words",
+              "ratio"});
+
+  std::cout << "=== communication lower-bound scoreboard (" << mp.label
+            << ") ===\n\n";
+
+  int points = 0;
+  const AlgorithmRegistry& reg = default_registry();
+  for (const std::string& name : reg.names()) {
+    const ParallelMatmul& impl = reg.implementation(name);
+    for (const std::size_t n : {16u, 64u}) {
+      for (const std::size_t p : {64u, 512u}) {
+        if (!impl.applicable(n, p)) continue;
+        const DistanceFromOptimal d = distance_from_optimal(name, n, p, mp);
+        pretty.begin_row()
+            .add(d.algorithm)
+            .add(to_string(d.cls))
+            .add_int(static_cast<long long>(n))
+            .add_int(static_cast<long long>(p))
+            .add_num(d.measured_total_words, 1)
+            .add_num(d.bound.total_words, 1)
+            .add_num(d.ratio, 6);
+        json.begin_row()
+            .add(d.algorithm)
+            .add(to_string(d.cls))
+            .add_int(static_cast<long long>(n))
+            .add_int(static_cast<long long>(p))
+            .add_num(d.measured_total_words, 6)
+            .add_num(d.bound.total_words, 6)
+            .add_num(d.ratio, 6);
+        ++points;
+      }
+    }
+  }
+  pretty.print_aligned(std::cout);
+  std::cout << "\n" << points
+            << " points; every ratio must stay >= 1 (the oracle invariant) "
+               "and within\ntolerance of bench/baselines/BENCH_bounds.json "
+               "(a growing ratio is a\ncommunication regression).\n";
+
+  std::ofstream out(out_path);
+  json.print_json(out);
+  std::cout << "\nwrote " << out_path << "\n";
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Golden driver for the `hpmm bounds` scoreboard (DESIGN.md §14): the
+// analytic table over the whole registry at a memory budget that makes the
+// strong-scaling columns non-trivial, then the measured scoreboard at a
+// DNS/GK-territory point where the simulator runs and the distance ratios
+// are pinned. Byte-compared against tests/golden/bounds_table.txt.
+
+#include <iostream>
+#include <vector>
+
+#include "tools/commands.hpp"
+
+namespace {
+
+int dispatch_line(std::vector<const char*> argv) {
+  const hpmm::CliArgs args(static_cast<int>(argv.size()), argv.data());
+  return hpmm::tools::dispatch(args, std::cout, std::cerr);
+}
+
+}  // namespace
+
+int main() {
+  // n = 64 with M = 192 words: the 2.5D strong-scaling range is [64, 512]
+  // and Cannon's memory-dependent floor is non-zero.
+  std::cout << "== bounds: registry floors at n=64, p=64, M=192 ==\n";
+  int rc = dispatch_line(
+      {"hpmm", "bounds", "--n=64", "--p=64", "--memory=192"});
+  if (rc != 0) return rc;
+
+  // n = 16, p = 512 is 3D territory: DNS and the GK family simulate, and
+  // the measured columns pin each one's distance-from-optimal ratio.
+  std::cout << "\n== bounds: measured scoreboard at n=16, p=512, M=48 ==\n";
+  rc = dispatch_line({"hpmm", "bounds", "--n=16", "--p=512", "--memory=48",
+                      "--measured=1"});
+  return rc;
+}

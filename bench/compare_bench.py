@@ -1,21 +1,28 @@
 #!/usr/bin/env python3
 """Compare a bench JSON against its checked-in baseline (perf trajectory gate).
 
-Two kinds of input:
+Three kinds of input:
 
-  serve  BENCH_serve.json written by bench/serve_load: points are keyed by
-         (scenario, threads) and the gated metric is req_per_sec. The
-         current run must also report deterministic=true on every point —
-         a byte-level divergence across host threads fails the gate even
-         if throughput held.
-  sim    BENCH_sim.json written by bench/sim_extreme (google-benchmark
-         JSON): points are keyed by benchmark name and the gated metric is
-         the events_per_sec counter.
+  serve   BENCH_serve.json written by bench/serve_load: points are keyed by
+          (scenario, threads) and the gated metric is req_per_sec. The
+          current run must also report deterministic=true on every point —
+          a byte-level divergence across host threads fails the gate even
+          if throughput held.
+  sim     BENCH_sim.json written by bench/sim_extreme (google-benchmark
+          JSON): points are keyed by benchmark name and the gated metric is
+          the events_per_sec counter.
+  bounds  BENCH_bounds.json written by bench/bounds_sweep: points are keyed
+          by (algorithm, n, p) and the gated metric is the measured/bound
+          distance-from-optimal ratio. The direction is INVERTED — smaller
+          is better, so a point regresses when the ratio grows past
+          baseline * (1 + tolerance) — and any ratio below 1 fails
+          unconditionally: an algorithm cannot beat a communication lower
+          bound, so that is an accounting bug, not a perf improvement.
 
 Only keys present in BOTH files are compared (the ctest smoke runs a
 filtered subset of the CI sweep), and the intersection must be non-empty.
-A point regresses when current < baseline * (1 - tolerance); improvements
-never fail. Baselines are machine-relative: after an intentional perf
+For serve/sim a point regresses when current < baseline * (1 - tolerance);
+improvements never fail. Baselines are machine-relative: after an intentional perf
 change, or on hardware unlike the one that recorded them, regenerate with
 --update (copies current over the baseline).
 
@@ -63,9 +70,20 @@ def sim_points(doc, path):
     return points
 
 
+def bounds_points(doc, path):
+    if not isinstance(doc, list) or not doc:
+        sys.exit(f"compare_bench: {path} is not a non-empty row array")
+    points = {}
+    for row in doc:
+        key = (str(row["algorithm"]), int(row["n"]), int(row["p"]))
+        points[key] = row
+    return points
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--kind", required=True, choices=["serve", "sim"])
+    ap.add_argument("--kind", required=True,
+                    choices=["serve", "sim", "bounds"])
     ap.add_argument("--baseline", required=True)
     ap.add_argument("--current", required=True)
     ap.add_argument("--tolerance", type=float, default=0.25,
@@ -82,8 +100,10 @@ def main():
               f"{args.current}")
         return 0
 
-    pick = serve_points if args.kind == "serve" else sim_points
-    metric = "req_per_sec" if args.kind == "serve" else "events_per_sec"
+    pick = {"serve": serve_points, "sim": sim_points,
+            "bounds": bounds_points}[args.kind]
+    metric = {"serve": "req_per_sec", "sim": "events_per_sec",
+              "bounds": "ratio"}[args.kind]
     base = pick(load(args.baseline), args.baseline)
     cur = pick(load(args.current), args.current)
 
@@ -96,6 +116,20 @@ def main():
     for key in shared:
         was = float(base[key][metric])
         now = float(cur[key][metric])
+        if args.kind == "bounds":
+            # Smaller is better, and < 1 is physically impossible.
+            ceiling = was * (1.0 + args.tolerance)
+            change = (now - was) / was * 100.0 if was > 0.0 else 0.0
+            status = "ok"
+            if now < 1.0:
+                status = "ORACLE VIOLATION (ratio < 1)"
+                failures.append(key)
+            elif now > ceiling:
+                status = "REGRESSION"
+                failures.append(key)
+            print(f"  {key}: {metric} {was:.4f} -> {now:.4f} "
+                  f"({change:+.1f}%, ceiling {ceiling:.4f}) {status}")
+            continue
         floor = was * floor_frac
         change = (now - was) / was * 100.0 if was > 0.0 else 0.0
         status = "ok"

@@ -1,0 +1,16 @@
+// Golden driver for the `regions --with-bounds=1` overlay: the Figure 1
+// best-algorithm map with communication-optimal cells (within 4x of the
+// lower bound at the winner's own memory footprint) upper-cased. The
+// default Figure 1 golden (fig1_regions) stays untouched — this driver
+// pins the overlay variant byte for byte in tests/golden/regions_bounds.txt.
+
+#include <iostream>
+#include <vector>
+
+#include "tools/commands.hpp"
+
+int main() {
+  const std::vector<const char*> argv = {"hpmm", "regions", "--with-bounds=1"};
+  const hpmm::CliArgs args(static_cast<int>(argv.size()), argv.data());
+  return hpmm::tools::dispatch(args, std::cout, std::cerr);
+}

@@ -144,7 +144,10 @@ MatmulResult GkAlgorithm::run(const Matrix& a, const Matrix& b, std::size_t p,
           blk[dst] = std::move(blk[src]);
         }
       }
-      machine.charge_group_comm(all_procs, modeled_phase_time);
+      // Book the bn x bn block each processor handles so the modeled phase
+      // contributes its data volume to the exact word accounting.
+      machine.charge_group_comm(all_procs, modeled_phase_time,
+                                static_cast<std::uint64_t>(bn) * bn);
       return;
     }
     if (interconnect_ == Interconnect::kFullyConnected) {
@@ -287,7 +290,8 @@ MatmulResult GkAlgorithm::run(const Matrix& a, const Matrix& b, std::size_t p,
         // Data combined directly; the phase is charged once per line with
         // the modeled collective's closed form.
         for (auto& part : contribs) sum += part;
-        machine.charge_group_comm(group, modeled_phase_time);
+        machine.charge_group_comm(group, modeled_phase_time,
+                                  static_cast<std::uint64_t>(bn) * bn);
       } else {
         for (auto& part : contribs) part = guard(std::move(part));
         sum = unguard(reduce_binomial(machine, group, 0, kTagReduce,

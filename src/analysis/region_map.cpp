@@ -1,7 +1,10 @@
 #include "analysis/region_map.hpp"
 
+#include <cctype>
 #include <cmath>
+#include <memory>
 
+#include "analysis/bounds.hpp"
 #include "util/error.hpp"
 #include "util/table.hpp"
 
@@ -41,6 +44,56 @@ static double best_cannon25_overhead(const MachineParams& params, double n,
   return best;
 }
 
+/// A machine whose comm_time *is* the word count: zero startup and per-hop
+/// cost, one time unit per word. Word volumes are machine-independent, so
+/// the overlay needs no caller-supplied parameters.
+static MachineParams word_count_machine() {
+  MachineParams mp;
+  mp.t_s = 0.0;
+  mp.t_w = 1.0;
+  mp.t_h = 0.0;
+  return mp;
+}
+
+bool RegionMap::comm_optimal_at(double n, double p, Region r) {
+  const MachineParams words = word_count_machine();
+  std::unique_ptr<PerfModel> model;
+  switch (r) {
+    case Region::kNone: return false;
+    case Region::kGk: model = std::make_unique<GkModel>(words); break;
+    case Region::kBerntsen:
+      model = std::make_unique<BerntsenModel>(words);
+      break;
+    case Region::kCannon: model = std::make_unique<CannonModel>(words); break;
+    case Region::kDns: model = std::make_unique<DnsModel>(words); break;
+    case Region::kCannon25: {
+      // The envelope's cheapest replicated configuration, by word volume.
+      std::unique_ptr<PerfModel> best;
+      double best_words = 0.0;
+      for (std::size_t c = 2; static_cast<double>(c) * static_cast<double>(c) *
+                                  static_cast<double>(c) <=
+                              p;
+           c *= 2) {
+        auto candidate = std::make_unique<Cannon25DModel>(words, c);
+        if (!candidate->applicable(n, p)) continue;
+        const double w = candidate->comm_time(n, p);
+        if (!best || w < best_words) {
+          best_words = w;
+          best = std::move(candidate);
+        }
+      }
+      if (!best) return false;
+      model = std::move(best);
+      break;
+    }
+  }
+  if (!model || !model->applicable(n, p)) return false;
+  const double moved = model->comm_time(n, p);
+  const CommLowerBound bound =
+      comm_lower_bound(n, p, model->memory_per_proc(n, p));
+  return bound.words > 0.0 && moved <= kBoundOptimalFactor * bound.words;
+}
+
 Region RegionMap::best_at(const MachineParams& params, double n, double p,
                           bool include_25d) {
   const BerntsenModel berntsen(params);
@@ -78,7 +131,7 @@ Region RegionMap::best_at(const MachineParams& params, double n, double p,
 
 RegionMap::RegionMap(const MachineParams& params, double p_min, double p_max,
                      std::size_t p_cells, double n_min, double n_max,
-                     std::size_t n_cells, bool include_25d)
+                     std::size_t n_cells, bool include_25d, bool with_bounds)
     : params_(params),
       p_min_(p_min),
       p_max_(p_max),
@@ -86,17 +139,28 @@ RegionMap::RegionMap(const MachineParams& params, double p_min, double p_max,
       n_max_(n_max),
       p_cells_(p_cells),
       n_cells_(n_cells),
-      include_25d_(include_25d) {
+      include_25d_(include_25d),
+      with_bounds_(with_bounds) {
   require(p_min >= 1.0 && p_max > p_min, "RegionMap: bad p range");
   require(n_min >= 1.0 && n_max > n_min, "RegionMap: bad n range");
   require(p_cells >= 2 && n_cells >= 2, "RegionMap: need at least a 2x2 grid");
   cells_.resize(p_cells_ * n_cells_);
+  optimal_.assign(p_cells_ * n_cells_, 0);
   for (std::size_t row = 0; row < n_cells_; ++row) {
     for (std::size_t col = 0; col < p_cells_; ++col) {
-      cells_[row * p_cells_ + col] =
-          best_at(params_, n_at(row), p_at(col), include_25d_);
+      const Region r = best_at(params_, n_at(row), p_at(col), include_25d_);
+      cells_[row * p_cells_ + col] = r;
+      if (with_bounds_) {
+        optimal_[row * p_cells_ + col] =
+            comm_optimal_at(n_at(row), p_at(col), r) ? 1 : 0;
+      }
     }
   }
+}
+
+bool RegionMap::comm_optimal(std::size_t row, std::size_t col) const {
+  require(row < n_cells_ && col < p_cells_, "RegionMap::comm_optimal: range");
+  return optimal_[row * p_cells_ + col] != 0;
 }
 
 double RegionMap::p_at(std::size_t col) const {
@@ -197,13 +261,17 @@ void MachineSpaceMap::print_ascii(std::ostream& os) const {
 
 void RegionMap::print_ascii(std::ostream& os) const {
   os << "n up, p right; a=GK b=Berntsen c=Cannon d=DNS "
-     << (include_25d_ ? "e=2.5D " : "") << "x=none  [" << params_.label
-     << "]\n";
+     << (include_25d_ ? "e=2.5D " : "")
+     << (with_bounds_ ? "UPPERCASE=within 4x of comm lower bound " : "")
+     << "x=none  [" << params_.label << "]\n";
   for (std::size_t row = n_cells_; row-- > 0;) {
     os << format_number(n_at(row), 3);
     os << std::string(row % 1 == 0 ? 1 : 1, ' ') << "| ";
     for (std::size_t col = 0; col < p_cells_; ++col) {
-      os << to_char(at(row, col));
+      const char ch = to_char(at(row, col));
+      const bool up = with_bounds_ && comm_optimal(row, col);
+      os << (up ? static_cast<char>(std::toupper(static_cast<unsigned char>(ch)))
+                : ch);
     }
     os << '\n';
   }

@@ -28,18 +28,36 @@ std::string to_string(Region r);
 /// of applicability (Section 6).
 class RegionMap {
  public:
+  /// A winner counts as communication-optimal when its modeled word volume
+  /// is within this factor of the lower bound at its own memory footprint.
+  static constexpr double kBoundOptimalFactor = 4.0;
+
   /// Grid: p in [p_min, p_max], n in [n_min, n_max], log-spaced.
   /// With include_25d the comparison additionally admits the 2.5D
   /// memory-replicated Cannon formulation (the envelope over replication
   /// factors c = 2, 4, 8, ... with c^3 <= p), labelled Region::kCannon25.
   /// The default reproduces the paper's four-way Figures 1-3 exactly.
+  /// With with_bounds, print_ascii() upper-cases every cell whose winner is
+  /// communication-optimal there (within kBoundOptimalFactor of the lower
+  /// bound, analysis/bounds.hpp); the default rendering is untouched.
   RegionMap(const MachineParams& params, double p_min, double p_max,
             std::size_t p_cells, double n_min, double n_max,
-            std::size_t n_cells, bool include_25d = false);
+            std::size_t n_cells, bool include_25d = false,
+            bool with_bounds = false);
 
   /// The winner at one point (usable without building a grid).
   static Region best_at(const MachineParams& params, double n, double p,
                         bool include_25d = false);
+
+  /// Whether formulation `r` moves no more than kBoundOptimalFactor times
+  /// the communication lower bound at (n, p), comparing the model's word
+  /// volume (its comm time on a t_s = t_h = 0, t_w = 1 machine) against the
+  /// bound at the model's own memory footprint. Machine-independent: word
+  /// counts do not depend on t_s/t_w. False for Region::kNone.
+  static bool comm_optimal_at(double n, double p, Region r);
+
+  /// The overlay bit of one grid cell (meaningful when built with_bounds).
+  bool comm_optimal(std::size_t row, std::size_t col) const;
 
   std::size_t p_cells() const noexcept { return p_cells_; }
   std::size_t n_cells() const noexcept { return n_cells_; }
@@ -59,7 +77,9 @@ class RegionMap {
   double p_min_, p_max_, n_min_, n_max_;
   std::size_t p_cells_, n_cells_;
   bool include_25d_ = false;
+  bool with_bounds_ = false;
   std::vector<Region> cells_;  // row-major, row 0 = smallest n
+  std::vector<char> optimal_;  // parallel to cells_; 1 = within the bound
 };
 
 /// The dual view of Section 6: for a *fixed* workload (n, p), which

@@ -1,0 +1,34 @@
+#include "core/distance.hpp"
+
+#include "core/registry.hpp"
+#include "matrix/generate.hpp"
+
+namespace hpmm {
+
+DistanceFromOptimal distance_from_optimal(const ParallelMatmul& impl,
+                                          const PerfModel& model,
+                                          std::size_t n, std::size_t p,
+                                          std::uint64_t seed) {
+  impl.check_applicable(n, p);
+  Rng rng(seed);
+  const Matrix a = random_matrix(n, n, rng);
+  const Matrix b = random_matrix(n, n, rng);
+  const MatmulResult run = impl.run(a, b, p, model.params());
+  return distance_from_measured(model, static_cast<double>(n),
+                                static_cast<double>(p),
+                                static_cast<double>(run.report.total_words));
+}
+
+DistanceFromOptimal distance_from_optimal(const std::string& algorithm,
+                                          std::size_t n, std::size_t p,
+                                          const MachineParams& machine,
+                                          std::uint64_t seed) {
+  const AlgorithmRegistry& registry = default_registry();
+  const ParallelMatmul& impl = registry.implementation(algorithm);
+  const auto model = registry.model(algorithm, machine);
+  DistanceFromOptimal d = distance_from_optimal(impl, *model, n, p, seed);
+  d.algorithm = algorithm;  // keep the registry name (e.g. cannon-gray)
+  return d;
+}
+
+}  // namespace hpmm

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "algorithms/parallel_matmul.hpp"
+#include "analysis/bounds.hpp"
+
+namespace hpmm {
+
+/// Simulate one multiplication of random seeded n x n matrices with `impl`
+/// over p processors and score its *exact measured* word count against the
+/// communication lower bound evaluated at `model`'s memory footprint.
+/// Throws PreconditionError when the implementation cannot run the shape
+/// (divisibility constraints included).
+DistanceFromOptimal distance_from_optimal(const ParallelMatmul& impl,
+                                          const PerfModel& model,
+                                          std::size_t n, std::size_t p,
+                                          std::uint64_t seed = 42);
+
+/// Registry lookup by name, then the same measurement. For cannon25d this
+/// uses the registry's default replication c = 2; other factors go through
+/// the (impl, model) overload with an explicitly constructed pair.
+DistanceFromOptimal distance_from_optimal(const std::string& algorithm,
+                                          std::size_t n, std::size_t p,
+                                          const MachineParams& machine,
+                                          std::uint64_t seed = 42);
+
+}  // namespace hpmm

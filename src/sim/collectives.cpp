@@ -269,7 +269,11 @@ std::vector<Matrix> broadcast_modeled(SimMachine& machine,
   const std::size_t g = group.size();
   require(root_pos < g, "broadcast_modeled: root out of range");
   machine.metrics().counter("collective.broadcast_modeled").add();
-  machine.charge_group_comm(group, time);
+  // Every member handles one copy of the payload; booking it keeps modeled
+  // broadcasts visible to the word-count oracle (analysis/bounds).
+  machine.charge_group_comm(group, time,
+                            g > 1 ? static_cast<std::uint64_t>(payload.size())
+                                  : 0);
   std::vector<Matrix> result(g);
   for (std::size_t pos = 0; pos < g; ++pos) {
     if (pos != root_pos) result[pos] = payload;
@@ -285,7 +289,13 @@ std::vector<std::vector<Matrix>> all_to_all_modeled(
   require(contributions.size() == g,
           "all_to_all_modeled: one contribution per member required");
   machine.metrics().counter("collective.all_to_all_modeled").add();
-  machine.charge_group_comm(group, time);
+  // Each member receives every other member's contribution; with the equal
+  // blocks the algorithms pass this is exactly (g-1)/g of the group volume.
+  std::uint64_t volume = 0;
+  for (const Matrix& m : contributions) {
+    volume += static_cast<std::uint64_t>(m.size());
+  }
+  machine.charge_group_comm(group, time, g > 1 ? volume - volume / g : 0);
   std::vector<std::vector<Matrix>> result(g);
   for (std::size_t pos = 0; pos < g; ++pos) result[pos] = contributions;
   return result;

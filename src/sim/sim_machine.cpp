@@ -587,7 +587,9 @@ double SimMachine::synchronize() {
   return t;
 }
 
-void SimMachine::charge_group_comm(std::span<const ProcId> group, double time_cost) {
+void SimMachine::charge_group_comm(std::span<const ProcId> group,
+                                   double time_cost,
+                                   std::uint64_t words_per_member) {
   require(time_cost >= 0.0, "charge_group_comm: negative time");
   double start = 0.0;
   for (ProcId pid : group) {
@@ -620,11 +622,23 @@ void SimMachine::charge_group_comm(std::span<const ProcId> group, double time_co
     }
     record(pid, TraceEvent::Kind::kModeledComm, start, start + time_cost);
     st.comm_time += time_cost;
+    if (words_per_member > 0) {
+      st.messages_sent += 1;
+      st.words_sent += words_per_member;
+    }
     if (aggregate_) {
       phase_total(cur).comm_time += time_cost;
+      if (words_per_member > 0) {
+        phase_total(cur).messages_sent += 1;
+        phase_total(cur).words_sent += words_per_member;
+      }
     } else {
       phase_cell(cur, pid).comm_time += time_cost;
       chain_cell(pid).modeled += time_cost;
+      if (words_per_member > 0) {
+        phase_cell(cur, pid).messages_sent += 1;
+        phase_cell(cur, pid).words_sent += words_per_member;
+      }
     }
     st.clock = start + time_cost;
     check_deadline(pid);

@@ -125,7 +125,13 @@ class SimMachine {
   /// recorded as communication time. This is the charging primitive for
   /// *modeled* collectives (e.g. Johnsson-Ho broadcast) whose closed-form
   /// cost we take from the literature instead of simulating hop by hop.
-  void charge_group_comm(std::span<const ProcId> group, double time);
+  /// `words_per_member` books the data volume the collective moves through
+  /// each member into the word/message accounting (one message per member
+  /// when non-zero), so modeled phases still show up in total_words and the
+  /// communication lower-bound oracle; the p x p traffic matrix is left
+  /// untouched (no pairwise message ever exists).
+  void charge_group_comm(std::span<const ProcId> group, double time,
+                         std::uint64_t words_per_member = 0);
 
   /// Storage accounting hooks: algorithms register the blocks a processor
   /// holds so memory-efficiency claims (Sections 4.1/4.4) can be checked.

@@ -10,9 +10,11 @@
 #include <vector>
 
 #include "algorithms/cannon_25d.hpp"
+#include "analysis/bounds.hpp"
 #include "analysis/crossover.hpp"
 #include "analysis/isoefficiency.hpp"
 #include "analysis/region_map.hpp"
+#include "core/distance.hpp"
 #include "core/registry.hpp"
 #include "core/runner.hpp"
 #include "core/selector.hpp"
@@ -342,6 +344,9 @@ int cmd_iso(const CliArgs& args, std::ostream& os) {
 int cmd_regions(const CliArgs& args, std::ostream& os) {
   if (args.has("n") && args.has("p")) {
     // Dual view: fixed workload, sweep the machine's (t_s, t_w) plane.
+    require(!args.has("with-bounds"),
+            "regions: --with-bounds applies to the (p, n) map, not the "
+            "(t_s, t_w) dual view");
     const MachineSpaceMap map(
         args.get_double("n", 64), args.get_double("p", 512),
         args.get_double("tsmin", 0.1), args.get_double("tsmax", 1000.0),
@@ -353,15 +358,102 @@ int cmd_regions(const CliArgs& args, std::ostream& os) {
   }
   const MachineParams mp = machine_from_args(args);
   // --with-25d extends the paper's four-way comparison with the 2.5D
-  // formulation's replication envelope (region letter 'e').
+  // formulation's replication envelope (region letter 'e'); --with-bounds
+  // upper-cases the cells where the winner is communication-optimal.
   const RegionMap map(mp, args.get_double("pmin", 1.0),
                       args.get_double("pmax", 1e9),
                       static_cast<std::size_t>(args.get_int("pcells", 72)),
                       args.get_double("nmin", 1.0),
                       args.get_double("nmax", 1e5),
                       static_cast<std::size_t>(args.get_int("ncells", 36)),
-                      args.get_bool("with-25d", false));
+                      args.get_bool("with-25d", false),
+                      args.get_bool("with-bounds", false));
   map.print_ascii(os);
+  return 0;
+}
+
+int cmd_bounds(const CliArgs& args, std::ostream& os) {
+  // Strict flag validation up front: unlike the presentational commands,
+  // bounds is an oracle surface, so a typo must fail loudly, not fall back.
+  const std::string format = args.get("format", "aligned");
+  require(format == "aligned" || format == "csv" || format == "markdown" ||
+              format == "json",
+          "bounds: --format must be aligned, csv, markdown or json, got '" +
+              format + "'");
+  const auto n = static_cast<std::size_t>(args.get_int("n", 64));
+  const auto p = static_cast<std::size_t>(args.get_int("p", 64));
+  require(n >= 1, "bounds: --n must be >= 1");
+  require(p >= 1, "bounds: --p must be >= 1");
+  const double machine_memory = args.get_double("memory", 1048576.0);
+  require(machine_memory > 0.0, "bounds: --memory must be positive (words "
+                                "of storage per processor)");
+  const bool measured = args.get_bool("measured", false);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const MachineParams mp = machine_from_args(args);
+
+  const auto& reg = default_registry();
+  std::vector<std::string> names;
+  const std::string algo = args.get("algo", "all");
+  if (algo == "all") {
+    names = reg.names();
+  } else {
+    require(reg.contains(algo), "bounds: unknown --algo '" + algo +
+                                    "' (try one of: hpmm list)");
+    names.push_back(algo);
+  }
+
+  const double nd = static_cast<double>(n);
+  const double pd = static_cast<double>(p);
+  std::vector<std::string> headers = {
+      "algorithm",     "class",      "M/proc",     "mem-dep/proc",
+      "mem-indep/proc", "floor/proc", "msgs/proc",  "total floor",
+      "ss p_min",      "ss p_max"};
+  if (measured) {
+    headers.push_back("measured words");
+    headers.push_back("ratio");
+  }
+  Table t(std::move(headers));
+  for (const std::string& name : names) {
+    const AlgorithmChoice choice = algorithm_from_args(args, name, mp, "bounds");
+    const BoundsClass cls = bounds_class(name);
+    const StrongScalingRange ss =
+        strong_scaling_range(cls, nd, machine_memory);
+    t.begin_row().add(name).add(to_string(cls));
+    if (choice.model->applicable(nd, pd)) {
+      const double mem = choice.model->memory_per_proc(nd, pd);
+      const CommLowerBound b = comm_lower_bound(nd, pd, mem);
+      t.add(format_si(mem, 3))
+          .add(format_si(b.words_mem_dependent, 3))
+          .add(format_si(b.words_mem_independent, 3))
+          .add(format_si(b.words, 3))
+          .add(format_si(b.latency, 3))
+          .add(format_si(b.total_words, 3));
+    } else {
+      for (int i = 0; i < 6; ++i) t.add("-");
+    }
+    t.add(format_si(ss.p_min, 3)).add(format_si(ss.p_max, 3));
+    if (measured) {
+      if (choice.impl->applicable(n, p)) {
+        const DistanceFromOptimal d =
+            distance_from_optimal(*choice.impl, *choice.model, n, p, seed);
+        t.add(format_si(d.measured_total_words, 3));
+        t.add(std::isfinite(d.ratio) ? format_number(d.ratio, 4)
+                                     : std::string("inf"));
+      } else {
+        t.add("-").add("-");
+      }
+    }
+  }
+  print_table(args, t, os);
+  if (format != "json") {
+    os << "bounds at n=" << n << ", p=" << p
+       << "; M/proc = each formulation's own footprint, strong-scaling range "
+          "at --memory="
+       << format_si(machine_memory, 3) << " words ("
+       << to_string(BoundsClass::k2D) << " degenerate at 3n^2/M, "
+       << to_string(BoundsClass::k25D) << " up to (3n^2/M)^(3/2), "
+       << to_string(BoundsClass::k3D) << " at that endpoint)\n";
+  }
   return 0;
 }
 
@@ -490,6 +582,14 @@ int cmd_profile(const CliArgs& args, std::ostream& os) {
   rec_row("word (t_w)", cp.word, model_word->comm_time(nd, pd));
   if (cp.modeled > 0.0) rec_row("modeled collectives", cp.modeled, 0.0);
   if (cp.other > 0.0) rec_row("other (delays/retries)", cp.other, 0.0);
+  // Distance from optimal: total measured words against the communication
+  // lower bound at this formulation's memory footprint (analysis/bounds).
+  // The ratio column is the distance-from-optimal scoreboard entry; >= 1
+  // always, and close to 1 only for communication-optimal formulations.
+  const DistanceFromOptimal dist = distance_from_measured(
+      *choice.model, nd, pd, static_cast<double>(report.total_words));
+  rec_row("words vs lower bound", dist.measured_total_words,
+          dist.bound.total_words);
 
   write_output(args, os, "profile", "profile report", [&](std::ostream& s) {
     s << algorithm << ": n=" << n << " p=" << p << " (" << mp.label << ")\n";
@@ -855,7 +955,13 @@ int dispatch(const CliArgs& args, std::ostream& os, std::ostream& err) {
            "  run        simulate one multiplication (--algorithm, --n, --p)\n"
            "  iso        isoefficiency curve (--algorithm, --efficiency)\n"
            "  regions    ASCII best-algorithm map (Figures 1-3; --with-25d=1 "
-           "adds the 2.5D regions)\n"
+           "adds the 2.5D regions,\n"
+           "             --with-bounds=1 upper-cases communication-optimal "
+           "cells)\n"
+           "  bounds     communication lower bounds, strong-scaling ranges "
+           "and\n"
+           "             distance-from-optimal (--algo, --n, --p, --memory, "
+           "--measured=1)\n"
            "  crossover  equal-overhead curve for a pair (--a, --b)\n"
            "  trace      simulate with tracing, print the Gantt chart\n"
            "             (--format=chrome [--out=FILE] writes trace-event "
@@ -883,12 +989,18 @@ int dispatch(const CliArgs& args, std::ostream& os, std::ostream& err) {
   if (args.positionals().empty()) return usage();
   const std::string& cmd = args.positionals().front();
   try {
+    // --with-bounds is a regions-only overlay; anywhere else it would be
+    // silently ignored, which an oracle flag must never be.
+    require(!args.has("with-bounds") || cmd == "regions",
+            "--with-bounds: only the regions command draws the "
+            "communication-optimality overlay");
     if (cmd == "list") return cmd_list(args, os);
     if (cmd == "machines") return cmd_machines(args, os);
     if (cmd == "select") return cmd_select(args, os);
     if (cmd == "run") return cmd_run(args, os);
     if (cmd == "iso") return cmd_iso(args, os);
     if (cmd == "regions") return cmd_regions(args, os);
+    if (cmd == "bounds") return cmd_bounds(args, os);
     if (cmd == "crossover") return cmd_crossover(args, os);
     if (cmd == "trace") return cmd_trace(args, os);
     if (cmd == "profile") return cmd_profile(args, os);

@@ -32,6 +32,14 @@ int cmd_iso(const CliArgs& args, std::ostream& os);
 /// `hpmm regions [--machine=..]` — ASCII best-algorithm map (Figures 1-3).
 int cmd_regions(const CliArgs& args, std::ostream& os);
 
+/// `hpmm bounds [--algo=all|<name>] [--n=..] [--p=..] [--memory=..]
+/// [--measured=1]` — the communication lower-bound scoreboard: per-algorithm
+/// memory-dependent and memory-independent word floors, the message-count
+/// floor, the perfect-strong-scaling range of the formulation's class at the
+/// given machine memory, and (with --measured=1) the simulated exact word
+/// count with its distance-from-optimal ratio.
+int cmd_bounds(const CliArgs& args, std::ostream& os);
+
 /// `hpmm crossover --a=gk --b=cannon --p=..` — equal-overhead order
 /// n_EqualTo(p) for a pair of formulations (Eq. 15 generalised).
 int cmd_crossover(const CliArgs& args, std::ostream& os);

@@ -132,6 +132,23 @@ TEST(PlanCache, ZeroCapacityIsAPassThrough) {
   EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.0);
 }
 
+TEST(PlanCache, ZeroCapacitySurvivesSustainedTraffic) {
+  // Regression companion to ZeroCapacityIsAPassThrough: a disabled cache
+  // under a realistic lookup/insert loop must stay empty, miss every time,
+  // and keep its counters exact — no eviction-list underflow, no entry
+  // leaking in through the overwrite path after many rounds.
+  PlanCache cache(0);
+  for (int round = 0; round < 100; ++round) {
+    const std::string key = "k" + std::to_string(round % 7);
+    EXPECT_EQ(cache.lookup(key), nullptr) << round;
+    cache.insert(key, make_plan("cannon", static_cast<double>(round)));
+    EXPECT_EQ(cache.size(), 0u) << round;
+  }
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 100u);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.0);
+}
+
 TEST(PlanCache, HitRateWithZeroLookupsIsZeroNotNaN) {
   PlanCache cache(4);
   EXPECT_EQ(cache.hits() + cache.misses(), 0u);

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -552,6 +553,117 @@ TEST(Cli, ServeSloStrictExitsThreeOnBreach) {
   const auto healthy = run({"hpmm", "serve", "--requests=6", "--seed=5",
                             "--slo-availability=0.01", "--slo-strict"});
   EXPECT_EQ(healthy.code, 0);
+}
+
+TEST(Cli, BoundsTableCoversTheRegistry) {
+  const auto r = run({"hpmm", "bounds", "--n=64", "--p=64", "--memory=192"});
+  EXPECT_EQ(r.code, 0);
+  for (const char* name : {"simple", "cannon", "cannon25d", "berntsen", "dns",
+                           "gk", "gk-allport", "fox-pipe"}) {
+    EXPECT_NE(r.out.find(name), std::string::npos) << name;
+  }
+  for (const char* cls : {"2D", "2.5D", "3D"}) {
+    EXPECT_NE(r.out.find(cls), std::string::npos) << cls;
+  }
+  // Hand-computed floor at n=64, p=64: 576 words/proc, 36864 total; the
+  // 2.5D strong-scaling range at M=192 runs 64..512.
+  EXPECT_NE(r.out.find("576"), std::string::npos);
+  EXPECT_NE(r.out.find("36.9K"), std::string::npos);
+  EXPECT_NE(r.out.find("512"), std::string::npos);
+  EXPECT_NE(r.out.find("strong-scaling range"), std::string::npos);
+}
+
+TEST(Cli, BoundsJsonIsValidAndOmitsTheFooter) {
+  const auto r = run({"hpmm", "bounds", "--n=64", "--p=64", "--format=json"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_TRUE(json_valid(r.out)) << r.out;
+  EXPECT_EQ(r.out.find("strong-scaling range"), std::string::npos);
+  EXPECT_NE(r.out.find("\"class\": \"2.5D\""), std::string::npos);
+}
+
+TEST(Cli, BoundsMeasuredAddsTheScoreboardColumns) {
+  const auto r = run({"hpmm", "bounds", "--n=16", "--p=512", "--measured=1",
+                      "--algo=gk"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("measured words"), std::string::npos);
+  EXPECT_NE(r.out.find("ratio"), std::string::npos);
+  // GK at n=16, p=512 measures 6.14K words against a 5.38K floor.
+  EXPECT_NE(r.out.find("6.14K"), std::string::npos);
+  EXPECT_NE(r.out.find("1.143"), std::string::npos);
+}
+
+TEST(Cli, BoundsRejectsUnknownAlgoNamingTheFlag) {
+  const auto r = run({"hpmm", "bounds", "--algo=nope"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--algo"), std::string::npos);
+  EXPECT_NE(r.err.find("nope"), std::string::npos);
+}
+
+TEST(Cli, BoundsRejectsUnknownFormatNamingTheFlag) {
+  const auto r = run({"hpmm", "bounds", "--format=bogus"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--format"), std::string::npos);
+  EXPECT_NE(r.err.find("bogus"), std::string::npos);
+}
+
+TEST(Cli, WithBoundsOutsideRegionsExitsOneNamingTheFlag) {
+  // The overlay only exists on the regions map; silently ignoring the flag
+  // elsewhere would hide a typo'd workflow.
+  const auto r = run({"hpmm", "run", "--algorithm=cannon", "--n=16", "--p=16",
+                      "--with-bounds=1"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--with-bounds"), std::string::npos);
+
+  const auto dual =
+      run({"hpmm", "regions", "--n=64", "--p=64", "--with-bounds=1"});
+  EXPECT_EQ(dual.code, 1);
+  EXPECT_NE(dual.err.find("--with-bounds"), std::string::npos);
+}
+
+TEST(Cli, RegionsWithBoundsUppercasesOptimalCellsOnly) {
+  const auto plain = run({"hpmm", "regions"});
+  const auto overlay = run({"hpmm", "regions", "--with-bounds=1"});
+  ASSERT_EQ(plain.code, 0);
+  ASSERT_EQ(overlay.code, 0);
+  // The default map must not change under the flag's default; the overlay
+  // announces itself in the legend and upper-cases at least one cell.
+  EXPECT_EQ(plain.out.find("UPPERCASE"), std::string::npos);
+  EXPECT_NE(overlay.out.find("UPPERCASE"), std::string::npos);
+  const auto has_upper_cell = [](const std::string& s) {
+    for (const char ch : s) {
+      if (ch == 'A' || ch == 'B' || ch == 'C' || ch == 'D' || ch == 'E') {
+        return true;
+      }
+    }
+    return false;
+  };
+  EXPECT_FALSE(has_upper_cell(plain.out.substr(plain.out.find('\n'))));
+  EXPECT_TRUE(has_upper_cell(overlay.out.substr(overlay.out.find('\n'))));
+  // Same geography: lower-casing the overlay recovers the plain map.
+  std::string folded = overlay.out.substr(overlay.out.find('\n'));
+  for (char& ch : folded) {
+    ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+  }
+  std::string plain_body = plain.out.substr(plain.out.find('\n'));
+  for (char& ch : plain_body) {
+    ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+  }
+  EXPECT_EQ(folded, plain_body);
+}
+
+TEST(Cli, ProfileReconciliationScoresAgainstTheLowerBound) {
+  const auto r = run({"hpmm", "profile", "--algorithm=cannon", "--n=64",
+                      "--p=64"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("words vs lower bound"), std::string::npos);
+  // Cannon moves 64512 words against the 36864-word floor: ratio 1.75.
+  EXPECT_NE(r.out.find("1.75"), std::string::npos);
+}
+
+TEST(Cli, BoundsHelpAndUsageMentionIt) {
+  const auto usage = run({"hpmm"});
+  EXPECT_NE(usage.err.find("bounds"), std::string::npos);
+  EXPECT_NE(usage.err.find("--with-bounds"), std::string::npos);
 }
 
 TEST(Cli, ServeHelpAndUsageMentionIt) {

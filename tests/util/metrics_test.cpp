@@ -193,6 +193,54 @@ TEST(Histogram, QuantileOverflowMaxAtBoundIsDefensive) {
   EXPECT_DOUBLE_EQ(h.quantile(1.0), 50.0);
 }
 
+TEST(Histogram, QuantileBucketlessHistogramReportsMax) {
+  // A default-constructed histogram has only the implicit overflow bucket
+  // and no finite bound to interpolate from: every quantile of a non-empty
+  // distribution must return the exactly-tracked max, never divide by an
+  // empty bounds vector or read bounds_.back() of an empty vector.
+  Histogram h;
+  ASSERT_EQ(h.buckets(), 1u);
+  h.observe(3.0);
+  h.observe(7.0);
+  h.observe(11.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 11.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 11.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 11.0);
+}
+
+TEST(Histogram, QuantileCrossesTheOverflowSeamExactly) {
+  // Two samples inside the single finite bucket, two in overflow. The rank
+  // walk must hand over from the bucketed interpolation to the overflow
+  // interpolation without a gap: rank 2 tops out the finite bucket at its
+  // bound, rank 3 is the first overflow step half-way to max, rank 4 is max.
+  Histogram h({10.0});
+  h.observe(5.0);
+  h.observe(5.0);
+  h.observe(100.0);
+  h.observe(200.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 10.0);    // rank 2: bucket upper bound
+  EXPECT_DOUBLE_EQ(h.quantile(0.75), 105.0);  // rank 3: 10 + (200-10)/2
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 200.0);   // rank 4: exact max
+}
+
+TEST(Histogram, QuantileIsMonotoneAcrossTheOverflowSeam) {
+  // Property regression: for a mixed in-bounds/overflow distribution the
+  // estimate must be non-decreasing in q — the overflow interpolation must
+  // start above the last finite bound, not below it.
+  Histogram h(Histogram::pow2_bounds(5));  // bounds 1, 2, 4, 8, 16
+  for (const double v : {0.5, 1.5, 3.0, 6.0, 12.0, 20.0, 40.0, 80.0}) {
+    h.observe(v);
+  }
+  double prev = -1.0;
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    const double est = h.quantile(q);
+    EXPECT_GE(est, prev) << "q=" << q;
+    EXPECT_LE(est, h.max()) << "q=" << q;
+    prev = est;
+  }
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 80.0);
+}
+
 TEST(Histogram, QuantileSingleBucketInterpolates) {
   Histogram h({8.0});
   for (int i = 0; i < 4; ++i) h.observe(6.0);
