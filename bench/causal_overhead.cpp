@@ -1,0 +1,98 @@
+// Causal-tracing overhead sweep (docs/observability.md): google-benchmark
+// harness measuring what the happens-before span DAG costs the engine.
+//
+//   * BM_CausalRounds: butterfly exchange rounds on a 2^dim hypercube with
+//     the causal recorder off (permil = -1) and on at sampling rates 0‰,
+//     250‰ and 1000‰ of processors. events_per_sec is simulated messages
+//     per wall-second — the permil sweep against the off-baseline gives the
+//     span-propagation cost per message. dag_bytes_per_proc is the DAG's
+//     arena footprint divided by p, spans the recorded span count.
+//
+// A fresh machine is built every iteration so the DAG cost is the
+// steady-state per-message price, not an ever-growing arena; construction
+// is identical across permil values, so ratios between them isolate the
+// recorder. CI publishes the JSON (--benchmark_out=BENCH_causal.json) and
+// bench/compare_bench.py --kind=causal gates events_per_sec against
+// bench/baselines/BENCH_causal.json.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/sim_machine.hpp"
+#include "topology/hypercube.hpp"
+
+namespace {
+
+using namespace hpmm;
+
+MachineParams causal_params(std::int64_t permil) {
+  MachineParams mp = machines::ncube2();
+  mp.metrics_mode = MetricsMode::kAggregate;
+  mp.traffic_capture = TrafficCapture::kOff;
+  if (permil >= 0) {
+    mp.causal = true;
+    mp.trace_sample = static_cast<double>(permil) / 1000.0;
+    mp.trace_sample_seed = 7;
+  }
+  return mp;
+}
+
+// `kRounds` butterfly rounds of `kMsgs` single-word messages per iteration:
+// every message carries (and, when sampled, records) a SpanContext.
+void BM_CausalRounds(benchmark::State& state) {
+  const auto dim = static_cast<unsigned>(state.range(0));
+  const std::int64_t permil = state.range(1);
+  const std::size_t p = std::size_t{1} << dim;
+  constexpr std::size_t kMsgs = 256;
+  constexpr std::size_t kRounds = 8;
+  const MachineParams mp = causal_params(permil);
+  const auto topo = std::make_shared<Hypercube>(dim);
+  const std::size_t stride = p / kMsgs;
+  std::int64_t messages = 0;
+  std::uint64_t spans = 0, dag_bytes = 0;
+  for (auto _ : state) {
+    SimMachine m(topo, mp);
+    for (std::size_t r = 0; r < kRounds; ++r) {
+      const unsigned bit = 1u << (r % dim);
+      std::vector<Message> msgs;
+      msgs.reserve(kMsgs);
+      for (std::size_t i = 0; i < kMsgs; ++i) {
+        const auto src = static_cast<ProcId>(i * stride);
+        msgs.emplace_back(src, src ^ bit, r + 1, Matrix(1, 1));
+      }
+      m.exchange(std::move(msgs));
+      for (std::size_t i = 0; i < kMsgs; ++i) {
+        benchmark::DoNotOptimize(
+            m.receive(static_cast<ProcId>(i * stride) ^ bit, r + 1));
+      }
+    }
+    messages += static_cast<std::int64_t>(kMsgs * kRounds);
+    if (const CausalGraph* g = m.causal()) {
+      spans = static_cast<std::uint64_t>(g->spans().size());
+      dag_bytes = g->approx_bytes();
+    }
+  }
+  state.SetItemsProcessed(messages);
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(messages), benchmark::Counter::kIsRate);
+  state.counters["p"] = benchmark::Counter(static_cast<double>(p));
+  state.counters["sample_permil"] =
+      benchmark::Counter(static_cast<double>(permil));
+  state.counters["spans"] = benchmark::Counter(static_cast<double>(spans));
+  state.counters["dag_bytes_per_proc"] = benchmark::Counter(
+      static_cast<double>(dag_bytes) / static_cast<double>(p));
+}
+
+// permil -1 = recorder compiled out of the run (MachineParams::causal off);
+// 0 = recorder on, every pid unsampled (gate-only cost); 250 = one in four;
+// 1000 = complete DAG. dim 12 is the ctest smoke; dim 18 is the CI point.
+BENCHMARK(BM_CausalRounds)
+    ->ArgsProduct({{12, 18}, {-1, 0, 250, 1000}})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,204 @@
+#!/usr/bin/env python3
+"""Lint a Prometheus text exposition (or a `--metrics-every` snapshot stream).
+
+Validates the .prom files that `hpmm run/serve --metrics-out` writes
+(src/util/export.cpp) against the exposition-format rules that matter for a
+real scraper:
+
+  * metric names match [a-zA-Z_:][a-zA-Z0-9_:]* and sample lines carry a
+    numeric value (Go float, or the NaN/+Inf/-Inf tokens);
+  * every sample belongs to a family announced by a `# HELP` line directly
+    followed by its `# TYPE` line, with a known type (counter / gauge /
+    histogram), and family blocks are never split or repeated;
+  * counter families end in `_total` and histogram `_bucket{le=...}` rows
+    are cumulative and non-decreasing, closing with `+Inf` == `_count`;
+  * a snapshot stream (blocks separated by `# snapshot t=<virtual time>`
+    comment lines, as written by `hpmm serve --metrics-every`) has strictly
+    increasing timestamps, and every counter is monotone non-decreasing
+    across the snapshots in which it appears.
+
+Usage: python3 bench/check_prom.py FILE [FILE...]
+Exit codes: 0 ok, 1 lint errors, 2 unreadable input.
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r" (?P<value>-?\d+(?:\.\d+)?(?:[eE][-+]?\d+)?|NaN|[-+]Inf)$")
+SNAPSHOT_RE = re.compile(r"^# snapshot t=(?P<time>-?\d+(?:\.\d+)?(?:[eE][-+]?\d+)?)$")
+KNOWN_TYPES = {"counter", "gauge", "histogram"}
+HISTO_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+class Linter:
+    def __init__(self, path):
+        self.path = path
+        self.errors = []
+
+    def error(self, lineno, msg):
+        self.errors.append(f"{self.path}:{lineno}: {msg}")
+
+    def lint_block(self, lines):
+        """Lint one exposition block; returns {counter family: value}."""
+        counters = {}
+        seen_families = set()
+        family = None       # (name, type) announced by the open HELP/TYPE pair
+        pending_help = None
+        bucket_prev = None  # last cumulative bucket count of the open histogram
+        bucket_done = False
+        for lineno, line in lines:
+            if line.startswith("# HELP "):
+                parts = line.split(" ", 3)
+                if len(parts) < 4:
+                    self.error(lineno, f"malformed HELP line: {line!r}")
+                    continue
+                pending_help = (lineno, parts[2])
+                family = None
+                continue
+            if line.startswith("# TYPE "):
+                parts = line.split(" ", 3)
+                if len(parts) < 4:
+                    self.error(lineno, f"malformed TYPE line: {line!r}")
+                    continue
+                name, mtype = parts[2], parts[3]
+                if pending_help is None or pending_help[1] != name:
+                    self.error(lineno, f"# TYPE {name} without a directly "
+                                       "preceding # HELP for the same family")
+                pending_help = None
+                if not NAME_RE.match(name):
+                    self.error(lineno, f"illegal family name {name!r}")
+                if mtype not in KNOWN_TYPES:
+                    self.error(lineno, f"unknown type {mtype!r} for {name}")
+                if name in seen_families:
+                    self.error(lineno, f"family {name} announced twice "
+                                       "(split family block)")
+                seen_families.add(name)
+                if mtype == "counter" and not name.endswith("_total"):
+                    self.error(lineno, f"counter {name} must end in _total")
+                family = (name, mtype)
+                bucket_prev = None
+                bucket_done = False
+                continue
+            if line.startswith("#"):
+                self.error(lineno, f"unexpected comment line: {line!r}")
+                continue
+            if pending_help is not None:
+                self.error(pending_help[0], "# HELP with no following # TYPE")
+                pending_help = None
+            m = SAMPLE_RE.match(line)
+            if not m:
+                self.error(lineno, f"malformed sample line: {line!r}")
+                continue
+            name, labels, value = m.group("name", "labels", "value")
+            if family is None:
+                self.error(lineno, f"sample {name} outside any HELP/TYPE block")
+                continue
+            fam_name, fam_type = family
+            if fam_type == "histogram":
+                if name == fam_name + "_bucket":
+                    if bucket_done:
+                        self.error(lineno, f"{name}: bucket row after +Inf")
+                    if not labels or 'le="' not in labels:
+                        self.error(lineno, f"{name}: _bucket without an le label")
+                        continue
+                    count = float(value)
+                    if bucket_prev is not None and count < bucket_prev:
+                        self.error(lineno, f"{name}: cumulative bucket counts "
+                                           f"decreased ({bucket_prev:g} -> "
+                                           f"{count:g})")
+                    bucket_prev = count
+                    if 'le="+Inf"' in labels:
+                        bucket_done = True
+                    continue
+                if name in (fam_name + "_sum", fam_name + "_count"):
+                    if name.endswith("_count") and bucket_prev is not None \
+                            and float(value) != bucket_prev:
+                        self.error(lineno, f"{name} ({value}) != +Inf bucket "
+                                           f"({bucket_prev:g})")
+                    continue
+                self.error(lineno, f"sample {name} outside histogram family "
+                                   f"{fam_name} (expected "
+                                   f"{fam_name}{'/'.join(HISTO_SUFFIXES)})")
+                continue
+            if name != fam_name:
+                self.error(lineno, f"sample {name} outside family {fam_name}")
+                continue
+            if labels:
+                self.error(lineno, f"unexpected labels on {name}: {labels}")
+            if fam_type == "counter":
+                v = float(value)
+                if v < 0:
+                    self.error(lineno, f"counter {name} is negative ({value})")
+                counters[name] = v
+        if pending_help is not None:
+            self.error(pending_help[0], "# HELP with no following # TYPE")
+        return counters
+
+    def lint(self, text):
+        # Split a snapshot stream into blocks on the `# snapshot t=` markers;
+        # a plain single exposition is one unmarked block.
+        blocks = [(None, [])]
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if not line.strip():
+                self.error(lineno, "blank line inside exposition")
+                continue
+            snap = SNAPSHOT_RE.match(line)
+            if snap:
+                blocks.append(((lineno, float(snap.group("time"))), []))
+                continue
+            blocks[-1][1].append((lineno, line))
+        if not blocks[0][1]:
+            blocks = blocks[1:]
+        if not blocks:
+            self.error(0, "no exposition content")
+            return
+
+        prev_time = None
+        prev_counters = {}
+        for marker, lines in blocks:
+            if marker is not None:
+                lineno, time = marker
+                if prev_time is not None and time <= prev_time:
+                    self.error(lineno, f"snapshot timestamps not increasing "
+                                       f"({prev_time:g} -> {time:g})")
+                prev_time = time
+            counters = self.lint_block(lines)
+            first = lines[0][0] if lines else (marker[0] if marker else 0)
+            for name, v in counters.items():
+                if name in prev_counters and v < prev_counters[name]:
+                    self.error(first, f"counter {name} decreased across "
+                                      f"snapshots ({prev_counters[name]:g} -> "
+                                      f"{v:g})")
+            prev_counters.update(counters)
+
+
+def main():
+    if len(sys.argv) < 2:
+        sys.exit(__doc__.strip().splitlines()[-2].strip())
+    failed = False
+    for path in sys.argv[1:]:
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                text = f.read()
+        except OSError as e:
+            print(f"check_prom: cannot read {path}: {e}", file=sys.stderr)
+            return 2
+        linter = Linter(path)
+        linter.lint(text)
+        if linter.errors:
+            failed = True
+            for err in linter.errors:
+                print(err, file=sys.stderr)
+        else:
+            blocks = text.count("# snapshot t=")
+            what = f"{blocks} snapshot(s)" if blocks else "1 exposition"
+            print(f"check_prom: {path} ok ({what})")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Compare a bench JSON against its checked-in baseline (perf trajectory gate).
 
-Three kinds of input:
+Four kinds of input:
 
   serve   BENCH_serve.json written by bench/serve_load: points are keyed by
           (scenario, threads) and the gated metric is req_per_sec. The
@@ -11,6 +11,13 @@ Three kinds of input:
   sim     BENCH_sim.json written by bench/sim_extreme (google-benchmark
           JSON): points are keyed by benchmark name and the gated metric is
           the events_per_sec counter.
+  causal  BENCH_causal.json written by bench/causal_overhead (google-benchmark
+          JSON): gated like sim on events_per_sec, plus a relative check
+          inside the current run — at every machine size, full causal
+          capture (sample_permil=1000) must not slow message throughput
+          below 1/--max-overhead of the recorder-off baseline
+          (sample_permil=-1). That bound is machine-independent, so it
+          holds even where the absolute baselines do not.
   bounds  BENCH_bounds.json written by bench/bounds_sweep: points are keyed
           by (algorithm, n, p) and the gated metric is the measured/bound
           distance-from-optimal ratio. The direction is INVERTED — smaller
@@ -83,13 +90,16 @@ def bounds_points(doc, path):
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--kind", required=True,
-                    choices=["serve", "sim", "bounds"])
+                    choices=["serve", "sim", "bounds", "causal"])
     ap.add_argument("--baseline", required=True)
     ap.add_argument("--current", required=True)
     ap.add_argument("--tolerance", type=float, default=0.25,
                     help="allowed fractional drop (default 0.25)")
     ap.add_argument("--update", action="store_true",
                     help="copy current over the baseline instead of comparing")
+    ap.add_argument("--max-overhead", type=float, default=3.0,
+                    help="causal only: max allowed events_per_sec ratio of "
+                         "recorder-off over full capture (default 3.0)")
     args = ap.parse_args()
     if not 0.0 <= args.tolerance < 1.0:
         sys.exit("compare_bench: --tolerance must be in [0, 1)")
@@ -101,9 +111,9 @@ def main():
         return 0
 
     pick = {"serve": serve_points, "sim": sim_points,
-            "bounds": bounds_points}[args.kind]
+            "bounds": bounds_points, "causal": sim_points}[args.kind]
     metric = {"serve": "req_per_sec", "sim": "events_per_sec",
-              "bounds": "ratio"}[args.kind]
+              "bounds": "ratio", "causal": "events_per_sec"}[args.kind]
     base = pick(load(args.baseline), args.baseline)
     cur = pick(load(args.current), args.current)
 
@@ -142,6 +152,26 @@ def main():
             failures.append(key)
             print(f"  {key}: deterministic=false — serve output diverged "
                   "across host threads")
+
+    if args.kind == "causal":
+        # Machine-relative overhead bound: at every p present in the current
+        # run, full capture may cost at most --max-overhead x in message
+        # throughput versus the recorder-off run.
+        by_p = {}
+        for b in cur.values():
+            if "sample_permil" in b and "p" in b:
+                by_p.setdefault(float(b["p"]), {})[
+                    int(b["sample_permil"])] = float(b["events_per_sec"])
+        for p, rates in sorted(by_p.items()):
+            if -1 not in rates or 1000 not in rates or rates[1000] <= 0.0:
+                continue
+            ratio = rates[-1] / rates[1000]
+            status = "ok"
+            if ratio > args.max_overhead:
+                status = "OVERHEAD REGRESSION"
+                failures.append(("causal-overhead", p))
+            print(f"  p={p:.0f}: full-capture slowdown {ratio:.2f}x "
+                  f"(max {args.max_overhead:.2f}x) {status}")
 
     skipped = len(set(base) | set(cur)) - len(shared)
     if skipped:

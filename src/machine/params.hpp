@@ -82,6 +82,12 @@ struct MachineParams {
   /// to the pre-sampling tracer; 0.0 records no one.
   double trace_sample = 1.0;
   std::uint64_t trace_sample_seed = 0;
+  /// Record the happens-before span DAG during the run (sim/causal.hpp),
+  /// sampled per-processor by trace_sample/trace_sample_seed exactly like
+  /// the timeline tracer. Off by default: no causal hooks run and simulated
+  /// times, traces and reports are bit-identical to a machine without the
+  /// field.
+  bool causal = false;
   /// kAuto traffic capture stays on up to this many processors.
   static constexpr std::size_t kTrafficAutoThreshold = 65536;
   std::string label = "custom";

@@ -181,6 +181,24 @@ ServeWorkload parse_workload(std::istream& in, bool allow_slo) {
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
+    // Tenant names and other values flow into JSONL journals and reports;
+    // json_escape handles any byte, but raw control characters in a script
+    // are always a mistake (a stray CR from a CRLF file would otherwise
+    // silently become part of the last value on the line). Reject them
+    // here, naming the line.
+    for (const char c : line) {
+      const unsigned char u = static_cast<unsigned char>(c);
+      if (u == '\r') {
+        fail(line_no,
+             "embedded newline (CR) — script lines must be LF-terminated "
+             "with no carriage returns");
+      }
+      if ((u < 0x20 && c != '\t') || u == 0x7f) {
+        fail(line_no, "control character (byte " +
+                          std::to_string(static_cast<unsigned>(u)) +
+                          ") in script line");
+      }
+    }
     std::istringstream tokens(line);
     std::string head;
     if (!(tokens >> head) || head[0] == '#') continue;

@@ -324,16 +324,29 @@ ServeReport Server::run(std::vector<TenantRequest> requests) const {
     rec.outcome = outcome;
     rec.finish = now;
     rec.detail = detail;
+    // Aggregate counters advance here, inside the serial loop, so streamed
+    // metrics snapshots (options.metrics_every) see them grow monotonically;
+    // final values match the per-tenant tallies exactly.
     switch (outcome) {
-      case ServeOutcome::kOk: ++ts.ok; break;
-      case ServeOutcome::kDeadlineExceeded: ++ts.deadline_exceeded; break;
-      case ServeOutcome::kFailed: ++ts.failed; break;
+      case ServeOutcome::kOk:
+        ++ts.ok;
+        report.metrics.counter("serve.ok").add();
+        break;
+      case ServeOutcome::kDeadlineExceeded:
+        ++ts.deadline_exceeded;
+        report.metrics.counter("serve.deadline_exceeded").add();
+        break;
+      case ServeOutcome::kFailed:
+        ++ts.failed;
+        report.metrics.counter("serve.failed").add();
+        break;
       case ServeOutcome::kRejectedInvalid: ++ts.rejected_invalid; break;
       case ServeOutcome::kRejectedInfeasible: ++ts.rejected_infeasible; break;
       case ServeOutcome::kRejectedBreaker: ++ts.rejected_breaker; break;
       case ServeOutcome::kRejectedQueueFull: ++ts.rejected_queue_full; break;
       case ServeOutcome::kRejectedQuota: ++ts.rejected_quota; break;
     }
+    if (is_rejection(outcome)) report.metrics.counter("serve.rejected").add();
     series(req.tenant, "finals").observe(now, 1.0);
     if (outcome != ServeOutcome::kOk) {
       series(req.tenant, "errors").observe(now, 1.0);
@@ -436,11 +449,22 @@ ServeReport Server::run(std::vector<TenantRequest> requests) const {
     }
   };
 
+  // Streamed metrics snapshots: just before processing the first event past
+  // a k * metrics_every boundary, capture the registry stamped at that
+  // boundary (at most one snapshot per crossing — idle boundaries collapse
+  // into the next active one). The loop is serial, so snapshots are
+  // byte-identical for every host thread count.
+  const double every = opt.metrics_every;
+  double next_snap = every;
   double makespan = 0.0;
   while (!events.empty()) {
     const Event ev = events.top();
     events.pop();
     const double now = ev.time;
+    if (every > 0.0 && now > next_snap) {
+      report.metric_snapshots.push_back({next_snap, report.metrics});
+      next_snap = (std::floor(now / every) + 1.0) * every;
+    }
     makespan = std::max(makespan, now);
     const std::size_t i = ev.index;
     const TenantRequest& req = requests[i];
@@ -467,9 +491,11 @@ ServeReport Server::run(std::vector<TenantRequest> requests) const {
           plan = *hit;
           records[i].cache_hit = true;
           ++ts.cache_hits;
+          report.metrics.counter("serve.cache.hits").add();
         } else {
           plan = resolve_plan(req, machine[i]);
           cache.insert(key, plan);
+          report.metrics.counter("serve.cache.misses").add();
         }
         {
           JournalEvent e = jot(now,
@@ -562,17 +588,29 @@ ServeReport Server::run(std::vector<TenantRequest> requests) const {
   report.makespan = makespan;
   report.cache_hits = cache.hits();
   report.cache_misses = cache.misses();
-  report.metrics.counter("serve.cache.hits").add(cache.hits());
-  report.metrics.counter("serve.cache.misses").add(cache.misses());
+  // The aggregate counters accumulated inside the loop; here we only make
+  // sure the standard families exist (at zero) even when nothing fired, so
+  // the report's metric set does not depend on the outcome mix.
+  report.metrics.counter("serve.cache.hits");
+  report.metrics.counter("serve.cache.misses");
+  if (!report.tenants.empty()) {
+    report.metrics.counter("serve.ok");
+    report.metrics.counter("serve.failed");
+    report.metrics.counter("serve.deadline_exceeded");
+    report.metrics.counter("serve.rejected");
+  }
   for (auto& [tenant, ts] : report.tenants) {
     if (const CircuitBreaker* breaker = admission.breaker(tenant)) {
       ts.breaker_trips = breaker->trips();
     }
-    report.metrics.counter("serve.ok").add(ts.ok);
-    report.metrics.counter("serve.failed").add(ts.failed);
-    report.metrics.counter("serve.deadline_exceeded").add(ts.deadline_exceeded);
-    report.metrics.counter("serve.rejected").add(ts.rejected());
   }
+  // Plan-cache self-telemetry (docs/observability.md): end-of-run occupancy
+  // and hit rate, deterministic for every thread count.
+  report.metrics.gauge("serve.plan_cache.size")
+      .set(static_cast<double>(cache.size()));
+  report.metrics.gauge("serve.plan_cache.capacity")
+      .set(static_cast<double>(cache.capacity()));
+  report.metrics.gauge("serve.plan_cache.hit_rate").set(cache.hit_rate());
   for (const auto& [tenant, ts] : report.tenants) {
     const SloTarget target = slo_target_for(opt.slos, tenant);
     if (!target.any()) continue;
@@ -582,6 +620,9 @@ ServeReport Server::run(std::vector<TenantRequest> requests) const {
         report.metrics.find_series("serve.series." + tenant + ".finals"),
         report.metrics.find_series("serve.series." + tenant + ".errors")));
   }
+  // Final streamed snapshot: the complete registry (including the zero
+  // families and plan-cache gauges above) stamped at the makespan.
+  if (every > 0.0) report.metric_snapshots.push_back({makespan, report.metrics});
   if (opt.keep_request_log) report.requests = std::move(records);
   return report;
 }

@@ -42,6 +42,11 @@ struct ServeOptions {
   /// Per-tenant objectives; the "*" entry is the default for tenants
   /// without one. Empty = no SLO accounting.
   SloTargets slos;
+  /// Virtual-time period of streamed metrics snapshots (`hpmm serve
+  /// --metrics-every`); 0 disables streaming. Snapshots are taken by the
+  /// serial event loop, so they are byte-identical for every host thread
+  /// count (docs/observability.md).
+  double metrics_every = 0.0;
 };
 
 /// Per-tenant outcome and robustness counters.
@@ -85,6 +90,14 @@ struct ServeReport {
   /// Every decision the event loop took, in order (DESIGN.md §13);
   /// byte-identical for every host thread count.
   EventJournal journal;
+  /// One registry copy per crossed `metrics_every` boundary (stamped with
+  /// the boundary's virtual time) plus a final snapshot at the makespan.
+  /// Empty unless options.metrics_every > 0.
+  struct MetricsSnapshot {
+    double time = 0.0;
+    MetricsRegistry metrics;
+  };
+  std::vector<MetricsSnapshot> metric_snapshots;
   /// One verdict per tenant with an objective (options.slos); empty when no
   /// SLO was configured.
   std::vector<SloVerdict> slo;

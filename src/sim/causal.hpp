@@ -1,0 +1,126 @@
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+#include "sim/report.hpp"
+#include "topology/topology.hpp"
+
+namespace hpmm {
+
+/// Happens-before span DAG of one simulated run (DESIGN.md "Causal span
+/// tracing"). Every charged interval on a sampled processor — a compute
+/// charge, the busy part of a send, retry timeouts, a modeled-collective
+/// charge, or a cross-processor message transfer — becomes a Span in one
+/// flat arena. Each span points at the span it causally depends on:
+///
+///  * compute/send/retry/modeled spans chain onto the processor's previous
+///    head span (program order), and
+///  * a transfer span's pred is the *sender's* head at send time (carried
+///    on the wire by Message::span); a receiver that actually waited for
+///    the arrival adopts the transfer span as its new head, exactly
+///    mirroring the PathTerms chain adoption in SimMachine::exchange().
+///
+/// Walking pred links back from the head of the processor that attains T_p
+/// therefore yields the *measured* critical path: the longest weighted
+/// chain of spans, whose summed PathTerms must reconcile with the
+/// model-term chain in RunReport::critical_path (to 1e-9; the two sum the
+/// same doubles in slightly different association). Each span also carries
+/// the slice of its duration attributable to faults (retransmission busy
+/// time, timeouts, in-flight delays, straggler inflation), so on a faulty
+/// run the DAG names exactly which spans stretched T_p.
+///
+/// Storage is arena-style — one contiguous vector of 80-byte PODs plus one
+/// head index per processor — and recording honours the --trace-sample
+/// splitmix64 gate, so the graph stays viable at p ~ 2^20. When sampling
+/// excludes any processor the graph is incomplete (complete() == false):
+/// span counts and bytes remain meaningful, but chains crossing unsampled
+/// processors are truncated and the critical path is not computed.
+class CausalGraph {
+ public:
+  /// Sentinel pred/head: no producing span (chain root).
+  static constexpr std::uint32_t kNoSpan = 0xffffffffu;
+
+  enum class Kind : std::uint8_t {
+    kCompute,   ///< compute() charge
+    kSend,      ///< sender busy time of its round-dominating message
+    kRetry,     ///< sender timeout time beyond busy (reliable delivery)
+    kTransfer,  ///< a message transfer a receiver waited on (cross edge)
+    kModeled    ///< charge_group_comm modeled-collective charge
+  };
+  static std::string_view kind_name(Kind k) noexcept;
+
+  struct Span {
+    std::uint32_t pred = kNoSpan;  ///< producing span (index into spans())
+    ProcId pid = 0;                ///< processor the span ran on (dst for transfers)
+    std::uint16_t phase = 0;       ///< phase open when the span was recorded
+    Kind kind = Kind::kCompute;
+    std::uint32_t hop = 0;  ///< message transfers crossed by the chain so far
+    double start = 0.0;
+    double end = 0.0;
+    PathTerms terms;  ///< model-term slice this span contributes to its chain
+    double fault_overhead = 0.0;  ///< slice of terms attributable to faults
+  };
+
+  /// `complete` declares that every processor is sampled (trace_sample >= 1),
+  /// making the critical path well-defined. `trace_id` stamps the run's
+  /// SpanContexts.
+  CausalGraph(std::size_t procs, bool complete, std::uint64_t trace_id);
+
+  std::uint64_t trace_id() const noexcept { return trace_id_; }
+  bool complete() const noexcept { return complete_; }
+
+  /// pid's current head span (kNoSpan before its first recorded span).
+  std::uint32_t head(ProcId pid) const noexcept { return heads_[pid]; }
+  /// Causal hop depth at pid's head (0 when no head).
+  std::uint32_t hop(ProcId pid) const noexcept {
+    return heads_[pid] == kNoSpan ? 0u : spans_[heads_[pid]].hop;
+  }
+  /// Barrier/group adoption: pid's clock is now explained by another
+  /// processor's chain. Records no span.
+  void set_head(ProcId pid, std::uint32_t span) noexcept { heads_[pid] = span; }
+
+  /// Append a span chained onto pid's current head and make it the head.
+  std::uint32_t chain(ProcId pid, Kind kind, std::uint16_t phase, double start,
+                      double end, const PathTerms& terms,
+                      double fault_overhead);
+
+  /// Append a cross-processor transfer span (pred = the sender's span at
+  /// send time, hop = the message's causal depth) and adopt it as pid's
+  /// head: the receiver waited for this arrival, so its clock is explained
+  /// by the producing chain, not by what it did itself.
+  std::uint32_t adopt(ProcId pid, std::uint32_t pred, std::uint32_t hop,
+                      std::uint16_t phase, double start, double end,
+                      const PathTerms& terms, double fault_overhead);
+
+  const std::vector<Span>& spans() const noexcept { return spans_; }
+
+  /// Resident bytes of the arena and head table.
+  std::uint64_t approx_bytes() const noexcept;
+
+  struct CriticalPath {
+    std::vector<std::uint32_t> spans;  ///< root-to-head order
+    PathTerms terms;                   ///< summed over the chain
+    double fault_overhead = 0.0;       ///< summed fault slices on the chain
+  };
+  /// Walk pred links back from pid's head; terms are summed root-to-head.
+  CriticalPath critical_path(ProcId pid) const;
+
+  /// Deterministic serialization of every span (arena order) plus heads —
+  /// one JSON object, byte-identical for byte-identical runs. Tests pin the
+  /// cross-thread / cross-capture-mode determinism contract on this.
+  void write_json(std::ostream& os) const;
+
+  /// Drop every span and head (SimMachine::reset()).
+  void reset();
+
+ private:
+  std::vector<Span> spans_;
+  std::vector<std::uint32_t> heads_;
+  bool complete_ = true;
+  std::uint64_t trace_id_ = 0;
+};
+
+}  // namespace hpmm

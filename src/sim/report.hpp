@@ -7,6 +7,7 @@
 
 #include "machine/params.hpp"
 #include "sim/fault.hpp"
+#include "util/metrics.hpp"
 
 namespace hpmm {
 
@@ -69,6 +70,59 @@ struct PhaseBreakdown {
   PathTerms path;  ///< critical-path slice attributed to this phase
 };
 
+/// Engine self-telemetry snapshot taken by SimMachine::report(): how the
+/// simulator itself (not the simulated machine) behaved. Host-side
+/// diagnostics like engine_footprint_bytes — surfaced by `hpmm profile` and
+/// as `engine.*` gauges in RunReport::metrics, deliberately NOT serialized
+/// by write_json so reports stay byte-comparable across engine versions.
+/// The wall-clock fields are nondeterministic by nature; everything else is
+/// a pure function of the simulated run.
+struct EngineTelemetry {
+  std::uint64_t inbox_slots = 0;       ///< arena slots ever allocated
+  std::uint64_t inbox_free = 0;        ///< free-list length at report time
+  std::uint64_t inbox_pending = 0;     ///< delivered-but-unreceived messages
+  std::uint64_t inbox_high_water = 0;  ///< max pending over the run
+  std::uint64_t arena_bytes = 0;       ///< approx_footprint_bytes()
+  std::uint64_t events = 0;  ///< charged events (computes+messages+modeled)
+  double events_per_vtime = 0.0;    ///< events / T_p (virtual-time rate)
+  double events_per_wall_sec = 0.0; ///< events / host wall seconds
+  double wall_seconds = 0.0;        ///< host wall time since construction
+  std::uint64_t pool_threads = 0;   ///< ThreadPool size (0 = no pool)
+  std::uint64_t pool_batches = 0;   ///< parallel_for invocations
+  std::uint64_t pool_items = 0;     ///< indices dispatched across batches
+  double pool_busy_seconds = 0.0;   ///< caller wall time inside the pool
+  std::uint64_t causal_spans = 0;   ///< spans in the causal DAG (if enabled)
+  std::uint64_t causal_bytes = 0;   ///< causal DAG arena bytes
+};
+
+/// One fault-bearing span on the measured critical path: what kind of
+/// activity, where, and how much of T_p the fault slice accounts for.
+struct CausalSpanNote {
+  std::string kind;  ///< "compute" | "send" | "retry" | "transfer" | "modeled"
+  std::uint32_t pid = 0;
+  std::string phase;  ///< "" for activity outside any PhaseScope
+  double start = 0.0;
+  double end = 0.0;
+  double overhead = 0.0;  ///< fault-attributable slice of the span
+};
+
+/// Summary of the causal span DAG (sim/causal.hpp) recorded for a run with
+/// MachineParams::causal set. `measured` is the critical path walked from
+/// the happens-before DAG itself — independent of the chain_ bookkeeping —
+/// and must reconcile with RunReport::critical_path to 1e-9 when the DAG is
+/// complete (trace_sample >= 1). Like EngineTelemetry, never serialized by
+/// write_json.
+struct CausalSummary {
+  bool enabled = false;
+  bool complete = false;  ///< every processor sampled; measured path valid
+  std::uint64_t spans = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t path_spans = 0;  ///< spans on the measured critical path
+  PathTerms measured;            ///< critical path summed from the DAG
+  double fault_overhead = 0.0;   ///< fault slice of the measured path
+  std::vector<CausalSpanNote> fault_spans;  ///< path spans with overhead > 0
+};
+
 /// Outcome of one simulated parallel run: the quantities of Section 2.
 struct RunReport {
   std::string algorithm;
@@ -91,6 +145,19 @@ struct RunReport {
   /// held for this run. Diagnostic only — deliberately NOT serialized by
   /// write_json, so reports stay byte-comparable across engine versions.
   std::uint64_t engine_footprint_bytes = 0;
+
+  /// Engine self-telemetry (never serialized; see EngineTelemetry).
+  EngineTelemetry engine;
+
+  /// Causal span DAG summary (never serialized; empty unless
+  /// MachineParams::causal was set — see CausalSummary).
+  CausalSummary causal;
+
+  /// Snapshot of the machine's MetricsRegistry at report time, with the
+  /// engine.* telemetry gauges added — what `--metrics-out` renders as
+  /// Prometheus text / OTLP JSON (util/export.hpp). Never serialized by
+  /// write_json.
+  MetricsRegistry metrics;
 
   /// Fault events observed during the run (all zero on an ideal machine).
   FaultStats faults;

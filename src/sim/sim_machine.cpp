@@ -58,6 +58,11 @@ SimMachine::SimMachine(std::shared_ptr<const Topology> topology,
   c_messages_ = &metrics_.counter("sim.messages");
   c_words_ = &metrics_.counter("sim.words");
   tracing_ = params_.trace;
+  if (params_.causal) {
+    causal_ = std::make_unique<CausalGraph>(
+        p, trace_all_, 0x9e3779b97f4a7c15ull ^ params_.trace_sample_seed);
+  }
+  wall_start_ = std::chrono::steady_clock::now();
   // The fault path only exists when a plan can actually fire; an inactive
   // plan keeps the machine on the exact ideal code path (bit-identical
   // times), which tests/algorithms/resilience_test.cpp pins down.
@@ -145,6 +150,14 @@ void SimMachine::compute(ProcId pid, double flops) {
     duration = flops * injector_->slowdown(pid);  // straggler runs slower
   }
   record(pid, TraceEvent::Kind::kCompute, st.clock, st.clock + duration);
+  if (duration > 0.0 && causal_on(pid)) {
+    PathTerms terms;
+    terms.compute = duration;
+    // Straggler clock-rate inflation is the fault slice of a compute span.
+    causal_->chain(pid, CausalGraph::Kind::kCompute, current_phase(), st.clock,
+                   st.clock + duration, terms, duration - flops);
+  }
+  ++events_;
   st.clock += duration;
   st.compute_time += duration;
   st.flops += static_cast<std::uint64_t>(flops);
@@ -323,8 +336,19 @@ void SimMachine::exchange(std::vector<Message> messages) {
   rs.msg_startup.assign(messages.size(), 0.0);
   rs.msg_word.assign(messages.size(), 0.0);
   rs.msg_other.assign(messages.size(), 0.0);
+  events_ += messages.size();
   for (std::size_t i = 0; i < messages.size(); ++i) {
     auto& m = messages[i];
+    if (causal_) {
+      // Span context travels with the payload (and with every retransmission
+      // of it): the sender's head at send time is the span this message
+      // causally depends on. Heads only mutate in the participant loop
+      // below, so this snapshot is the pre-round chain — exactly what a
+      // waiting receiver adopts.
+      m.span.trace = causal_->trace_id();
+      m.span.parent = causal_->head(m.src);
+      m.span.hop = causal_->hop(m.src) + 1;
+    }
     double cost = message_cost(m, rs.load_factor[i]);
     double busy = cost, span = cost, arrival_delay = 0.0;
     if (injector_) {
@@ -432,6 +456,19 @@ void SimMachine::exchange(std::vector<Message> messages) {
         cell.word += rs.msg_word[mi];
       }
     }
+    if (rs.busiest_msg[pid] != kNoMessage && causal_on(pid)) {
+      // Mirror of the chain_cell update above, but capture-mode independent:
+      // the sender's clock advance is explained by its busiest message.
+      // Retransmission busy time and straggler send inflation exceed the
+      // fault-free message cost — that excess is the span's fault slice.
+      const std::size_t mi = rs.busiest_msg[pid];
+      PathTerms terms;
+      terms.startup = rs.msg_startup[mi];
+      terms.word = rs.msg_word[mi];
+      const double ideal = message_cost(messages[mi], rs.load_factor[mi]);
+      causal_->chain(pid, CausalGraph::Kind::kSend, cur, st.clock, busy_until,
+                     terms, std::max(0.0, rs.send_busy[pid] - ideal));
+    }
     double next = busy_until;
     if (rs.send_span[pid] > rs.send_busy[pid]) {
       // Timeout-and-retransmit overhead beyond the pure transfer time.
@@ -443,6 +480,13 @@ void SimMachine::exchange(std::vector<Message> messages) {
       } else {
         phase_cell(cur, pid).idle_time += span_until - next;
         chain_cell(pid).other += span_until - next;
+      }
+      if (causal_on(pid)) {
+        // Timeout gaps between retransmissions: pure fault overhead.
+        PathTerms terms;
+        terms.other = span_until - next;
+        causal_->chain(pid, CausalGraph::Kind::kRetry, cur, next, span_until,
+                       terms, span_until - next);
       }
       next = span_until;
     }
@@ -458,6 +502,24 @@ void SimMachine::exchange(std::vector<Message> messages) {
         if (rs.arrival_msg[pid] != kNoMessage) {
           chain_[pid] = std::move(rs.adopted[k]);
         }
+      }
+      if (rs.arrival_msg[pid] != kNoMessage && causal_on(pid)) {
+        // The transfer span is the cross-processor edge: its pred is the
+        // sender's pre-round head (carried on the wire), and adopting it as
+        // pid's head mirrors the chain_ adoption above in both capture
+        // modes. Timeouts, delays and send inflation put the span past the
+        // fault-free message cost — that excess is the fault slice.
+        const std::size_t mi = rs.arrival_msg[pid];
+        const Message& m = messages[mi];
+        PathTerms terms;
+        terms.startup = rs.msg_startup[mi];
+        terms.word = rs.msg_word[mi];
+        terms.other = rs.msg_other[mi];
+        const double span_time = terms.startup + terms.word + terms.other;
+        const double ideal = message_cost(m, rs.load_factor[mi]);
+        causal_->adopt(pid, m.span.parent, m.span.hop, cur,
+                       rs.arrival_max[pid] - span_time, rs.arrival_max[pid],
+                       terms, std::max(0.0, span_time - ideal));
       }
       next = rs.arrival_max[pid];
     }
@@ -493,6 +555,8 @@ void SimMachine::inbox_push(ProcId dst, Message&& m) {
   }
   inbox_tail_[dst] = slot;
   ++pending_;
+  pending_high_water_ =
+      std::max(pending_high_water_, static_cast<std::uint64_t>(pending_));
 }
 
 Message SimMachine::receive(ProcId pid, int tag) {
@@ -570,6 +634,15 @@ double SimMachine::synchronize() {
       }
     }
   }
+  std::uint32_t crit_head = CausalGraph::kNoSpan;
+  if (causal_) {
+    for (ProcId pid = 0; pid < procs(); ++pid) {
+      if (stats_[pid].clock == t) {
+        crit_head = causal_->head(pid);
+        break;
+      }
+    }
+  }
   for (ProcId pid = 0; pid < procs(); ++pid) {
     auto& st = stats_[pid];
     record(pid, TraceEvent::Kind::kWait, st.clock, t);
@@ -581,6 +654,10 @@ double SimMachine::synchronize() {
         phase_cell(cur, pid).idle_time += t - st.clock;
         chain_[pid] = crit_chain;
       }
+      // Barrier laggards' clocks are explained by the barrier-setting
+      // chain; head adoption is pure metadata, so it applies to unsampled
+      // processors too (their own spans just were not recorded).
+      if (causal_) causal_->set_head(pid, crit_head);
     }
     st.clock = t;
   }
@@ -608,6 +685,16 @@ void SimMachine::charge_group_comm(std::span<const ProcId> group,
       }
     }
   }
+  std::uint32_t crit_head = CausalGraph::kNoSpan;
+  if (causal_) {
+    for (ProcId pid : group) {
+      if (stats_[pid].clock == start) {
+        crit_head = causal_->head(pid);
+        break;
+      }
+    }
+  }
+  events_ += group.size();
   for (ProcId pid : group) {
     auto& st = stats_[pid];
     if (start > st.clock) {
@@ -619,6 +706,13 @@ void SimMachine::charge_group_comm(std::span<const ProcId> group,
         phase_cell(cur, pid).idle_time += start - st.clock;
         chain_[pid] = crit_chain;
       }
+      if (causal_) causal_->set_head(pid, crit_head);
+    }
+    if (time_cost > 0.0 && causal_on(pid)) {
+      PathTerms terms;
+      terms.modeled = time_cost;
+      causal_->chain(pid, CausalGraph::Kind::kModeled, cur, start,
+                     start + time_cost, terms, 0.0);
     }
     record(pid, TraceEvent::Kind::kModeledComm, start, start + time_cost);
     st.comm_time += time_cost;
@@ -707,6 +801,7 @@ std::uint64_t SimMachine::approx_footprint_bytes() const noexcept {
   // Sparse traffic cells: unordered_map node ~= key + value + bucket/next
   // pointers. 56 bytes is the usual libstdc++ figure for a 16-byte payload.
   total += static_cast<std::uint64_t>(traffic_.links_used()) * 56;
+  if (causal_) total += causal_->approx_bytes();
   return total;
 }
 
@@ -784,6 +879,93 @@ RunReport SimMachine::report(std::string algorithm, std::size_t n,
     }
     r.phases.push_back(std::move(b));
   }
+  // Engine self-telemetry: how the simulator itself behaved. The wall-clock
+  // rates are nondeterministic by nature; everything else is a pure function
+  // of the simulated run. None of it is serialized by write_json.
+  {
+    EngineTelemetry& e = r.engine;
+    e.inbox_slots = inbox_slots_.size();
+    for (std::uint32_t s = inbox_free_; s != kNilSlot;
+         s = inbox_slots_[s].next) {
+      ++e.inbox_free;
+    }
+    e.inbox_pending = pending_;
+    e.inbox_high_water = pending_high_water_;
+    e.arena_bytes = r.engine_footprint_bytes;
+    e.events = events_;
+    e.events_per_vtime =
+        r.t_parallel > 0.0 ? static_cast<double>(events_) / r.t_parallel : 0.0;
+    e.wall_seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - wall_start_)
+                         .count();
+    e.events_per_wall_sec =
+        e.wall_seconds > 0.0 ? static_cast<double>(events_) / e.wall_seconds
+                             : 0.0;
+    if (pool_) {
+      const auto& wp = pool_->wall_profile();
+      e.pool_threads = pool_->size();
+      e.pool_batches = wp.batches;
+      e.pool_items = wp.items;
+      e.pool_busy_seconds = wp.busy_seconds;
+    }
+    if (causal_) {
+      e.causal_spans = causal_->spans().size();
+      e.causal_bytes = causal_->approx_bytes();
+    }
+    // Exported snapshot: the run's registry plus the telemetry as engine.*
+    // gauges, so --metrics-out and the Prometheus exposition carry them.
+    r.metrics = metrics_;
+    const auto gset = [&r](const char* name, double v) {
+      r.metrics.gauge(name).set(v);
+    };
+    gset("engine.inbox.slots", static_cast<double>(e.inbox_slots));
+    gset("engine.inbox.free", static_cast<double>(e.inbox_free));
+    gset("engine.inbox.pending", static_cast<double>(e.inbox_pending));
+    gset("engine.inbox.high_water", static_cast<double>(e.inbox_high_water));
+    gset("engine.arena.bytes", static_cast<double>(e.arena_bytes));
+    gset("engine.events", static_cast<double>(e.events));
+    gset("engine.events.virtual_rate", e.events_per_vtime);
+    gset("engine.events.wall_rate", e.events_per_wall_sec);
+    if (pool_) {
+      gset("engine.pool.threads", static_cast<double>(e.pool_threads));
+      gset("engine.pool.batches", static_cast<double>(e.pool_batches));
+      gset("engine.pool.items", static_cast<double>(e.pool_items));
+      gset("engine.pool.busy_seconds", e.pool_busy_seconds);
+    }
+    if (causal_) {
+      gset("engine.causal.spans", static_cast<double>(e.causal_spans));
+      gset("engine.causal.bytes", static_cast<double>(e.causal_bytes));
+    }
+  }
+  // Causal DAG summary: the measured critical path, walked from the
+  // happens-before DAG itself (independent of the chain_ bookkeeping), and
+  // the fault-bearing spans on it. Only a complete DAG (trace_sample >= 1)
+  // yields a well-defined path.
+  if (causal_) {
+    r.causal.enabled = true;
+    r.causal.complete = causal_->complete();
+    r.causal.spans = causal_->spans().size();
+    r.causal.bytes = causal_->approx_bytes();
+    if (causal_->complete()) {
+      const auto cp = causal_->critical_path(crit);
+      r.causal.path_spans = cp.spans.size();
+      r.causal.measured = cp.terms;
+      r.causal.fault_overhead = cp.fault_overhead;
+      for (const std::uint32_t idx : cp.spans) {
+        const auto& s = causal_->spans()[idx];
+        if (s.fault_overhead <= 0.0) continue;
+        CausalSpanNote note;
+        note.kind = std::string(CausalGraph::kind_name(s.kind));
+        note.pid = s.pid;
+        note.phase = s.phase < phase_names_.size() ? phase_names_[s.phase]
+                                                   : std::string();
+        note.start = s.start;
+        note.end = s.end;
+        note.overhead = s.fault_overhead;
+        r.causal.fault_spans.push_back(std::move(note));
+      }
+    }
+  }
   return r;
 }
 
@@ -815,6 +997,10 @@ void SimMachine::reset() {
   phase_stats_.clear();
   phase_totals_.clear();
   for (auto& row : chain_) row.clear();
+  if (causal_) causal_->reset();
+  pending_high_water_ = 0;
+  events_ = 0;
+  wall_start_ = std::chrono::steady_clock::now();
   metrics_.reset();
   traffic_ = TrafficMatrix(procs());
 }

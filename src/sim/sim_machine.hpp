@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -10,6 +11,7 @@
 
 #include "machine/params.hpp"
 #include "matrix/kernels.hpp"
+#include "sim/causal.hpp"
 #include "sim/fault.hpp"
 #include "sim/message.hpp"
 #include "sim/report.hpp"
@@ -201,6 +203,12 @@ class SimMachine {
   /// Whether exchange() is accumulating the traffic matrix this run.
   bool traffic_captured() const noexcept { return traffic_on_; }
 
+  /// The happens-before span DAG recorded this run, or null unless
+  /// MachineParams::causal was set (sim/causal.hpp). Recording honours the
+  /// trace_sample gate and is independent of the metrics capture mode, so
+  /// the DAG is byte-identical across kFull/kAggregate and host threads.
+  const CausalGraph* causal() const noexcept { return causal_.get(); }
+
   /// Approximate resident bytes of the simulator state itself: processor
   /// stats, inboxes (including buffered payload words), phase/chain
   /// accounting, round scratch, trace events and the traffic matrix.
@@ -235,6 +243,10 @@ class SimMachine {
   PathTerms& chain_cell(ProcId pid);
   /// Seeded per-pid trace-sampling decision (stateless splitmix64 hash).
   bool trace_sampled(ProcId pid) const noexcept;
+  /// Whether causal spans are recorded for pid this run.
+  bool causal_on(ProcId pid) const noexcept {
+    return causal_ != nullptr && (trace_all_ || trace_sampled(pid));
+  }
   /// Append a delivered message to dst's inbox queue in the flat arena.
   void inbox_push(ProcId dst, Message&& m);
   void record(ProcId pid, TraceEvent::Kind kind, double start, double end,
@@ -275,6 +287,12 @@ class SimMachine {
   std::vector<std::uint32_t> inbox_head_;  ///< per pid; kNilSlot = empty
   std::vector<std::uint32_t> inbox_tail_;
   std::size_t pending_ = 0;  ///< undelivered messages across all inboxes
+  /// Engine self-telemetry (EngineTelemetry in report.hpp): inbox
+  /// high-water mark, charged-event count, and the host wall clock they
+  /// rate against.
+  std::uint64_t pending_high_water_ = 0;
+  std::uint64_t events_ = 0;
+  std::chrono::steady_clock::time_point wall_start_;
 
   /// --- Per-round scratch -----------------------------------------------
   ///
@@ -334,6 +352,10 @@ class SimMachine {
   /// clock (waiting receivers and barrier laggards adopt the chain of the
   /// processor they waited on), so Sum over phases == clock for every pid.
   std::vector<std::vector<PathTerms>> chain_;
+  /// Non-null only when params_.causal: the happens-before span DAG. Its
+  /// hooks mirror the chain_ adoption logic exactly but run in both capture
+  /// modes (the DAG is the aggregate mode's only critical-path record).
+  std::unique_ptr<CausalGraph> causal_;
   MetricsRegistry metrics_;
   /// Hot-path instruments resolved once at construction — a map lookup per
   /// message would dominate at extreme p. MetricsRegistry guarantees

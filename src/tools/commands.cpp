@@ -28,6 +28,7 @@
 #include "serve/timeline.hpp"
 #include "sim/fault.hpp"
 #include "util/error.hpp"
+#include "util/export.hpp"
 #include "util/json.hpp"
 #include "util/table.hpp"
 
@@ -109,6 +110,26 @@ void write_output(const CliArgs& args, std::ostream& os,
   require(file.good(), command + ": writing --out file '" + out +
                            "' failed (disk full or device error?)");
   os << "wrote " << what << " to " << out << "\n";
+}
+
+/// `--metrics-out=FILE[.prom|.json]` final-snapshot writer shared by run
+/// and serve. The format is routed on the extension (util/export.hpp); the
+/// same stream-state checks as write_output apply.
+void write_metrics_out(const CliArgs& args, std::ostream& os,
+                       const std::string& command,
+                       const std::function<void(std::ostream&,
+                                                MetricsExportFormat)>& writer) {
+  const std::string path = args.get("metrics-out", "");
+  if (path.empty()) return;
+  const MetricsExportFormat format = metrics_export_format(path);
+  std::ofstream file(path);
+  require(file.good(),
+          command + ": cannot open --metrics-out file '" + path + "'");
+  writer(file, format);
+  file.flush();
+  require(file.good(), command + ": writing --metrics-out file '" + path +
+                           "' failed (disk full or device error?)");
+  os << "wrote metrics to " << path << "\n";
 }
 
 void print_table(const CliArgs& args, const Table& table, std::ostream& os) {
@@ -222,6 +243,9 @@ MachineParams machine_from_args(const CliArgs& args) {
           "--trace-sample: must be in [0, 1]");
   mp.trace_sample_seed =
       static_cast<std::uint64_t>(args.get_int("trace-seed", 0));
+  // Causal span DAG capture (docs/observability.md); sampled by the same
+  // --trace-sample / --trace-seed gate as the timeline.
+  mp.causal = args.get_bool("causal", false);
   return mp;
 }
 
@@ -284,6 +308,10 @@ int cmd_run(const CliArgs& args, std::ostream& os) {
   const auto pt = validate_algorithm(
       *choice.impl, *choice.model, n, p,
       static_cast<std::uint64_t>(args.get_int("seed", 42)));
+  write_metrics_out(args, os, "run",
+                    [&pt](std::ostream& s, MetricsExportFormat format) {
+                      write_metrics(pt.report.metrics, format, s);
+                    });
   if (args.get("format", "aligned") == "json") {
     // One JSON object: the full simulated RunReport plus the model
     // comparison and product check that `run` adds on top of it.
@@ -514,7 +542,21 @@ int cmd_profile(const CliArgs& args, std::ostream& os) {
   const std::string algorithm = args.get("algorithm", "cannon");
   const auto n = static_cast<std::size_t>(args.get_int("n", 64));
   const auto p = static_cast<std::size_t>(args.get_int("p", 16));
-  const MachineParams mp = machine_from_args(args);
+  MachineParams mp = machine_from_args(args);
+  // Minimal fault scenario flags so `profile --causal=1` can attribute
+  // retry and straggler spans on the measured critical path (the full
+  // scenario surface lives on `inject`).
+  if (args.has("drop") || args.has("stragglers")) {
+    auto plan = std::make_shared<FaultPlan>();
+    plan->seed = static_cast<std::uint64_t>(args.get_int("fault-seed", 1));
+    plan->drop_prob = args.get_double("drop", 0.0);
+    plan->reliable = true;
+    for (const auto& [pid, factor] : parse_pid_values(
+             args.get("stragglers", ""), "profile: --stragglers")) {
+      plan->stragglers.push_back({pid, factor});
+    }
+    mp.faults = std::move(plan);
+  }
   const AlgorithmChoice choice =
       algorithm_from_args(args, algorithm, mp, "profile");
   choice.impl->check_applicable(n, p);
@@ -597,6 +639,51 @@ int cmd_profile(const CliArgs& args, std::ostream& os) {
     print_table(args, rec, s);
     s << "T_p = " << format_number(report.t_parallel, 6)
       << " (critical path sums to " << format_number(cp.total(), 6) << ")\n";
+    // Measured (causal-DAG) critical path against the model-term chain:
+    // both decompose T_p into the same terms, so on a fault-free run the
+    // totals agree to rounding (docs/observability.md).
+    if (report.causal.enabled) {
+      const CausalSummary& ca = report.causal;
+      s << "causal: " << ca.spans << " spans ("
+        << (ca.complete ? "complete" : "sampled") << ", " << ca.bytes
+        << " bytes)\n";
+      if (ca.complete) {
+        const PathTerms& m = ca.measured;
+        s << "  measured path: " << ca.path_spans << " spans, compute "
+          << format_number(m.compute, 6) << " + startup "
+          << format_number(m.startup, 6) << " + word "
+          << format_number(m.word, 6);
+        if (m.modeled > 0.0) s << " + modeled " << format_number(m.modeled, 6);
+        if (m.other > 0.0) s << " + other " << format_number(m.other, 6);
+        s << " = " << format_number(m.total(), 6) << "\n";
+        s << "  measured vs T_p delta: "
+          << format_number(std::abs(m.total() - report.t_parallel), 3) << "\n";
+        if (ca.fault_overhead > 0.0) {
+          s << "  fault overhead on path: "
+            << format_number(ca.fault_overhead, 6) << "\n";
+        }
+        for (const CausalSpanNote& note : ca.fault_spans) {
+          s << "    " << note.kind << " span: pid " << note.pid;
+          if (!note.phase.empty()) s << " phase " << note.phase;
+          s << " [" << format_number(note.start, 6) << ", "
+            << format_number(note.end, 6) << "] +"
+            << format_number(note.overhead, 6) << "\n";
+        }
+      }
+    }
+    // Engine self-telemetry: what the simulator itself spent to produce the
+    // numbers above (arena occupancy, event throughput, host pool).
+    const EngineTelemetry& eng = report.engine;
+    s << "engine: " << eng.events << " events ("
+      << format_number(eng.events_per_vtime, 4) << "/vtime), arena "
+      << eng.arena_bytes << " bytes, inbox " << eng.inbox_pending << "/"
+      << eng.inbox_slots << " slots pending (high-water "
+      << eng.inbox_high_water << ", free-list " << eng.inbox_free << ")\n";
+    if (eng.pool_threads > 0) {
+      s << "engine pool: " << eng.pool_threads << " threads, "
+        << eng.pool_batches << " batches, " << eng.pool_items << " items, "
+        << format_number(eng.pool_busy_seconds * 1e3, 4) << " ms busy\n";
+    }
     s << "host wall: " << format_number(wall_seconds * 1e3, 4) << " ms";
     if (kwp.calls > 0) {
       s << " (packed kernel: " << kwp.calls << " calls, "
@@ -802,7 +889,13 @@ int cmd_serve(const CliArgs& args, std::ostream& os) {
           "                      default per-tenant objectives (script "
           "'slo' lines override)\n"
           "  --slo-strict        exit 3 when any tenant's objective is "
-          "breached\n";
+          "breached\n"
+          "  --metrics-out=FILE  write the final metrics registry "
+          "(.prom = Prometheus text\n"
+          "                      exposition, .json = OTLP-style JSON)\n"
+          "  --metrics-every=<t> stream virtual-time-stamped snapshots "
+          "into --metrics-out\n"
+          "                      (byte-identical for every --threads)\n";
     return 0;
   }
 
@@ -887,6 +980,11 @@ int cmd_serve(const CliArgs& args, std::ostream& os) {
       static_cast<std::size_t>(serve_int_flag(args, "cache", 64, 0));
   opt.keep_request_log = args.get_bool("log", true);
   opt.window = args.get_double("window", 50000.0);
+  opt.metrics_every = args.get_double("metrics-every", 0.0);
+  require(opt.metrics_every >= 0.0, "serve: --metrics-every must be >= 0");
+  require(opt.metrics_every == 0.0 || args.has("metrics-out"),
+          "serve: --metrics-every streams snapshots into --metrics-out, "
+          "which is missing");
   // The CLI objectives become the "*" default; script `slo` lines keep
   // their per-tenant precedence over it.
   if (args.has("slo-p99")) slos["*"].p99 = args.get_double("slo-p99", 0.0);
@@ -923,6 +1021,34 @@ int cmd_serve(const CliArgs& args, std::ostream& os) {
     });
     os << "wrote timeline to " << timeline_path << "\n";
   }
+  // Metrics export: one final snapshot, or — with --metrics-every — the
+  // virtual-time-stamped snapshot stream the serial event loop captured
+  // (byte-identical for every --threads; docs/observability.md).
+  write_metrics_out(
+      args, os, "serve",
+      [&report](std::ostream& s, MetricsExportFormat format) {
+        if (report.metric_snapshots.empty()) {
+          write_metrics(report.metrics, format, s);
+          return;
+        }
+        if (format == MetricsExportFormat::kPrometheus) {
+          for (const auto& snap : report.metric_snapshots) {
+            s << "# snapshot t=" << json_number(snap.time) << "\n";
+            write_prometheus(snap.metrics, s);
+          }
+          return;
+        }
+        s << "{\"snapshots\": [";
+        bool first = true;
+        for (const auto& snap : report.metric_snapshots) {
+          if (!first) s << ", ";
+          first = false;
+          s << "{\"time\": " << json_number(snap.time) << ", \"metrics\": ";
+          write_otlp_json(snap.metrics, s);
+          s << "}";
+        }
+        s << "]}";
+      });
 
   if (args.get("format", "aligned") == "json") {
     write_output(args, os, "serve", "serve report", [&report](std::ostream& s) {
@@ -983,7 +1109,13 @@ int dispatch(const CliArgs& args, std::ostream& os, std::ostream& err) {
            "output: --format=aligned|csv|markdown|json (run/serve "
            "--format=json print the full report)\n"
            "        --out=FILE (run --format=json, trace --format=chrome, "
-           "profile, serve)\n";
+           "profile, serve)\n"
+           "observability: --causal=1 (span DAG + measured critical path; "
+           "profile prints the\n"
+           "               reconciliation), --metrics-out=FILE[.prom|.json] "
+           "(run, serve),\n"
+           "               serve --metrics-every=T (snapshot stream; see "
+           "docs/observability.md)\n";
     return 2;
   };
   if (args.positionals().empty()) return usage();

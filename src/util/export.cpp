@@ -1,0 +1,164 @@
+#include "util/export.hpp"
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace hpmm {
+
+namespace {
+
+/// Exposition sample values: Prometheus accepts Go-style floats plus the
+/// special tokens below. json_number gives the shortest round-trip decimal,
+/// which is both valid and deterministic.
+std::string prom_value(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  return json_number(v);
+}
+
+void help_and_type(std::ostream& os, const std::string& name,
+                   const std::string& source, std::string_view type) {
+  os << "# HELP " << name << ' ' << source << '\n';
+  os << "# TYPE " << name << ' ' << type << '\n';
+}
+
+}  // namespace
+
+MetricsExportFormat metrics_export_format(std::string_view path) {
+  const auto dot = path.rfind('.');
+  const std::string_view ext =
+      dot == std::string_view::npos ? std::string_view{} : path.substr(dot);
+  if (ext == ".prom") return MetricsExportFormat::kPrometheus;
+  if (ext == ".json") return MetricsExportFormat::kOtlpJson;
+  throw PreconditionError(
+      "metrics export path must end in .prom (Prometheus text exposition) or "
+      ".json (OTLP-style JSON): " +
+      std::string(path));
+}
+
+std::string prometheus_metric_name(std::string_view name) {
+  std::string out = "hpmm_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void write_prometheus(const MetricsRegistry& registry, std::ostream& os) {
+  for (const auto& name : registry.counter_names()) {
+    const std::string pn = prometheus_metric_name(name) + "_total";
+    help_and_type(os, pn, name, "counter");
+    os << pn << ' ' << registry.find_counter(name)->value() << '\n';
+  }
+  for (const auto& name : registry.gauge_names()) {
+    const std::string pn = prometheus_metric_name(name);
+    help_and_type(os, pn, name, "gauge");
+    os << pn << ' ' << prom_value(registry.find_gauge(name)->value()) << '\n';
+  }
+  for (const auto& name : registry.histogram_names()) {
+    const Histogram& h = *registry.find_histogram(name);
+    const std::string pn = prometheus_metric_name(name);
+    help_and_type(os, pn, name, "histogram");
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.buckets(); ++i) {
+      cumulative += h.bucket_count(i);
+      const bool overflow = i + 1 == h.buckets();
+      os << pn << "_bucket{le=\""
+         << (overflow ? std::string("+Inf") : prom_value(h.bucket_bound(i)))
+         << "\"} " << cumulative << '\n';
+    }
+    os << pn << "_sum " << prom_value(h.sum()) << '\n';
+    os << pn << "_count " << h.count() << '\n';
+  }
+  // The exposition format has no windowed-series type; export each series'
+  // running totals (the windows stay available in the JSON exports).
+  for (const auto& name : registry.series_names()) {
+    const TimeSeries& s = *registry.find_series(name);
+    const std::string base = prometheus_metric_name(name);
+    const std::string events = base + "_events_total";
+    help_and_type(os, events, name, "counter");
+    os << events << ' ' << s.total_count() << '\n';
+    const std::string sum = base + "_value_sum";
+    help_and_type(os, sum, name, "gauge");
+    os << sum << ' ' << prom_value(s.total_sum()) << '\n';
+  }
+}
+
+void write_otlp_json(const MetricsRegistry& registry, std::ostream& os) {
+  os << "{\"resourceMetrics\": [{\"resource\": {\"attributes\": "
+        "[{\"key\": \"service.name\", \"value\": {\"stringValue\": "
+        "\"hpmm\"}}]}, \"scopeMetrics\": [{\"scope\": {\"name\": \"hpmm\"}, "
+        "\"metrics\": [";
+  bool first = true;
+  const auto sep = [&os, &first]() {
+    if (!first) os << ", ";
+    first = false;
+  };
+  for (const auto& name : registry.counter_names()) {
+    sep();
+    os << "{\"name\": " << json_quote(name)
+       << ", \"sum\": {\"aggregationTemporality\": 2, \"isMonotonic\": true, "
+          "\"dataPoints\": [{\"asDouble\": "
+       << json_number(
+              static_cast<double>(registry.find_counter(name)->value()))
+       << "}]}}";
+  }
+  for (const auto& name : registry.gauge_names()) {
+    sep();
+    os << "{\"name\": " << json_quote(name)
+       << ", \"gauge\": {\"dataPoints\": [{\"asDouble\": "
+       << json_number(registry.find_gauge(name)->value()) << "}]}}";
+  }
+  for (const auto& name : registry.histogram_names()) {
+    const Histogram& h = *registry.find_histogram(name);
+    sep();
+    os << "{\"name\": " << json_quote(name)
+       << ", \"histogram\": {\"aggregationTemporality\": 2, \"dataPoints\": "
+          "[{\"count\": "
+       << h.count() << ", \"sum\": " << json_number(h.sum())
+       << ", \"max\": " << json_number(h.max()) << ", \"bucketCounts\": [";
+    for (std::size_t i = 0; i < h.buckets(); ++i) {
+      if (i) os << ", ";
+      os << h.bucket_count(i);
+    }
+    os << "], \"explicitBounds\": [";
+    for (std::size_t i = 0; i + 1 < h.buckets(); ++i) {
+      if (i) os << ", ";
+      os << json_number(h.bucket_bound(i));
+    }
+    os << "]}]}}";
+  }
+  for (const auto& name : registry.series_names()) {
+    const TimeSeries& s = *registry.find_series(name);
+    sep();
+    os << "{\"name\": " << json_quote(name)
+       << ", \"series\": {\"windowWidth\": " << json_number(s.window_width())
+       << ", \"windows\": [";
+    bool w_first = true;
+    for (const auto& [index, w] : s.windows()) {
+      if (!w_first) os << ", ";
+      w_first = false;
+      os << "{\"index\": " << index << ", \"count\": " << w.count
+         << ", \"sum\": " << json_number(w.sum)
+         << ", \"max\": " << json_number(w.max) << "}";
+    }
+    os << "]}}";
+  }
+  os << "]}]}]}";
+}
+
+void write_metrics(const MetricsRegistry& registry, MetricsExportFormat format,
+                   std::ostream& os) {
+  if (format == MetricsExportFormat::kPrometheus) {
+    write_prometheus(registry, os);
+  } else {
+    write_otlp_json(registry, os);
+  }
+}
+
+}  // namespace hpmm

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "util/metrics.hpp"
+
+namespace hpmm {
+
+/// Rendering formats for a MetricsRegistry snapshot (docs/observability.md).
+enum class MetricsExportFormat : std::uint8_t {
+  kPrometheus,  ///< text exposition format (.prom)
+  kOtlpJson     ///< OTLP-style JSON (.json)
+};
+
+/// Route a `--metrics-out` path on its extension: ".prom" -> Prometheus
+/// text exposition, ".json" -> OTLP-style JSON. Throws PreconditionError
+/// for any other extension.
+MetricsExportFormat metrics_export_format(std::string_view path);
+
+/// The exposition metric name a registry instrument renders as: "hpmm_"
+/// prefix, every character outside [a-zA-Z0-9_:] replaced by '_' (dotted
+/// registry names become underscored), suffixes per convention added by the
+/// writer ("_total" for counters, "_bucket"/"_sum"/"_count" for
+/// histograms). Exposed so tests and the format validator agree with the
+/// writer on naming.
+std::string prometheus_metric_name(std::string_view name);
+
+/// Render the registry in Prometheus text exposition format: every sample
+/// family preceded by its # HELP / # TYPE pair, counters as `_total`,
+/// histograms as cumulative `_bucket{le="..."}` rows plus `_sum`/`_count`,
+/// and each TimeSeries as a `_events_total` counter and `_value_sum` gauge
+/// (the exposition format has no windowed type). Families are emitted in
+/// sorted-name order per section (counters, gauges, histograms, series), so
+/// output is deterministic — byte-identical for byte-identical registries.
+void write_prometheus(const MetricsRegistry& registry, std::ostream& os);
+
+/// Render the registry as one OTLP-style JSON object (resourceMetrics /
+/// scopeMetrics / metrics, sum|gauge|histogram data points; TimeSeries
+/// windows as a non-standard "series" payload). Same determinism contract
+/// as write_prometheus; output passes json_valid.
+void write_otlp_json(const MetricsRegistry& registry, std::ostream& os);
+
+/// Render in the given format (dispatch helper for --metrics-out).
+void write_metrics(const MetricsRegistry& registry, MetricsExportFormat format,
+                   std::ostream& os);
+
+}  // namespace hpmm

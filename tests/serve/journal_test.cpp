@@ -246,6 +246,39 @@ TEST(EventJournal, ByteIdenticalAcrossThreadsAndRuns) {
   EXPECT_FALSE(first.first.empty());
 }
 
+TEST(EventJournal, HostileTenantNamesRoundTripThroughJsonl) {
+  // Tenant names with quotes, backslashes, control bytes and non-ASCII must
+  // come out of the JSONL journal as valid JSON with the bytes escaped —
+  // a hostile tenant cannot break the log or smuggle extra fields into it.
+  const std::string hostile =
+      "ev\"il\\tenant\",\"admin\":true,\"x\":\"\x01\xc3\xa9";
+  const Server server(ServeOptions{});
+  const ServeReport report =
+      server.run({clean_request(0.0, hostile), clean_request(1.0, "ok")});
+  const std::string jsonl = report.journal.jsonl();
+  std::istringstream lines(jsonl);
+  std::string line;
+  std::size_t hostile_lines = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_TRUE(json_valid(line)) << line;
+    // No raw control byte may survive into the serialized form.
+    for (const char c : line) {
+      EXPECT_GE(static_cast<unsigned char>(c), 0x20u) << line;
+    }
+    if (line.find(json_escape(hostile)) != std::string::npos) ++hostile_lines;
+  }
+  // Every one of the hostile tenant's events carries the escaped name, and
+  // the injection attempt stayed inside the string (no "admin" key).
+  EXPECT_EQ(hostile_lines, report.journal.of_tenant(hostile).size());
+  EXPECT_GT(hostile_lines, 0u);
+  EXPECT_EQ(jsonl.find("\"admin\":true"), std::string::npos);
+  // The same bytes survive a full report serialization too.
+  std::ostringstream os;
+  report.write_json(os);
+  EXPECT_TRUE(json_valid(os.str()));
+  EXPECT_NE(os.str().find(json_escape(hostile)), std::string::npos);
+}
+
 TEST(ServeTimeline, ValidJsonWithSlotAndTenantLanes) {
   ServeOptions opt;
   opt.slots = 2;

@@ -84,6 +84,30 @@ TEST(ServeScript, StrictErrorsNameTheLine) {
   EXPECT_FALSE(error_of("launch n=16 p=16\n").empty());
 }
 
+TEST(ServeScript, ControlCharactersAreRejectedNamingTheLine) {
+  // A stray CR (CRLF script) must be called out as an embedded newline, on
+  // the exact line it appears.
+  const std::string crlf_err =
+      error_of("request n=16 p=16\nrequest n=16 p=16\r\n");
+  EXPECT_NE(crlf_err.find("line 2"), std::string::npos) << crlf_err;
+  EXPECT_NE(crlf_err.find("newline"), std::string::npos) << crlf_err;
+  // Other control bytes (here: a vertical tab and a DEL) are rejected too.
+  EXPECT_NE(error_of("request n=16 p=16 tenant=a\x0b" "b\n").find("line 1"),
+            std::string::npos);
+  EXPECT_FALSE(error_of("request n=16 p=16 tenant=a\x7fz\n").empty());
+  // Tabs are ordinary whitespace, not an error.
+  EXPECT_EQ(error_of("request\tn=16\tp=16\n"), "");
+}
+
+TEST(ServeScript, HostileTenantNamesParseIntact) {
+  // Quotes and backslashes are legal value bytes; they must survive parsing
+  // unmodified (the JSON layer escapes them at serialization time).
+  const auto reqs =
+      parse_serve_script("request tenant=ev\"il\\\\t n=16 p=16\n");
+  ASSERT_EQ(reqs.size(), 1u);
+  EXPECT_EQ(reqs[0].tenant, "ev\"il\\\\t");
+}
+
 TEST(ServeWorkload, SameOptionsSameStream) {
   WorkloadOptions opt;
   opt.requests = 24;

@@ -299,6 +299,80 @@ TEST(Server, MetricsMirrorTheAggregates) {
   EXPECT_NE(report.summary().find("serve: 2 requests"), std::string::npos);
 }
 
+TEST(Server, MetricsSnapshotsStreamOnVirtualTime) {
+  ServeOptions opt;
+  opt.metrics_every = 1000.0;
+  const Server server(opt);
+  const ServeReport report =
+      server.run({clean_request(0.0, "a"), clean_request(2500.0, "b")});
+  ASSERT_GE(report.metric_snapshots.size(), 2u);
+  // Snapshot stamps are boundary crossings in strictly increasing order,
+  // and the stream always closes with one at the makespan.
+  double prev = -1.0;
+  for (const auto& snap : report.metric_snapshots) {
+    EXPECT_GT(snap.time, prev);
+    prev = snap.time;
+  }
+  EXPECT_DOUBLE_EQ(report.metric_snapshots.back().time, report.makespan);
+  // Counters are monotone across snapshots: serve.ok never decreases (it
+  // may be absent from early snapshots, before the first completion).
+  std::uint64_t prev_ok = 0;
+  for (const auto& snap : report.metric_snapshots) {
+    const Counter* c = snap.metrics.find_counter("serve.ok");
+    const std::uint64_t ok = c != nullptr ? c->value() : 0;
+    EXPECT_GE(ok, prev_ok);
+    prev_ok = ok;
+  }
+  EXPECT_EQ(prev_ok, 2u);
+  // With the stream disabled (the default), no snapshots are kept.
+  const ServeReport quiet = Server(ServeOptions{}).run({clean_request(0.0)});
+  EXPECT_TRUE(quiet.metric_snapshots.empty());
+}
+
+TEST(Server, MetricsSnapshotsAreByteIdenticalAcrossThreads) {
+  auto snapshots_json = [](unsigned threads) {
+    ServeOptions opt;
+    opt.threads = threads;
+    opt.metrics_every = 500.0;
+    opt.max_retries = 1;
+    TenantRequest failing = clean_request(100.0, "f");
+    failing.faults = corrupting_plan(9);
+    const ServeReport report = Server(opt).run(
+        {clean_request(0.0, "a"), failing, clean_request(3000.0, "b")});
+    std::ostringstream os;
+    for (const auto& snap : report.metric_snapshots) {
+      os << snap.time << "\n";
+      snap.metrics.write_json(os);
+      os << "\n";
+    }
+    return os.str();
+  };
+  const std::string serial = snapshots_json(1);
+  EXPECT_EQ(serial, snapshots_json(1));  // same seed, same bytes
+  EXPECT_EQ(serial, snapshots_json(4));  // host threads are invisible
+  EXPECT_FALSE(serial.empty());
+}
+
+TEST(Server, PlanCacheGaugesSurfaceInMetrics) {
+  ServeOptions opt;
+  opt.plan_cache_capacity = 8;
+  const Server server(opt);
+  // Same shape twice: one miss, one hit.
+  const ServeReport report =
+      server.run({clean_request(0.0, "a"), clean_request(50000.0, "a")});
+  ASSERT_NE(report.metrics.find_counter("serve.cache.misses"), nullptr);
+  EXPECT_EQ(report.metrics.find_counter("serve.cache.misses")->value(), 1u);
+  ASSERT_NE(report.metrics.find_counter("serve.cache.hits"), nullptr);
+  EXPECT_EQ(report.metrics.find_counter("serve.cache.hits")->value(), 1u);
+  ASSERT_NE(report.metrics.find_gauge("serve.plan_cache.size"), nullptr);
+  EXPECT_DOUBLE_EQ(report.metrics.find_gauge("serve.plan_cache.size")->value(),
+                   1.0);
+  EXPECT_DOUBLE_EQ(
+      report.metrics.find_gauge("serve.plan_cache.capacity")->value(), 8.0);
+  EXPECT_DOUBLE_EQ(
+      report.metrics.find_gauge("serve.plan_cache.hit_rate")->value(), 0.5);
+}
+
 TEST(Server, InvalidOptionsAreRejected) {
   ServeOptions opt;
   opt.slots = 0;

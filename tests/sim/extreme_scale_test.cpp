@@ -241,6 +241,21 @@ TEST(ExtremeScale, GkRunsAtQuarterMillionProcessors) {
   EXPECT_EQ(got.report.p, p);
   EXPECT_EQ(got.report.total_flops, static_cast<std::uint64_t>(n) * n * n);
   EXPECT_GT(got.report.t_parallel, 0.0);
+  // Engine self-telemetry survives aggregate capture even at this scale:
+  // the arena and event-loop gauges are O(1) extra state.
+  EXPECT_GT(got.report.engine.events, 0u);
+  EXPECT_GT(got.report.engine.arena_bytes, 0u);
+  // Arena slots track peak concurrent messages, not p — the whole point of
+  // the slab design is that a quarter-million processors don't cost a
+  // quarter-million inbox allocations.
+  EXPECT_GT(got.report.engine.inbox_slots, 0u);
+  EXPECT_LT(got.report.engine.inbox_slots, p);
+  const Gauge* arena = got.report.metrics.find_gauge("engine.arena.bytes");
+  ASSERT_NE(arena, nullptr);
+  EXPECT_DOUBLE_EQ(arena->value(),
+                   static_cast<double>(got.report.engine.arena_bytes));
+  EXPECT_NE(got.report.metrics.find_gauge("engine.events.virtual_rate"),
+            nullptr);
   const Matrix expect = multiply(a, b);
   EXPECT_LE(max_abs_diff(got.c, expect), 1e-12 * static_cast<double>(n));
 }

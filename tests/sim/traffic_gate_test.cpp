@@ -1,0 +1,65 @@
+// TrafficCapture::kAuto boundary (DESIGN.md §12): capture stays on at
+// exactly p = MachineParams::kTrafficAutoThreshold and switches off at one
+// more processor. The test references the named constant — not a literal —
+// so the gate, docs/cli.md and this check can only drift together.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/sim_machine.hpp"
+#include "topology/topology.hpp"
+
+namespace hpmm {
+namespace {
+
+SimMachine auto_machine(std::size_t p) {
+  MachineParams mp;
+  mp.t_s = 10.0;
+  mp.t_w = 2.0;
+  mp.traffic_capture = TrafficCapture::kAuto;
+  // Aggregate capture keeps the boundary machines cheap; the traffic gate
+  // is independent of the metrics mode.
+  mp.metrics_mode = MetricsMode::kAggregate;
+  return SimMachine(std::make_shared<FullyConnected>(p), mp);
+}
+
+TEST(TrafficGate, ThresholdConstantMatchesTheDocumentedValue) {
+  // docs/cli.md documents --traffic=auto as "on up to 65536 processors".
+  EXPECT_EQ(MachineParams::kTrafficAutoThreshold, 65536u);
+}
+
+TEST(TrafficGate, AutoCapturesAtExactlyTheThreshold) {
+  SimMachine m = auto_machine(MachineParams::kTrafficAutoThreshold);
+  EXPECT_TRUE(m.traffic_captured());
+  std::vector<Message> msgs;
+  msgs.emplace_back(0, 1, 1, Matrix(1, 4));
+  m.exchange(std::move(msgs));
+  (void)m.receive(1, 1);
+  EXPECT_GT(m.traffic().links_used(), 0u);
+}
+
+TEST(TrafficGate, AutoDropsCaptureOneProcessorPastTheThreshold) {
+  SimMachine m = auto_machine(MachineParams::kTrafficAutoThreshold + 1);
+  EXPECT_FALSE(m.traffic_captured());
+  std::vector<Message> msgs;
+  msgs.emplace_back(0, 1, 1, Matrix(1, 4));
+  m.exchange(std::move(msgs));
+  (void)m.receive(1, 1);
+  EXPECT_EQ(m.traffic().links_used(), 0u);
+  // The gate affects only capture, never the simulated clocks.
+  EXPECT_DOUBLE_EQ(m.clock(1), 10.0 + 2.0 * 4);
+}
+
+TEST(TrafficGate, ExplicitOnOverridesTheThreshold) {
+  MachineParams mp;
+  mp.traffic_capture = TrafficCapture::kOn;
+  mp.metrics_mode = MetricsMode::kAggregate;
+  SimMachine m(
+      std::make_shared<FullyConnected>(MachineParams::kTrafficAutoThreshold + 1),
+      mp);
+  EXPECT_TRUE(m.traffic_captured());
+}
+
+}  // namespace
+}  // namespace hpmm
